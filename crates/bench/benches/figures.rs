@@ -1,0 +1,106 @@
+//! One Criterion benchmark per paper artifact: how long each figure /
+//! statistic takes to regenerate. The *values* come from the `experiments`
+//! binary; these benches track the cost of the pipelines behind them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aerorem_bench::{endurance, fig5, fig6, fig7, fig8, loc, prep, queue};
+use aerorem_mission::campaign::{Campaign, CampaignConfig};
+use aerorem_mission::plan::FleetPlan;
+use aerorem_simkit::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reduced campaign (2 UAVs × 8 waypoints) keeps per-iteration cost sane
+/// while exercising the identical code path as the 72-waypoint demo.
+fn small_campaign() -> aerorem_mission::campaign::CampaignReport {
+    let cfg = CampaignConfig {
+        fleet_plan: FleetPlan {
+            fleet_size: 2,
+            total_waypoints: 16,
+            travel_time: SimDuration::from_secs(2),
+            scan_time: SimDuration::from_secs(2),
+        },
+        ..CampaignConfig::paper_demo()
+    };
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    Campaign::new(cfg).run(&mut rng)
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_interference_sweep", |b| {
+        b.iter(|| black_box(fig5::run(black_box(1))))
+    });
+}
+
+fn bench_fig6_fig7_campaign(c: &mut Criterion) {
+    // The campaign is the shared substrate of Figures 6 and 7.
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("fig6_fig7_small_campaign", |b| {
+        b.iter(|| {
+            let report = small_campaign();
+            let f6 = fig6::run(&report);
+            let f7 = fig7::run(&report);
+            black_box((f6, f7))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let report = small_campaign();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("fig8_model_zoo", |b| {
+        b.iter(|| black_box(fig8::run(black_box(&report), false, 3).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_endurance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endurance");
+    group.sample_size(10);
+    group.bench_function("endurance_test", |b| {
+        b.iter(|| black_box(endurance::run(black_box(4))))
+    });
+    group.finish();
+}
+
+fn bench_prep(c: &mut Criterion) {
+    let report = small_campaign();
+    c.bench_function("prep_preprocessing", |b| {
+        b.iter(|| black_box(prep::run(black_box(&report)).unwrap()))
+    });
+}
+
+fn bench_loc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loc");
+    group.sample_size(10);
+    group.bench_function("loc_anchor_sweep", |b| {
+        b.iter(|| black_box(loc::run(black_box(5))))
+    });
+    group.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+    group.sample_size(10);
+    group.bench_function("queue_firmware_ablation", |b| {
+        b.iter(|| black_box(queue::run(black_box(6))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig5,
+    bench_fig6_fig7_campaign,
+    bench_fig8,
+    bench_endurance,
+    bench_prep,
+    bench_loc,
+    bench_queue
+);
+criterion_main!(figures);

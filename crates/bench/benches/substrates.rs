@@ -1,0 +1,117 @@
+//! Micro-benchmarks of the substrates: the hot inner loops every experiment
+//! rides on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aerorem_localization::{AnchorConstellation, Ekf, RangingConfig, RangingMode};
+use aerorem_ml::kriging::{KrigingConfig, OrdinaryKriging};
+use aerorem_ml::mlp::{Mlp, MlpConfig};
+use aerorem_ml::Regressor;
+use aerorem_propagation::building::SyntheticBuilding;
+use aerorem_propagation::scan::{perform_scan, ScanConfig};
+use aerorem_propagation::shadowing::ShadowingField;
+use aerorem_spatial::{Aabb, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_shadowing(c: &mut Criterion) {
+    let field = ShadowingField::new(4.0, 2.0, 7);
+    let mut i = 0u64;
+    c.bench_function("shadowing_sample", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(field.sample(i % 73, Vec3::new((i % 100) as f64 * 0.1, 1.0, 1.0)))
+        })
+    });
+}
+
+fn bench_mean_rss(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let env = SyntheticBuilding::paper_like().generate(Aabb::paper_volume(), &mut rng);
+    let ap = &env.access_points()[0];
+    c.bench_function("mean_rss_with_walls", |b| {
+        b.iter(|| black_box(env.mean_rss(black_box(ap), Vec3::new(1.5, 1.5, 1.0))))
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let env = SyntheticBuilding::paper_like().generate(Aabb::paper_volume(), &mut rng);
+    let cfg = ScanConfig::paper_default();
+    c.bench_function("full_ap_scan", |b| {
+        b.iter(|| {
+            black_box(perform_scan(
+                &env,
+                Vec3::new(1.87, 1.6, 1.0),
+                &[],
+                &cfg,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_ekf(c: &mut Criterion) {
+    let anchors = AnchorConstellation::volume_corners(Aabb::paper_volume());
+    let cfg = RangingConfig::lps_default(RangingMode::Tdoa);
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("ekf_predict_update_epoch", |b| {
+        let mut ekf = Ekf::new(Vec3::new(1.8, 1.6, 1.0), 0.5);
+        b.iter(|| {
+            ekf.predict(0.01);
+            let meas = cfg.measure(&anchors, Vec3::new(1.87, 1.6, 1.0), &mut rng);
+            let _ = ekf.update_ranging(&anchors, &meas, 0.0016);
+            black_box(ekf.position())
+        })
+    });
+}
+
+fn bench_mlp_epoch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let x: Vec<Vec<f64>> = (0..256)
+        .map(|_| (0..40).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = (0..256).map(|_| rng.gen_range(-90.0..-50.0)).collect();
+    let mut group = c.benchmark_group("mlp");
+    group.sample_size(10);
+    group.bench_function("mlp_train_20_epochs", |b| {
+        b.iter(|| {
+            let mut net = Mlp::new(MlpConfig {
+                epochs: 20,
+                ..MlpConfig::paper_tuned()
+            });
+            net.fit(&x, &y).unwrap();
+            black_box(net.predict_one(&x[0]).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_kriging(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    for n in [100usize, 400] {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..4.0)).collect())
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| -70.0 - 2.0 * r[0] + r[1]).collect();
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&x, &y).unwrap();
+        let mut group = c.benchmark_group("kriging");
+        group.bench_with_input(BenchmarkId::new("predict", n), &ok, |b, ok| {
+            b.iter(|| black_box(ok.predict_one(&[1.5, 2.0, 1.0]).unwrap()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(
+    substrates,
+    bench_shadowing,
+    bench_mean_rss,
+    bench_scan,
+    bench_ekf,
+    bench_mlp_epoch,
+    bench_kriging
+);
+criterion_main!(substrates);

@@ -1,0 +1,119 @@
+//! Regenerates the paper's figures and statistics.
+//!
+//! ```text
+//! experiments [--seed N] <fig5|fig6|fig7|fig8|endurance|stats|prep|loc|queue|all>
+//! experiments [--seed N] <fig8ext|density|fleet|lighthouse|shadow|sequential|adaptive|imurate|montecarlo|ext>
+//! ```
+
+use aerorem_bench::{
+    adaptive, density, imurate, montecarlo, endurance, fig5, fig6, fig7, fig8, fleet, lighthouse_cmp, loc, paper_campaign,
+    prep, queue, sequential, shadow, stats,
+};
+use aerorem_bench::DEFAULT_SEED;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    let mut commands = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            cmd => commands.push(cmd.to_string()),
+        }
+        i += 1;
+    }
+    if commands.is_empty() {
+        usage("no experiment named");
+    }
+    if commands.iter().any(|c| c == "all") {
+        commands = [
+            "fig5", "fig6", "fig7", "fig8", "endurance", "stats", "prep", "loc", "queue",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    if commands.iter().any(|c| c == "ext") {
+        commands = [
+            "fig8ext",
+            "density",
+            "fleet",
+            "lighthouse",
+            "shadow",
+            "sequential",
+            "adaptive",
+            "imurate",
+        ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    // Experiments sharing the campaign reuse a single run.
+    let needs_campaign = commands
+        .iter()
+        .any(|c| matches!(c.as_str(), "fig6" | "fig7" | "fig8" | "fig8ext" | "stats" | "prep"));
+    let campaign = if needs_campaign {
+        eprintln!("running the 2-UAV / 72-waypoint campaign (seed {seed})...");
+        Some(paper_campaign(seed))
+    } else {
+        None
+    };
+
+    for cmd in &commands {
+        let output = match cmd.as_str() {
+            "fig5" => fig5::render(&fig5::run(seed)),
+            "fig6" => fig6::render(&fig6::run(campaign.as_ref().expect("campaign"))),
+            "fig7" => fig7::render(&fig7::run(campaign.as_ref().expect("campaign"))),
+            "fig8" => match fig8::run(campaign.as_ref().expect("campaign"), false, seed) {
+                Ok(f) => fig8::render(&f),
+                Err(e) => format!("fig8 failed: {e}\n"),
+            },
+            "fig8ext" => match fig8::run(campaign.as_ref().expect("campaign"), true, seed) {
+                Ok(f) => fig8::render(&f),
+                Err(e) => format!("fig8ext failed: {e}\n"),
+            },
+            "endurance" => endurance::render(&endurance::run(seed)),
+            "stats" => stats::render(campaign.as_ref().expect("campaign")),
+            "prep" => match prep::run(campaign.as_ref().expect("campaign")) {
+                Ok(r) => prep::render(&r),
+                Err(e) => format!("prep failed: {e}\n"),
+            },
+            "loc" => loc::render(&loc::run(seed)),
+            "density" => match density::run(&[18, 36, 72, 144], seed) {
+                Ok(rows) => density::render(&rows),
+                Err(e) => format!("density failed: {e}\n"),
+            },
+            "fleet" => fleet::render(&fleet::run(&[1, 2, 4], seed)),
+            "lighthouse" => lighthouse_cmp::render(&lighthouse_cmp::run(seed)),
+            "shadow" => shadow::render(&shadow::run(&[0.5, 1.0, 2.0, 4.0], seed)),
+            "sequential" => sequential::render(&sequential::run(seed)),
+            "imurate" => imurate::render(&imurate::run(seed)),
+            "montecarlo" => {
+                montecarlo::render(&montecarlo::run(&[seed, seed + 1, seed + 2, seed + 3, seed + 4]))
+            }
+            "adaptive" => match adaptive::run(seed) {
+                Ok(rows) => adaptive::render(&rows),
+                Err(e) => format!("adaptive failed: {e}\n"),
+            },
+            "queue" => queue::render(&queue::run(seed)),
+            other => usage(&format!("unknown experiment {other:?}")),
+        };
+        println!("=== {cmd} ===\n{output}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: experiments [--seed N] <fig5|fig6|fig7|fig8|fig8ext|endurance|stats|prep|loc|queue|density|fleet|lighthouse|shadow|sequential|adaptive|imurate|montecarlo|all|ext>"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,27 @@
+//! Experiment harness: regenerates every data figure and reported statistic
+//! of the paper.
+//!
+//! One module per experiment (see `DESIGN.md` §4 for the index):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig5`] | Figure 5 — APs detected per channel vs Crazyradio frequency |
+//! | [`fig6`] | Figure 6 — samples per UAV and scanned location |
+//! | [`fig7`] | Figure 7 — per-axis 0.5 m histograms of sample counts |
+//! | [`fig8`] | Figure 8 — RMSE per prediction model |
+//! | [`endurance`] | §III-A endurance test (36 scans / 6 min 12 s) |
+//! | [`stats`] | §III-A collection statistics (2696 samples, 73 MACs, …) |
+//! | [`prep`] | §III-B preprocessing retention (2565 kept / 131 dropped) |
+//! | [`loc`] | §II-B localization accuracy vs anchor count and mode |
+//! | [`queue`] | §II-C firmware ablation (WDT / feedback task / queue) |
+//!
+//! Every experiment takes an explicit seed and returns a typed result with
+//! a `render()` that prints the same rows/series the paper reports. The
+//! `experiments` binary is a thin argument parser over these functions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

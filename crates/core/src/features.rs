@@ -1,0 +1,359 @@
+//! Paper-faithful preprocessing: samples → feature matrix.
+//!
+//! §III-B, step by step:
+//!
+//! * "Since SSIDs can be shared between devices, they were generally not
+//!   used. Instead, RSS readings were grouped based on their MAC addresses."
+//! * "The timestamps were left out of consideration as well."
+//! * "MAC addresses with less than 16 samples were dropped."
+//! * "MAC and channel features were considered as categorical and one-hot
+//!   encoded."
+//!
+//! The output feature row is `[x, y, z, one-hot MAC…, one-hot channel…]`;
+//! [`FeatureLayout`] records the block boundaries so downstream models can
+//! target the MAC block (mean-per-MAC baseline, per-MAC ensemble, the ×3
+//! scaling trick).
+
+use std::collections::HashMap;
+
+use aerorem_mission::SampleSet;
+use aerorem_ml::dataset::Dataset;
+use aerorem_ml::preprocess::OneHotEncoder;
+use aerorem_ml::MlError;
+use aerorem_propagation::ap::MacAddress;
+use aerorem_propagation::WifiChannel;
+use aerorem_spatial::Vec3;
+
+/// Preprocessing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreprocessConfig {
+    /// Minimum samples a MAC needs to be retained (paper: 16).
+    pub min_samples_per_mac: usize,
+}
+
+impl PreprocessConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        PreprocessConfig {
+            min_samples_per_mac: 16,
+        }
+    }
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Where each feature block lives in a row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureLayout {
+    mac_encoder: OneHotEncoder<MacAddress>,
+    channel_encoder: OneHotEncoder<u8>,
+    /// Most common beacon channel per retained MAC — needed to encode
+    /// queries for arbitrary positions.
+    mac_channels: HashMap<MacAddress, u8>,
+}
+
+impl FeatureLayout {
+    /// Total feature dimension.
+    pub fn dim(&self) -> usize {
+        3 + self.mac_encoder.width() + self.channel_encoder.width()
+    }
+
+    /// Index range of the coordinate block (always `0..3`).
+    pub fn coord_range(&self) -> std::ops::Range<usize> {
+        0..3
+    }
+
+    /// Index range of the one-hot MAC block.
+    pub fn mac_range(&self) -> std::ops::Range<usize> {
+        3..3 + self.mac_encoder.width()
+    }
+
+    /// Index range of the one-hot channel block.
+    pub fn channel_range(&self) -> std::ops::Range<usize> {
+        let start = 3 + self.mac_encoder.width();
+        start..start + self.channel_encoder.width()
+    }
+
+    /// The retained MACs in column order.
+    pub fn macs(&self) -> Vec<MacAddress> {
+        self.mac_encoder.categories().into_iter().copied().collect()
+    }
+
+    /// Whether a MAC survived preprocessing.
+    pub fn contains_mac(&self, mac: MacAddress) -> bool {
+        self.mac_encoder.column(&mac).is_some()
+    }
+
+    /// The per-feature scale vector implementing the paper's "one-hot
+    /// values multiplied by the factor of `f`" trick: 1.0 everywhere except
+    /// the MAC block.
+    pub fn mac_scale_vector(&self, factor: f64) -> Vec<f64> {
+        let mut v = vec![1.0; self.dim()];
+        for i in self.mac_range() {
+            v[i] = factor;
+        }
+        v
+    }
+
+    /// Encodes a feature row for a position/MAC query (channel taken from
+    /// the MAC's observed beacon channel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for a MAC that was dropped
+    /// or never seen.
+    pub fn encode_query(&self, position: Vec3, mac: MacAddress) -> Result<Vec<f64>, MlError> {
+        let mac_oh = self
+            .mac_encoder
+            .encode(&mac)
+            .ok_or(MlError::InvalidHyperparameter {
+                name: "mac",
+                reason: "MAC was dropped in preprocessing or never observed",
+            })?;
+        let ch = *self
+            .mac_channels
+            .get(&mac)
+            .expect("every encoded MAC has a channel");
+        let ch_oh = self
+            .channel_encoder
+            .encode(&ch)
+            .expect("channel encoder covers observed channels");
+        let mut row = Vec::with_capacity(self.dim());
+        row.extend([position.x, position.y, position.z]);
+        row.extend(mac_oh);
+        row.extend(ch_oh);
+        Ok(row)
+    }
+
+    /// Encodes a row with an explicit channel — used when rebuilding
+    /// training rows.
+    fn encode_row(&self, position: Vec3, mac: MacAddress, channel: WifiChannel) -> Option<Vec<f64>> {
+        let mac_oh = self.mac_encoder.encode(&mac)?;
+        let ch_oh = self.channel_encoder.encode(&channel.number())?;
+        let mut row = Vec::with_capacity(self.dim());
+        row.extend([position.x, position.y, position.z]);
+        row.extend(mac_oh);
+        row.extend(ch_oh);
+        Some(row)
+    }
+}
+
+/// What preprocessing kept and dropped — the paper reports "2565 retained
+/// samples (131 dropped)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreprocessReport {
+    /// Samples in the raw set.
+    pub total_samples: usize,
+    /// Samples surviving the MAC filter.
+    pub retained_samples: usize,
+    /// Samples dropped with rare MACs.
+    pub dropped_samples: usize,
+    /// Distinct MACs before filtering.
+    pub total_macs: usize,
+    /// MACs retained.
+    pub retained_macs: usize,
+}
+
+/// Runs the paper's preprocessing over a sample set.
+///
+/// Returns the feature dataset, the layout, and the retention report.
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyTrainingSet`] when nothing survives the filter.
+pub fn preprocess(
+    samples: &SampleSet,
+    config: &PreprocessConfig,
+) -> Result<(Dataset, FeatureLayout, PreprocessReport), MlError> {
+    let counts = samples.counts_per_mac();
+    let retained: Vec<MacAddress> = counts
+        .iter()
+        .filter(|(_, &n)| n >= config.min_samples_per_mac)
+        .map(|(&m, _)| m)
+        .collect();
+    if retained.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    let retained_set: std::collections::HashSet<MacAddress> = retained.iter().copied().collect();
+
+    let kept: Vec<_> = samples
+        .iter()
+        .filter(|s| retained_set.contains(&s.mac))
+        .collect();
+
+    // Encoders over the retained population.
+    let mac_encoder = OneHotEncoder::fit(kept.iter().map(|s| s.mac));
+    let channel_encoder = OneHotEncoder::fit(kept.iter().map(|s| s.channel.number()));
+
+    // Dominant channel per MAC (APs beacon on one channel; ties broken by
+    // channel number for determinism).
+    let mut per_mac_channels: HashMap<MacAddress, HashMap<u8, usize>> = HashMap::new();
+    for s in &kept {
+        *per_mac_channels
+            .entry(s.mac)
+            .or_default()
+            .entry(s.channel.number())
+            .or_insert(0) += 1;
+    }
+    let mac_channels: HashMap<MacAddress, u8> = per_mac_channels
+        .into_iter()
+        .map(|(mac, chans)| {
+            let best = chans
+                .into_iter()
+                .max_by_key(|&(ch, n)| (n, std::cmp::Reverse(ch)))
+                .map(|(ch, _)| ch)
+                .expect("mac has samples");
+            (mac, best)
+        })
+        .collect();
+
+    let layout = FeatureLayout {
+        mac_encoder,
+        channel_encoder,
+        mac_channels,
+    };
+
+    let mut x = Vec::with_capacity(kept.len());
+    let mut y = Vec::with_capacity(kept.len());
+    for s in &kept {
+        let row = layout
+            .encode_row(s.position, s.mac, s.channel)
+            .expect("retained samples encode");
+        x.push(row);
+        y.push(f64::from(s.rssi_dbm));
+    }
+    let report = PreprocessReport {
+        total_samples: samples.len(),
+        retained_samples: kept.len(),
+        dropped_samples: samples.len() - kept.len(),
+        total_macs: counts.len(),
+        retained_macs: retained.len(),
+    };
+    Ok((Dataset::new(x, y)?, layout, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerorem_mission::Sample;
+    use aerorem_propagation::ap::Ssid;
+    use aerorem_simkit::SimTime;
+    use aerorem_uav::UavId;
+
+    fn sample(mac: u32, channel: u8, rssi: i32, pos: Vec3) -> Sample {
+        Sample {
+            uav: UavId(0),
+            waypoint_index: 0,
+            position: pos,
+            true_position: pos,
+            ssid: Ssid::new(format!("net{mac}")),
+            mac: MacAddress::from_index(mac),
+            channel: WifiChannel::new(channel).unwrap(),
+            rssi_dbm: rssi,
+            timestamp: SimTime::ZERO,
+        }
+    }
+
+    fn set_with(counts: &[(u32, usize)]) -> SampleSet {
+        let mut set = SampleSet::new();
+        for &(mac, n) in counts {
+            for i in 0..n {
+                set.push(sample(
+                    mac,
+                    if mac % 2 == 0 { 6 } else { 11 },
+                    -70 - (i as i32 % 5),
+                    Vec3::new(i as f64 * 0.1, 0.5, 1.0),
+                ));
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn rare_macs_dropped_like_paper() {
+        let set = set_with(&[(1, 20), (2, 16), (3, 15), (4, 1)]);
+        let (data, layout, report) = preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        assert_eq!(report.total_samples, 52);
+        assert_eq!(report.retained_samples, 36);
+        assert_eq!(report.dropped_samples, 16);
+        assert_eq!(report.total_macs, 4);
+        assert_eq!(report.retained_macs, 2);
+        assert_eq!(data.len(), 36);
+        assert!(layout.contains_mac(MacAddress::from_index(1)));
+        assert!(!layout.contains_mac(MacAddress::from_index(3)));
+    }
+
+    #[test]
+    fn feature_layout_blocks() {
+        let set = set_with(&[(1, 20), (2, 20)]);
+        let (data, layout, _) = preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        // 3 coords + 2 macs + 2 channels (6 and 11).
+        assert_eq!(layout.dim(), 7);
+        assert_eq!(layout.coord_range(), 0..3);
+        assert_eq!(layout.mac_range(), 3..5);
+        assert_eq!(layout.channel_range(), 5..7);
+        assert_eq!(data.dim(), 7);
+        // Each row is one-hot within each block.
+        for row in &data.x {
+            let mac_sum: f64 = row[layout.mac_range()].iter().sum();
+            let ch_sum: f64 = row[layout.channel_range()].iter().sum();
+            assert_eq!(mac_sum, 1.0);
+            assert_eq!(ch_sum, 1.0);
+        }
+    }
+
+    #[test]
+    fn scale_vector_targets_mac_block() {
+        let set = set_with(&[(1, 20), (2, 20)]);
+        let (_, layout, _) = preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        let v = layout.mac_scale_vector(3.0);
+        assert_eq!(v.len(), layout.dim());
+        assert!(v[layout.coord_range()].iter().all(|&s| s == 1.0));
+        assert!(v[layout.mac_range()].iter().all(|&s| s == 3.0));
+        assert!(v[layout.channel_range()].iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn query_encoding_round_trips() {
+        let set = set_with(&[(1, 20), (2, 20)]);
+        let (_, layout, _) = preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        let q = layout
+            .encode_query(Vec3::new(1.0, 2.0, 0.5), MacAddress::from_index(2))
+            .unwrap();
+        assert_eq!(q.len(), layout.dim());
+        assert_eq!(&q[0..3], &[1.0, 2.0, 0.5]);
+        // Dropped MAC rejected.
+        assert!(layout
+            .encode_query(Vec3::ZERO, MacAddress::from_index(99))
+            .is_err());
+    }
+
+    #[test]
+    fn macs_listed_in_column_order() {
+        let set = set_with(&[(5, 20), (1, 20)]);
+        let (_, layout, _) = preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        let macs = layout.macs();
+        assert_eq!(macs.len(), 2);
+        assert!(macs[0] < macs[1], "sorted by MAC bytes");
+    }
+
+    #[test]
+    fn everything_dropped_is_an_error() {
+        let set = set_with(&[(1, 3), (2, 2)]);
+        assert_eq!(
+            preprocess(&set, &PreprocessConfig::paper()).err(),
+            Some(MlError::EmptyTrainingSet)
+        );
+    }
+
+    #[test]
+    fn targets_are_rssi() {
+        let set = set_with(&[(1, 16)]);
+        let (data, _, _) = preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        assert!(data.y.iter().all(|&t| (-76.0..=-70.0).contains(&t)));
+    }
+}

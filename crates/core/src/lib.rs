@@ -1,0 +1,56 @@
+//! The `aerorem` toolchain: end-to-end autonomous generation of fine-grained
+//! 3D indoor radio environmental maps.
+//!
+//! This crate ties the substrates together into the paper's pipeline:
+//!
+//! ```text
+//! SyntheticBuilding ─→ Campaign (UAVs + UWB + ESP scans) ─→ SampleSet
+//!        │                                                     │
+//!        │                                   [`features`] preprocessing
+//!        │                                   (drop MACs < 16, one-hot)
+//!        │                                                     │
+//!        └────────── ground truth ──────┐      [`models`] Figure-8 zoo
+//!                                       │      (baseline/kNN/MLP/kriging)
+//!                                       ▼                      │
+//!                              [`pipeline::RemPipeline`] ──────┘
+//!                                       │
+//!                              [`rem::RemGrid`] — the 3D map
+//!                                       │
+//!                              [`coverage`] — dark regions, relay placement
+//!                              [`adaptive`] — uncertainty-driven resurvey
+//! ```
+//!
+//! # Examples
+//!
+//! Train the paper's best model on a (small) campaign and predict RSS at an
+//! unvisited point:
+//!
+//! ```no_run
+//! use aerorem_core::pipeline::{RemPipeline, PipelineConfig};
+//! use aerorem_spatial::Vec3;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2206);
+//! let result = RemPipeline::new(PipelineConfig::paper_demo()).run(&mut rng)?;
+//! let mac = result.strongest_mac().expect("campaign saw APs");
+//! let rss = result.predict(Vec3::new(1.0, 1.0, 1.0), mac)?;
+//! println!("predicted {rss:.1} dBm");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod coverage;
+pub mod features;
+pub mod models;
+pub mod pipeline;
+pub mod rem;
+
+pub use features::{FeatureLayout, PreprocessConfig, PreprocessReport};
+pub use models::ModelKind;
+pub use pipeline::{PipelineConfig, PipelineResult, RemPipeline};
+pub use rem::RemGrid;

@@ -1,0 +1,470 @@
+//! The radio environmental map itself: a 3D grid of predicted RSS.
+//!
+//! A REM "documents radio signal properties over a given geographic area"
+//! (§I). [`RemGrid`] materializes one per MAC address from any fitted
+//! estimator: a regular lattice of predicted RSS values over the volume,
+//! queryable at arbitrary positions by nearest-cell lookup with trilinear
+//! refinement left to the caller's estimator when exactness matters.
+
+use serde::{Deserialize, Serialize};
+
+use aerorem_ml::{MlError, Regressor};
+use aerorem_propagation::ap::MacAddress;
+use aerorem_spatial::{Aabb, Vec3};
+
+use crate::features::FeatureLayout;
+
+/// A regular 3D lattice of predicted RSS (dBm) for one transmitter.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use aerorem_core::rem::RemGrid;
+/// # use aerorem_spatial::{Aabb, Vec3};
+/// # fn demo(grid: RemGrid) {
+/// let rss = grid.sample(Vec3::new(1.0, 1.0, 1.0)).unwrap();
+/// println!("{} dBm at the query point", rss);
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemGrid {
+    mac: MacAddress,
+    volume: Aabb,
+    dims: (usize, usize, usize),
+    /// Row-major `[z][y][x]` predictions in dBm.
+    values: Vec<f64>,
+}
+
+impl RemGrid {
+    /// Generates a REM by querying `model` at every cell center.
+    ///
+    /// `resolution_m` is the target cell edge length; each axis gets at
+    /// least 2 cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (e.g. a MAC the layout dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_m` is not positive and finite.
+    pub fn generate(
+        model: &dyn Regressor,
+        layout: &FeatureLayout,
+        volume: Aabb,
+        resolution_m: f64,
+        mac: MacAddress,
+    ) -> Result<Self, MlError> {
+        assert!(
+            resolution_m > 0.0 && resolution_m.is_finite(),
+            "resolution must be positive"
+        );
+        let size = volume.size();
+        let nx = ((size.x / resolution_m).round() as usize).max(2);
+        let ny = ((size.y / resolution_m).round() as usize).max(2);
+        let nz = ((size.z / resolution_m).round() as usize).max(2);
+        let mut values = Vec::with_capacity(nx * ny * nz);
+        for iz in 0..nz {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let p = volume.lerp_point(
+                        (ix as f64 + 0.5) / nx as f64,
+                        (iy as f64 + 0.5) / ny as f64,
+                        (iz as f64 + 0.5) / nz as f64,
+                    );
+                    let row = layout.encode_query(p, mac)?;
+                    values.push(model.predict_one(&row)?);
+                }
+            }
+        }
+        Ok(RemGrid {
+            mac,
+            volume,
+            dims: (nx, ny, nz),
+            values,
+        })
+    }
+
+    /// The transmitter this map describes.
+    pub fn mac(&self) -> MacAddress {
+        self.mac
+    }
+
+    /// The mapped volume.
+    pub fn volume(&self) -> Aabb {
+        self.volume
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the grid is empty (never true for generated grids).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The predicted RSS of the cell containing (or nearest to) `p`.
+    ///
+    /// Returns `None` when `p` lies outside the volume.
+    pub fn sample(&self, p: Vec3) -> Option<f64> {
+        if !self.volume.contains(p) {
+            return None;
+        }
+        Some(self.values[self.cell_index_of(p)])
+    }
+
+    /// The cell center positions and values, for export/plotting.
+    pub fn cells(&self) -> impl Iterator<Item = (Vec3, f64)> + '_ {
+        let (nx, ny, nz) = self.dims;
+        (0..self.values.len()).map(move |i| {
+            let ix = i % nx;
+            let iy = (i / nx) % ny;
+            let iz = i / (nx * ny);
+            let p = self.volume.lerp_point(
+                (ix as f64 + 0.5) / nx as f64,
+                (iy as f64 + 0.5) / ny as f64,
+                (iz as f64 + 0.5) / nz as f64,
+            );
+            (p, self.values[i])
+        })
+    }
+
+    /// Minimum predicted RSS over the map.
+    pub fn min_dbm(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum predicted RSS over the map.
+    pub fn max_dbm(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean predicted RSS over the map.
+    pub fn mean_dbm(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Generates a REM **and a matching uncertainty map** from a fitted
+    /// ordinary-kriging estimator: the second grid holds the kriging
+    /// standard deviation (dB) per cell — near zero at sampled locations,
+    /// approaching the variogram sill far from any sample. The confidence
+    /// layer tells a network planner where the map can be trusted and where
+    /// more UAV sampling is needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_m` is not positive and finite.
+    pub fn generate_with_confidence(
+        model: &aerorem_ml::kriging::OrdinaryKriging,
+        layout: &FeatureLayout,
+        volume: Aabb,
+        resolution_m: f64,
+        mac: MacAddress,
+    ) -> Result<(Self, Self), MlError> {
+        assert!(
+            resolution_m > 0.0 && resolution_m.is_finite(),
+            "resolution must be positive"
+        );
+        let size = volume.size();
+        let nx = ((size.x / resolution_m).round() as usize).max(2);
+        let ny = ((size.y / resolution_m).round() as usize).max(2);
+        let nz = ((size.z / resolution_m).round() as usize).max(2);
+        let mut values = Vec::with_capacity(nx * ny * nz);
+        let mut sigmas = Vec::with_capacity(nx * ny * nz);
+        for iz in 0..nz {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let p = volume.lerp_point(
+                        (ix as f64 + 0.5) / nx as f64,
+                        (iy as f64 + 0.5) / ny as f64,
+                        (iz as f64 + 0.5) / nz as f64,
+                    );
+                    let row = layout.encode_query(p, mac)?;
+                    let (pred, var) = model.predict_with_variance(&row)?;
+                    values.push(pred);
+                    sigmas.push(var.sqrt());
+                }
+            }
+        }
+        let dims = (nx, ny, nz);
+        Ok((
+            RemGrid {
+                mac,
+                volume,
+                dims,
+                values,
+            },
+            RemGrid {
+                mac,
+                volume,
+                dims,
+                values: sigmas,
+            },
+        ))
+    }
+
+    /// Renders one horizontal slice of the map as an ASCII heat map —
+    /// handy for eyeballing a REM in a terminal without plotting tools.
+    ///
+    /// `z` selects the slice (nearest cell layer); the glyph ramp runs
+    /// `" .:-=+*#%@"` from the map's minimum to its maximum value. Returns
+    /// `None` when `z` lies outside the volume.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// # use aerorem_core::rem::RemGrid;
+    /// # fn demo(rem: RemGrid) {
+    /// println!("{}", rem.render_slice(1.0).unwrap());
+    /// # }
+    /// ```
+    pub fn render_slice(&self, z: f64) -> Option<String> {
+        if z < self.volume.min().z || z > self.volume.max().z {
+            return None;
+        }
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let (nx, ny, nz) = self.dims;
+        let tz = (z - self.volume.min().z) / self.volume.size().z;
+        let iz = ((tz * nz as f64) as usize).min(nz - 1);
+        let lo = self.min_dbm();
+        let span = (self.max_dbm() - lo).max(1e-9);
+        let mut out = format!(
+            "z = {z:.2} m  ({:.1} dBm = ' ', {:.1} dBm = '@')\n",
+            lo,
+            self.max_dbm()
+        );
+        // Render with y increasing upward, like a map.
+        for iy in (0..ny).rev() {
+            for ix in 0..nx {
+                let v = self.values[iz * nx * ny + iy * nx + ix];
+                let t = ((v - lo) / span).clamp(0.0, 1.0);
+                let g = RAMP[((t * (RAMP.len() - 1) as f64).round()) as usize];
+                out.push(g as char);
+            }
+            out.push('\n');
+        }
+        Some(out)
+    }
+
+    /// Exports the map as CSV (`x,y,z,rssi_dbm`, one row per cell) for
+    /// plotting or GIS-style downstream tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y,z,rssi_dbm\n");
+        for (p, v) in self.cells() {
+            out.push_str(&format!("{},{},{},{v:.2}\n", p.x, p.y, p.z));
+        }
+        out
+    }
+
+    fn cell_index_of(&self, p: Vec3) -> usize {
+        let (nx, ny, nz) = self.dims;
+        let lo = self.volume.min();
+        let size = self.volume.size();
+        let clamp_idx = |t: f64, n: usize| ((t * n as f64) as usize).min(n - 1);
+        let ix = clamp_idx((p.x - lo.x) / size.x, nx);
+        let iy = clamp_idx((p.y - lo.y) / size.y, ny);
+        let iz = clamp_idx((p.z - lo.z) / size.z, nz);
+        iz * nx * ny + iy * nx + ix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{preprocess, PreprocessConfig};
+    use aerorem_mission::{Sample, SampleSet};
+    use aerorem_ml::knn::KnnRegressor;
+    use aerorem_propagation::ap::Ssid;
+    use aerorem_propagation::WifiChannel;
+    use aerorem_simkit::SimTime;
+    use aerorem_uav::UavId;
+
+    fn fitted_world() -> (KnnRegressor, FeatureLayout, Aabb) {
+        let volume = Aabb::paper_volume();
+        let mut set = SampleSet::new();
+        for i in 0..100 {
+            let pos = volume.lerp_point(
+                (i % 5) as f64 / 4.0,
+                ((i / 5) % 5) as f64 / 4.0,
+                (i / 25) as f64 / 3.0,
+            );
+            set.push(Sample {
+                uav: UavId(0),
+                waypoint_index: i,
+                position: pos,
+                true_position: pos,
+                ssid: Ssid::new("net"),
+                mac: MacAddress::from_index(1),
+                channel: WifiChannel::new(6).unwrap(),
+                rssi_dbm: (-60.0 - 5.0 * pos.x) as i32,
+                timestamp: SimTime::ZERO,
+            });
+        }
+        let (data, layout, _) = preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        let mut knn = KnnRegressor::paper_tuned();
+        knn.fit(&data.x, &data.y).unwrap();
+        (knn, layout, volume)
+    }
+
+    #[test]
+    fn generates_and_samples() {
+        let (model, layout, volume) = fitted_world();
+        let grid =
+            RemGrid::generate(&model, &layout, volume, 0.5, MacAddress::from_index(1)).unwrap();
+        assert!(!grid.is_empty());
+        let (nx, ny, nz) = grid.dims();
+        assert_eq!(grid.len(), nx * ny * nz);
+        // In-volume query returns a plausible dBm.
+        let v = grid.sample(volume.center()).unwrap();
+        assert!((-90.0..=-50.0).contains(&v), "got {v}");
+        // Out-of-volume query is None.
+        assert!(grid.sample(Vec3::new(-5.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn map_reflects_spatial_gradient() {
+        let (model, layout, volume) = fitted_world();
+        let grid =
+            RemGrid::generate(&model, &layout, volume, 0.4, MacAddress::from_index(1)).unwrap();
+        // Training field decays with x: low-x cells are stronger.
+        let left = grid.sample(volume.lerp_point(0.1, 0.5, 0.5)).unwrap();
+        let right = grid.sample(volume.lerp_point(0.9, 0.5, 0.5)).unwrap();
+        assert!(left > right, "left {left} vs right {right}");
+        assert!(grid.min_dbm() <= grid.mean_dbm());
+        assert!(grid.mean_dbm() <= grid.max_dbm());
+    }
+
+    #[test]
+    fn cells_iterate_entire_volume() {
+        let (model, layout, volume) = fitted_world();
+        let grid =
+            RemGrid::generate(&model, &layout, volume, 0.8, MacAddress::from_index(1)).unwrap();
+        let cells: Vec<(Vec3, f64)> = grid.cells().collect();
+        assert_eq!(cells.len(), grid.len());
+        assert!(cells.iter().all(|(p, _)| volume.contains(*p)));
+        // Cell lookup agrees with iteration.
+        for (p, v) in cells.iter().take(10) {
+            assert_eq!(grid.sample(*p), Some(*v));
+        }
+    }
+
+    #[test]
+    fn unknown_mac_propagates_error() {
+        let (model, layout, volume) = fitted_world();
+        let err = RemGrid::generate(&model, &layout, volume, 0.5, MacAddress::from_index(9));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_panics() {
+        let (model, layout, volume) = fitted_world();
+        let _ = RemGrid::generate(&model, &layout, volume, 0.0, MacAddress::from_index(1));
+    }
+
+    #[test]
+    fn slice_rendering_shows_the_gradient() {
+        let (model, layout, volume) = fitted_world();
+        let grid =
+            RemGrid::generate(&model, &layout, volume, 0.4, MacAddress::from_index(1)).unwrap();
+        let art = grid.render_slice(1.0).unwrap();
+        let rows: Vec<&str> = art.lines().skip(1).collect();
+        assert_eq!(rows.len(), grid.dims().1);
+        assert!(rows.iter().all(|r| r.len() == grid.dims().0));
+        // Field decays with x: left columns darker glyphs (higher RSS) than
+        // right. Compare glyph ramp indices at the row middle.
+        const RAMP: &str = " .:-=+*#%@";
+        let mid = rows[rows.len() / 2];
+        let left = RAMP.find(mid.chars().next().unwrap()).unwrap();
+        let right = RAMP.find(mid.chars().last().unwrap()).unwrap();
+        assert!(left > right, "left {left} vs right {right} in {mid:?}");
+        // Out-of-volume slice rejected.
+        assert!(grid.render_slice(99.0).is_none());
+    }
+
+    #[test]
+    fn csv_export_covers_all_cells() {
+        let (model, layout, volume) = fitted_world();
+        let grid =
+            RemGrid::generate(&model, &layout, volume, 0.8, MacAddress::from_index(1)).unwrap();
+        let csv = grid.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,y,z,rssi_dbm");
+        assert_eq!(lines.len(), grid.len() + 1);
+        // Every row parses back into four floats.
+        for row in &lines[1..] {
+            let fields: Vec<f64> = row.split(',').map(|f| f.parse().unwrap()).collect();
+            assert_eq!(fields.len(), 4);
+            assert!(volume.contains(Vec3::new(fields[0], fields[1], fields[2])));
+        }
+    }
+
+    #[test]
+    fn confidence_layer_tracks_sampling_density() {
+        use aerorem_ml::kriging::{KrigingConfig, OrdinaryKriging};
+        let (_, layout, volume) = fitted_world();
+        // Refit a kriging model on the same preprocessed world.
+        let volume2 = volume;
+        let mut set = SampleSet::new();
+        for i in 0..60 {
+            let pos = volume2.lerp_point(
+                (i % 5) as f64 / 4.0,
+                ((i / 5) % 4) as f64 / 3.0,
+                (i / 20) as f64 / 2.0,
+            );
+            set.push(Sample {
+                uav: UavId(0),
+                waypoint_index: i,
+                position: pos,
+                true_position: pos,
+                ssid: Ssid::new("net"),
+                mac: MacAddress::from_index(1),
+                channel: WifiChannel::new(6).unwrap(),
+                rssi_dbm: (-60.0 - 5.0 * pos.x) as i32,
+                timestamp: SimTime::ZERO,
+            });
+        }
+        let (data, layout2, _) =
+            preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        let _ = layout;
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&data.x, &data.y).unwrap();
+        let (rem, sigma) = RemGrid::generate_with_confidence(
+            &ok,
+            &layout2,
+            volume2,
+            0.5,
+            MacAddress::from_index(1),
+        )
+        .unwrap();
+        assert_eq!(rem.dims(), sigma.dims());
+        // Uncertainty is non-negative everywhere and not identically zero.
+        assert!(sigma.min_dbm() >= 0.0);
+        assert!(sigma.max_dbm() > 0.0);
+        // The value layer still reflects the field.
+        assert!(rem.mean_dbm() < -50.0);
+    }
+
+    #[test]
+    fn grid_accessors() {
+        let (model, layout, volume) = fitted_world();
+        let grid =
+            RemGrid::generate(&model, &layout, volume, 0.7, MacAddress::from_index(1)).unwrap();
+        assert_eq!(grid.mac(), MacAddress::from_index(1));
+        assert_eq!(grid.volume(), volume);
+    }
+}

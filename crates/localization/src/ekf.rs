@@ -1,0 +1,440 @@
+//! The constant-velocity extended Kalman filter.
+//!
+//! The Crazyflie fuses UWB ranges with its IMU in an EKF following Mueller
+//! et al., "Fusing ultra-wideband range measurements with accelerometers and
+//! rate gyroscopes for quadrocopter state estimation" (ICRA'15) — the
+//! paper's §II-B cites exactly this design. Our simulation-side filter keeps
+//! the part that matters for location-annotated sampling: a 6-state
+//! `[x, y, z, vx, vy, vz]` filter with scalar range, TDoA, and sweep-angle
+//! updates.
+
+use aerorem_numerics::Matrix;
+use aerorem_spatial::Vec3;
+
+use crate::anchors::AnchorConstellation;
+use crate::ranging::RangeMeasurement;
+
+/// Errors from EKF updates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EkfError {
+    /// The innovation covariance degenerated (non-positive) — usually a
+    /// sign of a broken noise configuration.
+    DegenerateInnovation,
+    /// A referenced anchor does not exist in the constellation.
+    UnknownAnchor,
+}
+
+impl std::fmt::Display for EkfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EkfError::DegenerateInnovation => write!(f, "innovation covariance not positive"),
+            EkfError::UnknownAnchor => write!(f, "measurement references unknown anchor"),
+        }
+    }
+}
+
+impl std::error::Error for EkfError {}
+
+/// A 6-state constant-velocity EKF.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_localization::Ekf;
+/// use aerorem_spatial::Vec3;
+///
+/// let mut ekf = Ekf::new(Vec3::new(1.0, 1.0, 1.0), 1.0);
+/// ekf.predict(0.01);
+/// ekf.update_range(Vec3::ZERO, ekf.position().norm(), 0.05 * 0.05).unwrap();
+/// assert!(ekf.position().is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ekf {
+    /// State `[x, y, z, vx, vy, vz]`.
+    state: [f64; 6],
+    /// 6×6 covariance.
+    cov: Matrix,
+    /// Process (acceleration) noise density, m/s².
+    accel_noise: f64,
+}
+
+impl Ekf {
+    /// Creates a filter at `initial_position` with zero velocity, broad
+    /// position uncertainty (1 m σ), and the given acceleration noise
+    /// density (m/s², ~1 for a hovering Crazyflie).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accel_noise` is not positive and finite.
+    pub fn new(initial_position: Vec3, accel_noise: f64) -> Self {
+        assert!(
+            accel_noise > 0.0 && accel_noise.is_finite(),
+            "acceleration noise must be positive"
+        );
+        let mut cov = Matrix::zeros(6, 6);
+        for i in 0..3 {
+            cov[(i, i)] = 1.0; // 1 m σ position
+            cov[(i + 3, i + 3)] = 0.25; // 0.5 m/s σ velocity
+        }
+        Ekf {
+            state: [
+                initial_position.x,
+                initial_position.y,
+                initial_position.z,
+                0.0,
+                0.0,
+                0.0,
+            ],
+            cov,
+            accel_noise,
+        }
+    }
+
+    /// Current position estimate.
+    pub fn position(&self) -> Vec3 {
+        Vec3::new(self.state[0], self.state[1], self.state[2])
+    }
+
+    /// Current velocity estimate.
+    pub fn velocity(&self) -> Vec3 {
+        Vec3::new(self.state[3], self.state[4], self.state[5])
+    }
+
+    /// Position uncertainty: square root of the position covariance trace,
+    /// a scalar "how lost am I" metric.
+    pub fn position_sigma(&self) -> f64 {
+        (self.cov[(0, 0)] + self.cov[(1, 1)] + self.cov[(2, 2)]).sqrt()
+    }
+
+    /// Propagates the state `dt` seconds forward under the
+    /// constant-velocity model with white acceleration noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite.
+    pub fn predict(&mut self, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite(), "dt must be non-negative");
+        if dt == 0.0 {
+            return;
+        }
+        // x ← x + v·dt
+        for i in 0..3 {
+            self.state[i] += self.state[i + 3] * dt;
+        }
+        self.propagate_covariance(dt, self.accel_noise);
+    }
+
+    /// Applies a known acceleration input to the state:
+    /// `x ← x + v·dt + ½a·dt²`, `v ← v + a·dt`. Used by the IMU-aided
+    /// prediction in [`crate::imu`].
+    pub(crate) fn apply_accel_input(&mut self, dt: f64, accel: Vec3) {
+        for (i, &a) in accel.to_array().iter().enumerate() {
+            self.state[i] += self.state[i + 3] * dt + 0.5 * a * dt * dt;
+            self.state[i + 3] += a * dt;
+        }
+    }
+
+    /// Propagates the covariance through the constant-velocity transition
+    /// with white acceleration noise density `accel_noise`.
+    pub(crate) fn propagate_covariance(&mut self, dt: f64, accel_noise: f64) {
+        // F = [I, dt·I; 0, I]
+        let mut f = Matrix::identity(6);
+        for i in 0..3 {
+            f[(i, i + 3)] = dt;
+        }
+        // Q from white acceleration noise q²: standard CV discretization.
+        let q2 = accel_noise * accel_noise;
+        let dt2 = dt * dt;
+        let mut q = Matrix::zeros(6, 6);
+        for i in 0..3 {
+            q[(i, i)] = q2 * dt2 * dt2 / 4.0;
+            q[(i, i + 3)] = q2 * dt2 * dt / 2.0;
+            q[(i + 3, i)] = q2 * dt2 * dt / 2.0;
+            q[(i + 3, i + 3)] = q2 * dt2;
+        }
+        let fp = f.matmul(&self.cov).expect("6x6");
+        let fpft = fp.matmul(&f.transpose()).expect("6x6");
+        self.cov = fpft.add_mat(&q).expect("6x6");
+        self.cov.symmetrize();
+    }
+
+    /// Scalar EKF update with measurement `z`, prediction `h`, Jacobian row
+    /// `jac` (length 6), and measurement variance `r`.
+    fn scalar_update(&mut self, z: f64, h: f64, jac: [f64; 6], r: f64) -> Result<(), EkfError> {
+        // S = J P Jᵀ + r
+        let pj: Vec<f64> = (0..6)
+            .map(|i| (0..6).map(|j| self.cov[(i, j)] * jac[j]).sum())
+            .collect();
+        let s: f64 = (0..6).map(|i| jac[i] * pj[i]).sum::<f64>() + r;
+        if s <= 0.0 || !s.is_finite() {
+            return Err(EkfError::DegenerateInnovation);
+        }
+        // K = P Jᵀ / S
+        let k: Vec<f64> = pj.iter().map(|v| v / s).collect();
+        let innovation = z - h;
+        for (st, kv) in self.state.iter_mut().zip(&k) {
+            *st += kv * innovation;
+        }
+        // P ← (I − K J) P
+        let mut ikj = Matrix::identity(6);
+        for i in 0..6 {
+            for j in 0..6 {
+                ikj[(i, j)] -= k[i] * jac[j];
+            }
+        }
+        self.cov = ikj.matmul(&self.cov).expect("6x6");
+        self.cov.symmetrize();
+        Ok(())
+    }
+
+    /// Updates with an absolute range to an anchor at `anchor_pos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EkfError::DegenerateInnovation`] when the innovation
+    /// variance is non-positive.
+    pub fn update_range(
+        &mut self,
+        anchor_pos: Vec3,
+        measured_m: f64,
+        variance: f64,
+    ) -> Result<(), EkfError> {
+        let p = self.position();
+        let diff = p - anchor_pos;
+        let d = diff.norm().max(1e-6);
+        let jac = [diff.x / d, diff.y / d, diff.z / d, 0.0, 0.0, 0.0];
+        self.scalar_update(measured_m, d, jac, variance)
+    }
+
+    /// Updates with a TDoA delta `|p − other| − |p − reference|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EkfError::DegenerateInnovation`] when the innovation
+    /// variance is non-positive.
+    pub fn update_tdoa(
+        &mut self,
+        reference_pos: Vec3,
+        other_pos: Vec3,
+        measured_delta_m: f64,
+        variance: f64,
+    ) -> Result<(), EkfError> {
+        let p = self.position();
+        let do_ = (p - other_pos).norm().max(1e-6);
+        let dr = (p - reference_pos).norm().max(1e-6);
+        let jac = [
+            (p.x - other_pos.x) / do_ - (p.x - reference_pos.x) / dr,
+            (p.y - other_pos.y) / do_ - (p.y - reference_pos.y) / dr,
+            (p.z - other_pos.z) / do_ - (p.z - reference_pos.z) / dr,
+            0.0,
+            0.0,
+            0.0,
+        ];
+        self.scalar_update(measured_delta_m, do_ - dr, jac, variance)
+    }
+
+    /// Generic scalar update through any measurement function of position,
+    /// using a central finite-difference Jacobian. Used by the Lighthouse
+    /// sweep-angle model; range/TDoA have analytic Jacobians above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EkfError::DegenerateInnovation`] when the innovation
+    /// variance is non-positive.
+    pub fn update_scalar_numeric<F>(
+        &mut self,
+        h_of_pos: F,
+        measured: f64,
+        variance: f64,
+    ) -> Result<(), EkfError>
+    where
+        F: Fn(Vec3) -> f64,
+    {
+        let p = self.position();
+        let h = h_of_pos(p);
+        const EPS: f64 = 1e-5;
+        let mut jac = [0.0; 6];
+        for (i, unit) in [Vec3::X, Vec3::Y, Vec3::Z].into_iter().enumerate() {
+            jac[i] = (h_of_pos(p + unit * EPS) - h_of_pos(p - unit * EPS)) / (2.0 * EPS);
+        }
+        self.scalar_update(measured, h, jac, variance)
+    }
+
+    /// Applies a batch of ranging measurements against a constellation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EkfError::UnknownAnchor`] if a measurement references an
+    /// anchor missing from `anchors`; covariance errors propagate from the
+    /// scalar updates.
+    pub fn update_ranging(
+        &mut self,
+        anchors: &AnchorConstellation,
+        measurements: &[RangeMeasurement],
+        variance: f64,
+    ) -> Result<(), EkfError> {
+        for m in measurements {
+            match *m {
+                RangeMeasurement::Twr { anchor, range_m } => {
+                    let a = anchors.get(anchor).ok_or(EkfError::UnknownAnchor)?;
+                    self.update_range(a.position, range_m, variance)?;
+                }
+                RangeMeasurement::Tdoa {
+                    reference,
+                    other,
+                    delta_m,
+                } => {
+                    let r = anchors.get(reference).ok_or(EkfError::UnknownAnchor)?;
+                    let o = anchors.get(other).ok_or(EkfError::UnknownAnchor)?;
+                    // Two noisy legs: delta variance is ~2× a single range.
+                    self.update_tdoa(r.position, o.position, delta_m, 2.0 * variance)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranging::{RangingConfig, RangingMode};
+    use aerorem_spatial::Aabb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn predict_moves_with_velocity() {
+        let mut ekf = Ekf::new(Vec3::ZERO, 1.0);
+        ekf.state[3] = 1.0; // vx = 1 m/s
+        ekf.predict(0.5);
+        assert!((ekf.position().x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_grows_uncertainty() {
+        let mut ekf = Ekf::new(Vec3::ZERO, 1.0);
+        let before = ekf.position_sigma();
+        ekf.predict(1.0);
+        assert!(ekf.position_sigma() > before);
+    }
+
+    #[test]
+    fn zero_dt_predict_is_noop() {
+        let mut ekf = Ekf::new(Vec3::new(1.0, 2.0, 3.0), 1.0);
+        let sigma = ekf.position_sigma();
+        ekf.predict(0.0);
+        assert_eq!(ekf.position(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(ekf.position_sigma(), sigma);
+    }
+
+    #[test]
+    fn range_updates_converge_on_truth() {
+        let anchors = AnchorConstellation::volume_corners(Aabb::paper_volume());
+        let truth = Vec3::new(1.8, 1.5, 1.1);
+        let mut ekf = Ekf::new(Vec3::new(0.5, 0.5, 0.5), 0.5);
+        // Noise-free ranges: the filter should lock on quickly.
+        for _ in 0..30 {
+            ekf.predict(0.01);
+            for a in anchors.iter() {
+                let d = a.position.distance(truth);
+                ekf.update_range(a.position, d, 0.05 * 0.05).unwrap();
+            }
+        }
+        assert!(
+            ekf.position().distance(truth) < 0.02,
+            "converged to {}",
+            ekf.position()
+        );
+    }
+
+    #[test]
+    fn tdoa_updates_converge_on_truth() {
+        let anchors = AnchorConstellation::volume_corners(Aabb::paper_volume());
+        let truth = Vec3::new(2.5, 0.8, 0.6);
+        let r0 = anchors.as_slice()[0].position;
+        let mut ekf = Ekf::new(Vec3::new(1.0, 1.5, 1.0), 0.5);
+        for _ in 0..50 {
+            ekf.predict(0.01);
+            for a in anchors.iter().skip(1) {
+                let delta = a.position.distance(truth) - r0.distance(truth);
+                ekf.update_tdoa(r0, a.position, delta, 0.04 * 0.04).unwrap();
+            }
+        }
+        assert!(
+            ekf.position().distance(truth) < 0.05,
+            "converged to {}",
+            ekf.position()
+        );
+    }
+
+    #[test]
+    fn updates_shrink_uncertainty() {
+        let mut ekf = Ekf::new(Vec3::splat(1.0), 1.0);
+        let before = ekf.position_sigma();
+        ekf.update_range(Vec3::ZERO, 3f64.sqrt(), 0.0025).unwrap();
+        assert!(ekf.position_sigma() < before);
+    }
+
+    #[test]
+    fn noisy_hover_stays_decimeter_accurate() {
+        let anchors = AnchorConstellation::volume_corners(Aabb::paper_volume());
+        let cfg = RangingConfig::lps_default(RangingMode::Twr);
+        let truth = Vec3::new(1.87, 1.60, 1.0);
+        let mut rng = StdRng::seed_from_u64(0xE50F);
+        let mut ekf = Ekf::new(truth + Vec3::splat(0.3), 0.5);
+        let var = cfg.noise_std_m * cfg.noise_std_m;
+        let mut errs = Vec::new();
+        for step in 0..300 {
+            ekf.predict(0.01);
+            let meas = cfg.measure(&anchors, truth, &mut rng);
+            ekf.update_ranging(&anchors, &meas, var).unwrap();
+            if step > 50 {
+                errs.push(ekf.position().distance(truth));
+            }
+        }
+        let rmse = (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt();
+        assert!(rmse < 0.15, "hover RMSE {rmse} m");
+    }
+
+    #[test]
+    fn batch_update_rejects_unknown_anchor() {
+        let anchors = AnchorConstellation::volume_corners(Aabb::paper_volume()).take(2);
+        let mut ekf = Ekf::new(Vec3::ZERO, 1.0);
+        let bogus = RangeMeasurement::Twr {
+            anchor: crate::anchors::AnchorId(99),
+            range_m: 1.0,
+        };
+        assert_eq!(
+            ekf.update_ranging(&anchors, &[bogus], 0.0025),
+            Err(EkfError::UnknownAnchor)
+        );
+    }
+
+    #[test]
+    fn numeric_update_matches_analytic_range() {
+        let anchor = Vec3::new(3.0, -1.0, 2.0);
+        let mut a = Ekf::new(Vec3::splat(0.5), 1.0);
+        let mut b = a.clone();
+        let z = 2.0;
+        a.update_range(anchor, z, 0.01).unwrap();
+        b.update_scalar_numeric(|p| p.distance(anchor), z, 0.01)
+            .unwrap();
+        assert!(a.position().distance(b.position()) < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_variance_detected() {
+        let mut ekf = Ekf::new(Vec3::splat(1.0), 1.0);
+        let err = ekf.update_range(Vec3::ZERO, 1.0, -5.0);
+        assert_eq!(err, Err(EkfError::DegenerateInnovation));
+        assert!(EkfError::DegenerateInnovation.to_string().contains("covariance"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dt_panics() {
+        let mut ekf = Ekf::new(Vec3::ZERO, 1.0);
+        ekf.predict(-0.1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Monte-Carlo hover-accuracy evaluation (the LOC experiment).
+//!
+//! §II-B cites Chekuri & Won's result that hovering localization with 6
+//! anchors reaches ~9 cm accuracy, and Bitcraze's advice that more anchors
+//! improve robustness. [`hover_rmse`] and [`anchor_count_sweep`] reproduce
+//! those claims against our own ranging + EKF stack.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use aerorem_spatial::Vec3;
+
+use crate::anchors::AnchorConstellation;
+use crate::ekf::Ekf;
+use crate::ranging::{RangingConfig, RangingMode};
+
+/// Simulates a hovering tag and returns the steady-state position RMSE in
+/// meters.
+///
+/// The tag sits at `truth`; the filter runs `epochs` predict/update cycles
+/// at 100 Hz, discarding the first quarter as convergence transient.
+///
+/// # Panics
+///
+/// Panics if `epochs < 8`.
+pub fn hover_rmse(
+    anchors: &AnchorConstellation,
+    cfg: &RangingConfig,
+    truth: Vec3,
+    epochs: usize,
+    seed: u64,
+) -> f64 {
+    assert!(epochs >= 8, "too few epochs for a meaningful RMSE");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ekf = Ekf::new(truth + Vec3::new(0.3, -0.2, 0.25), 0.5);
+    let var = cfg.noise_std_m * cfg.noise_std_m;
+    let warmup = epochs / 4;
+    let mut sq_err = 0.0;
+    let mut count = 0usize;
+    for step in 0..epochs {
+        ekf.predict(0.01);
+        let meas = cfg.measure(anchors, truth, &mut rng);
+        // Measurement faults (dropout epochs) simply skip the update.
+        let _ = ekf.update_ranging(anchors, &meas, var);
+        if step >= warmup {
+            let e = ekf.position().distance(truth);
+            sq_err += e * e;
+            count += 1;
+        }
+    }
+    (sq_err / count as f64).sqrt()
+}
+
+/// One row of the anchor-count ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorSweepRow {
+    /// Number of anchors used.
+    pub anchors: usize,
+    /// Hover RMSE with TWR, meters.
+    pub twr_rmse_m: f64,
+    /// Hover RMSE with TDoA, meters.
+    pub tdoa_rmse_m: f64,
+}
+
+/// Sweeps the anchor count from `min_anchors` up to the full constellation,
+/// measuring hover RMSE for both ranging modes (averaged over `trials`
+/// seeds).
+///
+/// # Panics
+///
+/// Panics if `min_anchors < 4` (no 3D fix below four anchors, §II-B) or
+/// `trials == 0`.
+pub fn anchor_count_sweep(
+    full: &AnchorConstellation,
+    truth: Vec3,
+    min_anchors: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<AnchorSweepRow> {
+    assert!(
+        min_anchors >= AnchorConstellation::MIN_FOR_3D,
+        "3D localization needs at least 4 anchors"
+    );
+    assert!(trials > 0, "need at least one trial");
+    let mut rows = Vec::new();
+    for n in min_anchors..=full.len() {
+        let subset = full.take(n);
+        let avg = |mode: RangingMode| -> f64 {
+            let cfg = RangingConfig::lps_default(mode);
+            (0..trials)
+                .map(|t| hover_rmse(&subset, &cfg, truth, 400, seed ^ (n as u64) << 8 ^ t as u64))
+                .sum::<f64>()
+                / trials as f64
+        };
+        rows.push(AnchorSweepRow {
+            anchors: n,
+            twr_rmse_m: avg(RangingMode::Twr),
+            tdoa_rmse_m: avg(RangingMode::Tdoa),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerorem_spatial::Aabb;
+
+    fn full() -> AnchorConstellation {
+        AnchorConstellation::volume_corners(Aabb::paper_volume())
+    }
+
+    fn hover_point() -> Vec3 {
+        // ~1 m above ground near the middle, like the endurance test.
+        Vec3::new(1.87, 1.60, 1.0)
+    }
+
+    #[test]
+    fn eight_anchor_hover_is_decimeter_level() {
+        for mode in [RangingMode::Twr, RangingMode::Tdoa] {
+            let rmse = hover_rmse(
+                &full(),
+                &RangingConfig::lps_default(mode),
+                hover_point(),
+                400,
+                1,
+            );
+            assert!(rmse < 0.12, "{mode:?} hover RMSE {rmse} m");
+        }
+    }
+
+    #[test]
+    fn six_anchor_accuracy_matches_paper_claim() {
+        // §II-B: ~9 cm with 6 anchors while hovering. Allow margin.
+        let rmse = hover_rmse(
+            &full().take(6),
+            &RangingConfig::lps_default(RangingMode::Twr),
+            hover_point(),
+            400,
+            2,
+        );
+        assert!(rmse < 0.15, "6-anchor hover RMSE {rmse} m");
+        assert!(rmse > 0.005, "noise floor exists");
+    }
+
+    #[test]
+    fn sweep_shows_more_anchors_help() {
+        let rows = anchor_count_sweep(&full(), hover_point(), 4, 3, 42);
+        assert_eq!(rows.len(), 5); // 4..=8
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert!(
+            last.twr_rmse_m <= first.twr_rmse_m * 1.05,
+            "8 anchors ({}) should not be worse than 4 ({})",
+            last.twr_rmse_m,
+            first.twr_rmse_m
+        );
+    }
+
+    #[test]
+    fn tdoa_not_worse_than_twr_on_average() {
+        let rows = anchor_count_sweep(&full(), hover_point(), 6, 4, 7);
+        let twr: f64 = rows.iter().map(|r| r.twr_rmse_m).sum();
+        let tdoa: f64 = rows.iter().map(|r| r.tdoa_rmse_m).sum();
+        // §II-B: TDoA "slightly better"; allow equality within 20 %.
+        assert!(tdoa < twr * 1.2, "tdoa {tdoa} vs twr {twr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn sweep_rejects_sub_3d_minimum() {
+        anchor_count_sweep(&full(), hover_point(), 3, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few epochs")]
+    fn rmse_needs_epochs() {
+        hover_rmse(
+            &full(),
+            &RangingConfig::lps_default(RangingMode::Twr),
+            hover_point(),
+            2,
+            0,
+        );
+    }
+}

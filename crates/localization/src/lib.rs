@@ -1,0 +1,55 @@
+//! UWB ranging and EKF state estimation — the Loco Positioning System
+//! substitute.
+//!
+//! The paper's UAVs localize with Bitcraze's Loco Positioning System: a
+//! DWM1000 UWB tag on the UAV and anchors at the 8 corners of the scan
+//! volume, fused by an on-board extended Kalman filter after Mueller et al.
+//! (ICRA'15). §II-B's claims, all reproducible here:
+//!
+//! * a minimum of **4 anchors** is needed for 3D localization, ≥ 6 advised;
+//! * ~**9 cm accuracy while hovering** with 6 anchors;
+//! * **TDoA** is slightly more accurate than TWR and supports several UAVs
+//!   at once;
+//! * usable range about **10 m**.
+//!
+//! Modules:
+//!
+//! * [`anchors`] — anchor identities and constellations (volume corners).
+//! * [`ranging`] — TWR and TDoA measurement generation with Gaussian noise,
+//!   occasional NLoS bias, range-limited dropout.
+//! * [`ekf`] — a constant-velocity EKF over `[position, velocity]` with
+//!   scalar range/TDoA updates.
+//! * [`imu`] — accelerometer model + IMU-aided prediction (the Mueller
+//!   et al. fusion the Crazyflie actually runs), decisive at low ranging
+//!   rates.
+//! * [`lighthouse`] — the conclusion's future-work localization system:
+//!   sweep-angle (azimuth/elevation) measurements from two base stations,
+//!   pluggable into the same EKF.
+//! * [`eval`] — Monte-Carlo hover-accuracy runs (the LOC experiment).
+//!
+//! # Examples
+//!
+//! ```
+//! use aerorem_localization::{anchors::AnchorConstellation, eval};
+//! use aerorem_localization::ranging::{RangingConfig, RangingMode};
+//! use aerorem_spatial::{Aabb, Vec3};
+//!
+//! let anchors = AnchorConstellation::volume_corners(Aabb::paper_volume());
+//! let cfg = RangingConfig::lps_default(RangingMode::Tdoa);
+//! let rmse = eval::hover_rmse(&anchors, &cfg, Vec3::new(1.8, 1.6, 1.0), 200, 7);
+//! assert!(rmse < 0.25, "decimeter-level hovering accuracy, got {rmse} m");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anchors;
+pub mod ekf;
+pub mod eval;
+pub mod imu;
+pub mod lighthouse;
+pub mod ranging;
+
+pub use anchors::{Anchor, AnchorConstellation, AnchorId};
+pub use ekf::Ekf;
+pub use ranging::{RangeMeasurement, RangingConfig, RangingMode};

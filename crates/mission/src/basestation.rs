@@ -1,0 +1,476 @@
+//! The base-station client: flies one UAV through its leg.
+//!
+//! This is the paper's "custom Python client" (§II-C): per waypoint it
+//! i) sends move setpoints, ii) initiates an on-demand scan, iii) shuts the
+//! Crazyradio down while the scan runs, iv) restarts the radio when the scan
+//! is done, v) fetches, parses and stores the results, and finally lands the
+//! UAV. Scan results travel back as CRTP packets through the UAV's bounded
+//! uplink queue, so an undersized `CRTP_TX_QUEUE_SIZE` visibly loses rows.
+
+use rand::Rng;
+
+use aerorem_localization::{AnchorConstellation, RangingConfig};
+use aerorem_propagation::{InterferenceSource, RadioEnvironment};
+use aerorem_radio::crtp::{CrtpPacket, CrtpPort};
+use aerorem_radio::link::{LinkConfig, RadioLink};
+use aerorem_radio::Crazyradio;
+use aerorem_scanner::parse::parse_cwlap_row;
+use aerorem_scanner::{Esp01Receiver, MeasurementContext, RemReceiver};
+use aerorem_simkit::{SimDuration, SimTime, TraceLog};
+use aerorem_spatial::Vec3;
+use aerorem_uav::firmware::FirmwareConfig;
+use aerorem_uav::{FlightMode, Uav, UavId};
+
+use crate::plan::{MissionPlan, UavLeg};
+use crate::samples::{Sample, SampleSet};
+
+/// Physics step of the simulation loop (100 Hz, the Crazyflie's outer
+/// control rate).
+const DT: f64 = 0.01;
+/// Base-station setpoint rate while the radio is up (every 100 ms).
+const SETPOINT_PERIOD_MS: u64 = 100;
+/// Takeoff / landing budget.
+const TAKEOFF_SECS: u64 = 3;
+
+/// How one leg ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegOutcome {
+    /// Which UAV flew.
+    pub uav: UavId,
+    /// Waypoints actually scanned.
+    pub waypoints_visited: usize,
+    /// Waypoints planned for the leg.
+    pub waypoints_planned: usize,
+    /// Time from takeoff command to landed/failed.
+    pub active_time: SimDuration,
+    /// The leg ended early because the battery went erratic.
+    pub aborted_on_battery: bool,
+    /// The commander watchdog shut the UAV down mid-air.
+    pub shutdown: bool,
+    /// Scan-row CRTP packets lost to uplink-queue overflow.
+    pub packets_dropped: u64,
+    /// Scan rows that could not be recovered on the base station (lost or
+    /// corrupted by dropped packets).
+    pub rows_lost: u64,
+    /// Waypoints whose scan failed because the receiver driver errored
+    /// (module fault, invalid state). The mission continues past them.
+    pub receiver_faults: u64,
+    /// The location-annotated samples recovered by the client.
+    pub samples: SampleSet,
+}
+
+/// The base-station client and its Crazyradio.
+#[derive(Debug, Clone)]
+pub struct BaseStationClient {
+    radio: Crazyradio,
+    firmware: FirmwareConfig,
+    ranging: RangingConfig,
+    /// Interference sources present regardless of this client's radio —
+    /// e.g. another UAV's active Crazyradio when flying concurrently
+    /// instead of the paper's sequential schedule.
+    background_interferers: Vec<InterferenceSource>,
+    trace: TraceLog,
+}
+
+impl BaseStationClient {
+    /// Creates a client whose dongle sits at `radio_position` transmitting
+    /// at `radio_freq_mhz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radio_freq_mhz` is outside the nRF24 band
+    /// (2400–2525 MHz).
+    pub fn new(
+        radio_freq_mhz: f64,
+        radio_position: Vec3,
+        firmware: FirmwareConfig,
+        ranging: RangingConfig,
+    ) -> Self {
+        let radio = Crazyradio::new(radio_freq_mhz, radio_position)
+            .expect("radio frequency within 2400-2525 MHz");
+        BaseStationClient {
+            radio,
+            firmware,
+            ranging,
+            background_interferers: Vec::new(),
+            trace: TraceLog::new(),
+        }
+    }
+
+    /// Adds interference sources that stay active during scans — modelling
+    /// *concurrent* UAV operation, which the paper's sequential schedule
+    /// deliberately avoids ("to mitigate interference among UAVs, the UAVs
+    /// are run in a sequence, not jointly", §III-A).
+    pub fn with_background_interference(
+        mut self,
+        sources: Vec<InterferenceSource>,
+    ) -> Self {
+        self.background_interferers = sources;
+        self
+    }
+
+    /// The timestamped operation trace accumulated over flown legs.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Takes the accumulated trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> TraceLog {
+        std::mem::replace(&mut self.trace, TraceLog::new())
+    }
+
+    /// The dongle (for interference inspection in experiments).
+    pub fn radio(&self) -> &Crazyradio {
+        &self.radio
+    }
+
+    /// Flies one leg start-to-land with the paper's ESP-01 Wi-Fi receiver.
+    /// Returns the outcome and the simulation time when the leg finished.
+    pub fn fly_leg<R: Rng>(
+        &mut self,
+        plan: &MissionPlan,
+        leg: &UavLeg,
+        env: &RadioEnvironment,
+        anchors: &AnchorConstellation,
+        start_time: SimTime,
+        rng: &mut R,
+    ) -> (LegOutcome, SimTime) {
+        let mut receiver = Esp01Receiver::new();
+        receiver
+            .init()
+            .expect("simulated ESP-01 always initializes");
+        self.fly_leg_with_receiver(plan, leg, env, anchors, start_time, &mut receiver, rng)
+    }
+
+    /// Flies one leg with **any** REM-generating receiver — the §II-A
+    /// technology-agnostic integration point. The receiver must already be
+    /// initialized; driver errors during a scan are counted in
+    /// [`LegOutcome::receiver_faults`] and the mission continues.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fly_leg_with_receiver<R: Rng>(
+        &mut self,
+        plan: &MissionPlan,
+        leg: &UavLeg,
+        env: &RadioEnvironment,
+        anchors: &AnchorConstellation,
+        start_time: SimTime,
+        receiver: &mut dyn RemReceiver,
+        rng: &mut R,
+    ) -> (LegOutcome, SimTime) {
+        let mut now = start_time;
+        let mut uav = Uav::new(leg.uav, self.firmware, self.ranging, leg.start);
+        uav.set_yaw_target(leg.yaw);
+        let mut link = RadioLink::new(LinkConfig {
+            tx_queue_size: self.firmware.tx_queue_size,
+            latency_ms: 4.0,
+        });
+        self.radio.set_transmitting(true);
+        link.set_radio_on(true);
+        self.trace
+            .record(now, "client", format!("{} leg start: {} waypoints", leg.uav, leg.waypoints.len()));
+
+        let mut outcome = LegOutcome {
+            uav: leg.uav,
+            waypoints_visited: 0,
+            waypoints_planned: leg.waypoints.len(),
+            active_time: SimDuration::ZERO,
+            aborted_on_battery: false,
+            shutdown: false,
+            packets_dropped: 0,
+            rows_lost: 0,
+            receiver_faults: 0,
+            samples: SampleSet::new(),
+        };
+
+        // --- Takeoff: climb to the first waypoint's altitude. ---
+        let first = leg.waypoints.first().copied().unwrap_or(leg.start);
+        let takeoff_target = Vec3::new(leg.start.x, leg.start.y, first.z);
+        now = self.fly_phase(
+            &mut uav,
+            takeoff_target,
+            SimDuration::from_secs(TAKEOFF_SECS),
+            now,
+            anchors,
+            rng,
+        );
+
+        // --- Waypoints. ---
+        for (wp_index, &wp) in leg.waypoints.iter().enumerate() {
+            if self.must_abort(&uav, &mut outcome) {
+                break;
+            }
+            // Travel to the waypoint with live setpoints.
+            now = self.fly_phase(&mut uav, wp, plan.travel_time, now, anchors, rng);
+            if self.must_abort(&uav, &mut outcome) {
+                break;
+            }
+
+            // Scan: radio down, feedback task up, ESP scanning.
+            let hold = uav.estimated_position();
+            self.radio.set_transmitting(false);
+            link.set_radio_on(false);
+            self.trace
+                .record(now, "radio", format!("off for scan at waypoint {wp_index}"));
+            uav.commander_mut()
+                .begin_scan_hold(now, hold)
+                .expect("paper firmware has the feedback task");
+            uav.set_scanning(true);
+            let scan_end = now + plan.scan_time;
+            while now < scan_end {
+                now += SimDuration::from_secs_f64(DT);
+                uav.step(now, DT, anchors, rng);
+            }
+            // The measurement completes at the end of the window; this
+            // client's Crazyradio is off, but any *background* interferers
+            // (a concurrently flying UAV's radio) remain on the air.
+            let mut interferers: Vec<_> = self.radio.interference().into_iter().collect();
+            interferers.extend(self.background_interferers.iter().copied());
+            let ctx = MeasurementContext::new(env, uav.true_position(), &interferers);
+            let observations = match receiver
+                .measure(&ctx, rng as &mut dyn rand::RngCore)
+                .and_then(|()| receiver.take_observations())
+            {
+                Ok(obs) => obs,
+                Err(_) => {
+                    // A faulted receiver yields no rows at this waypoint;
+                    // the flight itself continues.
+                    outcome.receiver_faults += 1;
+                    Vec::new()
+                }
+            };
+            uav.set_scanning(false);
+            uav.commander_mut().end_scan_hold();
+
+            // Ship the rows through the (still offline) uplink queue.
+            let annotated_pos = uav.estimated_position();
+            let annotated_truth = uav.true_position();
+            let mut wire = String::new();
+            for o in &observations {
+                wire.push_str(&format!(
+                    "+CWLAP:(\"{}\",{},\"{}\",{})\n",
+                    o.ssid,
+                    o.rssi_dbm,
+                    o.mac,
+                    o.channel.number()
+                ));
+            }
+            let before_drops = link.uplink_dropped();
+            for pkt in CrtpPacket::fragment(CrtpPort::Console, 0, wire.as_bytes())
+                .expect("channel 0 is valid")
+            {
+                let _ = link.enqueue_uplink(pkt);
+            }
+            outcome.packets_dropped += link.uplink_dropped() - before_drops;
+
+            // Radio back up; fetch and parse. Draining the buffered
+            // packets costs one link round trip per packet.
+            self.radio.set_transmitting(true);
+            link.set_radio_on(true);
+            let delivered = link.drain_uplink();
+            now += SimDuration::from_secs_f64(
+                delivered.len() as f64 * link.config().latency_ms / 1000.0,
+            );
+            self.trace.record(
+                now,
+                "radio",
+                format!("on; fetched {} packets", delivered.len()),
+            );
+            let text = String::from_utf8_lossy(&CrtpPacket::reassemble(&delivered)).into_owned();
+            let mut recovered = 0u64;
+            for line in text.lines() {
+                // Lines clipped by dropped packets fail to parse and count
+                // as lost below.
+                if let Ok(obs) = parse_cwlap_row(line) {
+                    recovered += 1;
+                    outcome.samples.push(Sample {
+                        uav: leg.uav,
+                        waypoint_index: wp_index,
+                        position: annotated_pos,
+                        true_position: annotated_truth,
+                        ssid: obs.ssid,
+                        mac: obs.mac,
+                        channel: obs.channel,
+                        rssi_dbm: obs.rssi_dbm,
+                        timestamp: now,
+                    });
+                }
+            }
+            outcome.rows_lost += (observations.len() as u64).saturating_sub(recovered);
+            outcome.waypoints_visited += 1;
+        }
+
+        // --- Land at the current horizontal position. ---
+        if !outcome.shutdown {
+            let here = uav.estimated_position();
+            let pad = Vec3::new(here.x, here.y, plan.volume.min().z);
+            now = self.fly_phase(
+                &mut uav,
+                pad,
+                SimDuration::from_secs(TAKEOFF_SECS),
+                now,
+                anchors,
+                rng,
+            );
+        }
+        outcome.active_time = now.saturating_since(start_time);
+        self.trace.record(
+            now,
+            "client",
+            format!(
+                "{} leg end: {}/{} waypoints, {} samples",
+                leg.uav,
+                outcome.waypoints_visited,
+                outcome.waypoints_planned,
+                outcome.samples.len()
+            ),
+        );
+        (outcome, now)
+    }
+
+    /// Steps physics for `duration` while sending `target` setpoints every
+    /// 100 ms (only while the radio is transmitting).
+    fn fly_phase<R: Rng + ?Sized>(
+        &mut self,
+        uav: &mut Uav,
+        target: Vec3,
+        duration: SimDuration,
+        start: SimTime,
+        anchors: &AnchorConstellation,
+        rng: &mut R,
+    ) -> SimTime {
+        let mut now = start;
+        let end = start + duration;
+        let mut next_setpoint = start;
+        while now < end {
+            if self.radio.is_transmitting() && now >= next_setpoint {
+                uav.commander_mut().set_setpoint(now, target);
+                next_setpoint = now + SimDuration::from_millis(SETPOINT_PERIOD_MS);
+            }
+            now += SimDuration::from_secs_f64(DT);
+            uav.step(now, DT, anchors, rng);
+        }
+        now
+    }
+
+    fn must_abort(&self, uav: &Uav, outcome: &mut LegOutcome) -> bool {
+        match uav.mode() {
+            FlightMode::Shutdown => {
+                outcome.shutdown = true;
+                true
+            }
+            FlightMode::Erratic => {
+                outcome.aborted_on_battery = true;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FleetPlan;
+    use aerorem_localization::RangingMode;
+    use aerorem_propagation::building::SyntheticBuilding;
+    use aerorem_spatial::Aabb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_world() -> (
+        MissionPlan,
+        RadioEnvironment,
+        AnchorConstellation,
+        StdRng,
+    ) {
+        let volume = Aabb::paper_volume();
+        // A small 8-waypoint mission keeps the test fast.
+        // 8 waypoints spread over the full volume sit farther apart than
+        // the paper's 72, so the travel budget is 4 s as in the paper.
+        let plan = FleetPlan {
+            fleet_size: 1,
+            total_waypoints: 8,
+            travel_time: SimDuration::from_secs(4),
+            scan_time: SimDuration::from_secs(2),
+        }
+        .expand(volume)
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0xBA5E);
+        let env = SyntheticBuilding::paper_like().generate(volume, &mut rng);
+        let anchors = AnchorConstellation::volume_corners(volume);
+        (plan, env, anchors, rng)
+    }
+
+    fn client() -> BaseStationClient {
+        BaseStationClient::new(
+            2450.0,
+            Vec3::new(-1.5, 1.6, 0.8),
+            FirmwareConfig::paper_patched(),
+            RangingConfig::lps_default(RangingMode::Tdoa),
+        )
+    }
+
+    #[test]
+    fn leg_visits_all_waypoints_and_collects_samples() {
+        let (plan, env, anchors, mut rng) = tiny_world();
+        let mut c = client();
+        let (outcome, end) =
+            c.fly_leg(&plan, &plan.legs[0], &env, &anchors, SimTime::ZERO, &mut rng);
+        assert_eq!(outcome.waypoints_visited, 8);
+        assert!(!outcome.shutdown, "patched firmware survives scans");
+        assert!(!outcome.aborted_on_battery, "8 waypoints is well in budget");
+        assert!(
+            outcome.samples.len() > 8 * 10,
+            "expected dozens of rows per scan, got {}",
+            outcome.samples.len()
+        );
+        assert_eq!(outcome.packets_dropped, 0, "patched queue holds a scan");
+        assert_eq!(outcome.rows_lost, 0);
+        // 8 × (2+2) s + takeoff + landing ≈ 38 s.
+        let secs = end.as_secs_f64();
+        assert!((48.0..62.0).contains(&secs), "leg took {secs} s");
+    }
+
+    #[test]
+    fn samples_annotated_near_waypoints() {
+        let (plan, env, anchors, mut rng) = tiny_world();
+        let mut c = client();
+        let (outcome, _) =
+            c.fly_leg(&plan, &plan.legs[0], &env, &anchors, SimTime::ZERO, &mut rng);
+        for s in outcome.samples.iter() {
+            let wp = plan.legs[0].waypoints[s.waypoint_index];
+            assert!(
+                s.position.distance(wp) < 0.5,
+                "sample annotated {} m from its waypoint",
+                s.position.distance(wp)
+            );
+            // Annotation uses the estimate, which tracks truth closely.
+            assert!(s.position.distance(s.true_position) < 0.3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback task")]
+    fn stock_firmware_cannot_run_the_scan_flow() {
+        // The client's scan flow relies on the paper's position-hold
+        // feedback task; stock firmware has none. The scanflow module
+        // explores what *would* happen without the full patch.
+        let (plan, env, anchors, mut rng) = tiny_world();
+        let mut c = BaseStationClient::new(
+            2450.0,
+            Vec3::new(-1.5, 1.6, 0.8),
+            FirmwareConfig::stock_2021_06(),
+            RangingConfig::lps_default(RangingMode::Tdoa),
+        );
+        let _ = c.fly_leg(&plan, &plan.legs[0], &env, &anchors, SimTime::ZERO, &mut rng);
+    }
+
+    #[test]
+    fn radio_is_off_exactly_during_scans() {
+        // After a completed leg the radio must be transmitting again.
+        let (plan, env, anchors, mut rng) = tiny_world();
+        let mut c = client();
+        let (_, _) = c.fly_leg(&plan, &plan.legs[0], &env, &anchors, SimTime::ZERO, &mut rng);
+        assert!(c.radio().is_transmitting());
+    }
+}

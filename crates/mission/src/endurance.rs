@@ -1,0 +1,157 @@
+//! The §III-A endurance test.
+//!
+//! "To get a notion of the UAV's endurance in a baseline scenario, a UAV was
+//! manually flown … considering a fully charged standard battery, eight
+//! active anchors in TWR mode, periodic scanning mode with an interval of
+//! 8 sec, with a beacon scan duration of around 2 sec. The UAV was kept in
+//! a steady position about 1 m above ground level … The UAV was able to
+//! perform 36 scans over a timespan of 6 min and 12 sec before it
+//! experienced erratic behaviour."
+
+use rand::Rng;
+
+use aerorem_localization::{AnchorConstellation, RangingConfig, RangingMode};
+use aerorem_simkit::{SimDuration, SimTime};
+use aerorem_spatial::{Aabb, Vec3};
+use aerorem_uav::firmware::FirmwareConfig;
+use aerorem_uav::{Uav, UavId};
+
+/// Parameters of the endurance test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceConfig {
+    /// Hover height above ground, meters (paper: ~1 m).
+    pub hover_height_m: f64,
+    /// Gap between scans (paper: 8 s).
+    pub scan_interval: SimDuration,
+    /// Scan duration (paper: ~2 s).
+    pub scan_duration: SimDuration,
+    /// Safety cap on simulated time.
+    pub max_time: SimDuration,
+}
+
+impl EnduranceConfig {
+    /// The paper's §III-A test parameters.
+    pub fn paper() -> Self {
+        EnduranceConfig {
+            hover_height_m: 1.0,
+            scan_interval: SimDuration::from_secs(8),
+            scan_duration: SimDuration::from_secs(2),
+            max_time: SimDuration::from_secs(900),
+        }
+    }
+}
+
+impl Default for EnduranceConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The outcome of an endurance run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceResult {
+    /// Scans completed before the battery went erratic.
+    pub scans_completed: usize,
+    /// Flight time until erratic behaviour.
+    pub endurance: SimDuration,
+    /// Battery fraction remaining at the end (≈ the erratic threshold).
+    pub final_battery_fraction: f64,
+}
+
+/// Runs the endurance test: hover with both decks, eight TWR anchors, and
+/// periodic scans until the battery goes erratic.
+///
+/// The UAV receives fresh setpoints every 100 ms (the radio stays up in
+/// this baseline test — the paper's pilot flew it manually), and the ESP
+/// deck draws scan power for `scan_duration` out of every
+/// `scan_interval + scan_duration` period.
+pub fn run_endurance_test<R: Rng + ?Sized>(cfg: &EnduranceConfig, rng: &mut R) -> EnduranceResult {
+    let volume = Aabb::paper_volume();
+    let anchors = AnchorConstellation::volume_corners(volume);
+    let ranging = RangingConfig::lps_default(RangingMode::Twr);
+    let start = Vec3::new(volume.center().x, volume.center().y, 0.0);
+    let mut uav = Uav::new(UavId(0), FirmwareConfig::paper_patched(), ranging, start);
+    let hover = Vec3::new(start.x, start.y, cfg.hover_height_m);
+
+    let dt = 0.01;
+    let period = cfg.scan_interval + cfg.scan_duration;
+    let mut now = SimTime::ZERO;
+    let mut scans_completed = 0usize;
+    let mut scanning = false;
+
+    while !uav.battery().is_erratic() && now.saturating_since(SimTime::ZERO) < cfg.max_time {
+        now += SimDuration::from_secs_f64(dt);
+        // Scan phase: the last `scan_duration` of each period.
+        let phase = SimDuration::from_micros(now.as_micros() % period.as_micros());
+        let in_scan = phase >= cfg.scan_interval;
+        if in_scan && !scanning {
+            scanning = true;
+        } else if !in_scan && scanning {
+            scanning = false;
+            scans_completed += 1;
+        }
+        uav.set_scanning(scanning);
+        uav.commander_mut().set_setpoint(now, hover);
+        uav.step(now, dt, &anchors, rng);
+    }
+
+    EnduranceResult {
+        scans_completed,
+        endurance: now.saturating_since(SimTime::ZERO),
+        final_battery_fraction: uav.battery().remaining_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn endurance_matches_paper_ballpark() {
+        let mut rng = StdRng::seed_from_u64(0xED0);
+        let r = run_endurance_test(&EnduranceConfig::paper(), &mut rng);
+        // Paper: 36 scans in 372 s. Accept the right neighbourhood.
+        let secs = r.endurance.as_secs_f64();
+        assert!(
+            (320.0..430.0).contains(&secs),
+            "endurance {secs} s vs paper 372 s"
+        );
+        assert!(
+            (30..=44).contains(&r.scans_completed),
+            "{} scans vs paper 36",
+            r.scans_completed
+        );
+        // Ends at the erratic threshold, not at zero.
+        assert!(r.final_battery_fraction > 0.0);
+        assert!(r.final_battery_fraction < 0.08);
+    }
+
+    #[test]
+    fn longer_interval_fewer_scans_more_endurance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fast = run_endurance_test(&EnduranceConfig::paper(), &mut rng);
+        let slow_cfg = EnduranceConfig {
+            scan_interval: SimDuration::from_secs(30),
+            ..EnduranceConfig::paper()
+        };
+        let slow = run_endurance_test(&slow_cfg, &mut rng);
+        assert!(slow.scans_completed < fast.scans_completed);
+        assert!(slow.endurance >= fast.endurance);
+    }
+
+    #[test]
+    fn max_time_caps_the_run() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let capped = run_endurance_test(
+            &EnduranceConfig {
+                max_time: SimDuration::from_secs(10),
+                ..EnduranceConfig::paper()
+            },
+            &mut rng,
+        );
+        assert!(capped.endurance.as_secs_f64() <= 10.5);
+        assert!(capped.final_battery_fraction > 0.9);
+    }
+}

@@ -1,0 +1,47 @@
+//! Mission layer: waypoint planning, the base-station client, and the
+//! campaign runner.
+//!
+//! This crate is the equivalent of the paper's "custom Python client"
+//! (§II-C, §III-A) plus the experiment procedures built on it:
+//!
+//! * [`samples`] — location-annotated samples and the [`samples::SampleSet`]
+//!   the ML layer consumes.
+//! * [`plan`] — mission plans: N waypoints evenly spread over the volume,
+//!   split across a sequential fleet, with per-UAV start position, radio
+//!   address, and timing budget (4 s travel + 3 s scan in the paper).
+//! * [`basestation`] — the client: drives one UAV at a time through its
+//!   leg, shutting the Crazyradio down during every scan and fetching the
+//!   buffered results afterwards.
+//! * [`campaign`] — the full two-UAV demo of §III-A, producing the dataset
+//!   behind Figures 6–8 and the collection statistics.
+//! * [`endurance`] — the §III-A endurance test: hover at 1 m with periodic
+//!   scans until the battery goes erratic (expected ≈ 36 scans / ≈ 6 min).
+//! * [`scanflow`] — the firmware ablation (QUEUE experiment): stock
+//!   watchdog/queue vs the paper's patches during a radio-off scan.
+//! * [`csv`] — plain-text persistence of sample sets for downstream tools.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use aerorem_mission::campaign::{Campaign, CampaignConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2206);
+//! let report = Campaign::new(CampaignConfig::paper_demo()).run(&mut rng);
+//! println!("collected {} samples", report.samples.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basestation;
+pub mod csv;
+pub mod campaign;
+pub mod endurance;
+pub mod plan;
+pub mod samples;
+pub mod scanflow;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use plan::{FleetPlan, MissionPlan};
+pub use samples::{Sample, SampleSet};

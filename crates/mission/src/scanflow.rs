@@ -1,0 +1,271 @@
+//! The firmware ablation: what each of the paper's patches buys (QUEUE
+//! experiment).
+//!
+//! §II-C motivates three firmware-level mechanisms. This module runs one
+//! radio-off scan cycle under four configurations and reports what happens:
+//!
+//! | configuration                  | expected outcome                    |
+//! |--------------------------------|-------------------------------------|
+//! | stock (2 s WDT, 16-pkt queue)  | WDT shutdown mid-scan — UAV falls   |
+//! | +10 s WDT only                 | survives, but drifts (500 ms rule)  |
+//! | +WDT +feedback task            | holds position; queue still drops   |
+//! | full patch (+128-pkt queue)    | holds position, zero rows lost      |
+
+use rand::Rng;
+
+use aerorem_localization::{AnchorConstellation, RangingConfig, RangingMode};
+use aerorem_propagation::RadioEnvironment;
+use aerorem_radio::crtp::{CrtpPacket, CrtpPort};
+use aerorem_radio::link::{LinkConfig, RadioLink};
+use aerorem_scanner::{Esp01Receiver, MeasurementContext, RemReceiver};
+use aerorem_simkit::{SimDuration, SimTime};
+use aerorem_spatial::{Aabb, Vec3};
+use aerorem_uav::firmware::FirmwareConfig;
+use aerorem_uav::{FlightMode, Uav, UavId};
+
+/// A named firmware variant for the ablation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirmwareVariant {
+    /// Stock 2021.06: 2 s WDT, 16-packet queue, no feedback task.
+    Stock,
+    /// Only the watchdog extension applied.
+    WdtOnly,
+    /// Watchdog + feedback task, stock queue.
+    WdtAndFeedback,
+    /// The paper's full patch set.
+    FullPatch,
+}
+
+impl FirmwareVariant {
+    /// All variants in ablation order.
+    pub const ALL: [FirmwareVariant; 4] = [
+        FirmwareVariant::Stock,
+        FirmwareVariant::WdtOnly,
+        FirmwareVariant::WdtAndFeedback,
+        FirmwareVariant::FullPatch,
+    ];
+
+    /// The concrete firmware configuration.
+    pub fn config(self) -> FirmwareConfig {
+        let stock = FirmwareConfig::stock_2021_06();
+        let patched = FirmwareConfig::paper_patched();
+        match self {
+            FirmwareVariant::Stock => stock,
+            FirmwareVariant::WdtOnly => FirmwareConfig {
+                wdt_timeout: patched.wdt_timeout,
+                ..stock
+            },
+            FirmwareVariant::WdtAndFeedback => FirmwareConfig {
+                wdt_timeout: patched.wdt_timeout,
+                feedback_period: patched.feedback_period,
+                ..stock
+            },
+            FirmwareVariant::FullPatch => patched,
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FirmwareVariant::Stock => "stock 2021.06",
+            FirmwareVariant::WdtOnly => "+10s WDT",
+            FirmwareVariant::WdtAndFeedback => "+WDT +feedback task",
+            FirmwareVariant::FullPatch => "full patch (+128-pkt queue)",
+        }
+    }
+}
+
+/// What happened during one radio-off scan cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanFlowOutcome {
+    /// Which variant ran.
+    pub variant: FirmwareVariant,
+    /// The UAV survived the scan airborne.
+    pub survived: bool,
+    /// Distance from the scan position at the end of the window, meters.
+    pub position_drift_m: f64,
+    /// Scan rows produced by the receiver.
+    pub rows_scanned: usize,
+    /// Rows recovered by the base station after the radio came back.
+    pub rows_delivered: usize,
+    /// CRTP packets lost to queue overflow.
+    pub packets_dropped: u64,
+}
+
+/// Runs one hover + radio-off-scan cycle under the given firmware variant.
+pub fn run_scan_cycle<R: Rng>(
+    variant: FirmwareVariant,
+    env: &RadioEnvironment,
+    rng: &mut R,
+) -> ScanFlowOutcome {
+    let volume = Aabb::paper_volume();
+    let anchors = AnchorConstellation::volume_corners(volume);
+    let firmware = variant.config();
+    let ranging = RangingConfig::lps_default(RangingMode::Tdoa);
+    let hold = Vec3::new(volume.center().x, volume.center().y, 1.0);
+    let mut uav = Uav::new(
+        UavId(0),
+        firmware,
+        ranging,
+        Vec3::new(hold.x, hold.y, 0.0),
+    );
+    let mut link = RadioLink::new(LinkConfig {
+        tx_queue_size: firmware.tx_queue_size,
+        latency_ms: 4.0,
+    });
+    let dt = 0.01;
+    let mut now = SimTime::ZERO;
+
+    // Fly to the hold point with live setpoints.
+    for _ in 0..600 {
+        now += SimDuration::from_secs_f64(dt);
+        uav.commander_mut().set_setpoint(now, hold);
+        uav.step(now, dt, &anchors, rng);
+    }
+
+    // Radio off; start scan. Variants with the feedback task hold position.
+    link.set_radio_on(false);
+    let _ = uav.commander_mut().begin_scan_hold(now, hold);
+    uav.set_scanning(true);
+    let scan_end = now + SimDuration::from_secs(3);
+    while now < scan_end {
+        now += SimDuration::from_secs_f64(dt);
+        uav.step(now, dt, &anchors, rng);
+    }
+
+    // Collect the measurement and ship it through the queue.
+    let mut receiver = Esp01Receiver::new();
+    receiver.init().expect("ESP initializes");
+    let ctx = MeasurementContext::new(env, uav.true_position(), &[]);
+    receiver.measure(&ctx, rng).expect("receiver ready");
+    let rows = receiver.take_observations().expect("output present");
+    let mut wire = String::new();
+    for o in &rows {
+        wire.push_str(&format!(
+            "+CWLAP:(\"{}\",{},\"{}\",{})\n",
+            o.ssid,
+            o.rssi_dbm,
+            o.mac,
+            o.channel.number()
+        ));
+    }
+    for pkt in CrtpPacket::fragment(CrtpPort::Console, 0, wire.as_bytes()).expect("valid") {
+        let _ = link.enqueue_uplink(pkt);
+    }
+    uav.set_scanning(false);
+    uav.commander_mut().end_scan_hold();
+
+    // Radio back on; fetch.
+    link.set_radio_on(true);
+    let delivered = link.drain_uplink();
+    let text = String::from_utf8_lossy(&CrtpPacket::reassemble(&delivered)).into_owned();
+    let rows_delivered = text
+        .lines()
+        .filter(|l| aerorem_scanner::parse::parse_cwlap_row(l).is_ok())
+        .count();
+
+    let survived = uav.mode() == FlightMode::Airborne;
+    ScanFlowOutcome {
+        variant,
+        survived,
+        position_drift_m: uav.true_position().distance(hold),
+        rows_scanned: rows.len(),
+        rows_delivered,
+        packets_dropped: link.uplink_dropped(),
+    }
+}
+
+/// Runs the full ablation, one outcome per variant.
+pub fn run_ablation<R: Rng>(env: &RadioEnvironment, rng: &mut R) -> Vec<ScanFlowOutcome> {
+    FirmwareVariant::ALL
+        .iter()
+        .map(|&v| run_scan_cycle(v, env, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerorem_propagation::building::SyntheticBuilding;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> (RadioEnvironment, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x5CAF);
+        let env = SyntheticBuilding::paper_like().generate(Aabb::paper_volume(), &mut rng);
+        (env, rng)
+    }
+
+    #[test]
+    fn stock_firmware_dies_mid_scan() {
+        let (env, mut rng) = world();
+        let out = run_scan_cycle(FirmwareVariant::Stock, &env, &mut rng);
+        assert!(!out.survived, "2 s WDT must fire during a 3 s scan");
+    }
+
+    #[test]
+    fn wdt_only_survives_but_drifts() {
+        let (env, mut rng) = world();
+        let out = run_scan_cycle(FirmwareVariant::WdtOnly, &env, &mut rng);
+        assert!(out.survived);
+        // Without the feedback task the 500 ms rule levels the UAV and it
+        // drifts for ~2.5 s.
+        assert!(
+            out.position_drift_m > 0.05,
+            "expected visible drift, got {} m",
+            out.position_drift_m
+        );
+    }
+
+    #[test]
+    fn feedback_task_holds_position() {
+        let (env, mut rng) = world();
+        let out = run_scan_cycle(FirmwareVariant::WdtAndFeedback, &env, &mut rng);
+        assert!(out.survived);
+        assert!(
+            out.position_drift_m < 0.25,
+            "feedback hold drifted {} m",
+            out.position_drift_m
+        );
+        // Stock queue: a full scan result overflows 16 packets.
+        assert!(out.packets_dropped > 0);
+        assert!(out.rows_delivered < out.rows_scanned);
+    }
+
+    #[test]
+    fn full_patch_loses_nothing() {
+        let (env, mut rng) = world();
+        let out = run_scan_cycle(FirmwareVariant::FullPatch, &env, &mut rng);
+        assert!(out.survived);
+        assert!(out.position_drift_m < 0.25);
+        assert_eq!(out.packets_dropped, 0);
+        assert_eq!(out.rows_delivered, out.rows_scanned);
+    }
+
+    #[test]
+    fn ablation_covers_all_variants() {
+        let (env, mut rng) = world();
+        let rows = run_ablation(&env, &mut rng);
+        assert_eq!(rows.len(), 4);
+        let labels: Vec<&str> = FirmwareVariant::ALL.iter().map(|v| v.label()).collect();
+        assert!(labels.contains(&"stock 2021.06"));
+        assert!(labels.contains(&"full patch (+128-pkt queue)"));
+        // The ablation's headline: only the full patch both survives and
+        // delivers everything.
+        let full = rows
+            .iter()
+            .find(|r| r.variant == FirmwareVariant::FullPatch)
+            .unwrap();
+        assert!(full.survived && full.rows_delivered == full.rows_scanned);
+    }
+
+    #[test]
+    fn variant_configs_differ_as_documented() {
+        let stock = FirmwareVariant::Stock.config();
+        let wdt = FirmwareVariant::WdtOnly.config();
+        assert_eq!(wdt.tx_queue_size, stock.tx_queue_size);
+        assert!(wdt.wdt_timeout > stock.wdt_timeout);
+        assert!(!wdt.has_feedback_task());
+        assert!(FirmwareVariant::WdtAndFeedback.config().has_feedback_task());
+    }
+}

@@ -1,0 +1,144 @@
+//! k-fold cross-validation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use aerorem_numerics::stats;
+
+use crate::dataset::Dataset;
+use crate::{MlError, Regressor};
+
+/// Generates `k` folds of row indices after a seeded shuffle. Every row
+/// appears in exactly one fold; fold sizes differ by at most one.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidHyperparameter`] when `k < 2` or `k > n`.
+pub fn kfold_indices<R: Rng>(n: usize, k: usize, rng: &mut R) -> Result<Vec<Vec<usize>>, MlError> {
+    if k < 2 || k > n {
+        return Err(MlError::InvalidHyperparameter {
+            name: "k_folds",
+            reason: "need 2 <= k <= n",
+        });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut folds = vec![Vec::new(); k];
+    for (i, row) in idx.into_iter().enumerate() {
+        folds[i % k].push(row);
+    }
+    Ok(folds)
+}
+
+/// Runs k-fold cross-validation of a regressor builder, returning the
+/// per-fold RMSEs.
+///
+/// `make` is called once per fold so each fold trains a fresh model.
+///
+/// # Errors
+///
+/// Propagates fold-index and estimator errors.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_ml::crossval::cross_validate;
+/// use aerorem_ml::dataset::Dataset;
+/// use aerorem_ml::knn::{KnnRegressor, Weighting};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), aerorem_ml::MlError> {
+/// let data = Dataset::new(
+///     (0..20).map(|i| vec![i as f64]).collect(),
+///     (0..20).map(|i| i as f64).collect(),
+/// )?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let rmses = cross_validate(&data, 4, &mut rng, || KnnRegressor::paper_tuned())?;
+/// assert_eq!(rmses.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_validate<M, F, R>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut R,
+    make: F,
+) -> Result<Vec<f64>, MlError>
+where
+    M: Regressor,
+    F: Fn() -> M,
+    R: Rng,
+{
+    let folds = kfold_indices(data.len(), k, rng)?;
+    let mut rmses = Vec::with_capacity(k);
+    for held_out in 0..k {
+        let test = data.subset(&folds[held_out]);
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != held_out)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        let train = data.subset(&train_idx);
+        let mut model = make();
+        model.fit(&train.x, &train.y)?;
+        let preds = model.predict(&test.x)?;
+        rmses.push(stats::rmse(&preds, &test.y));
+    }
+    Ok(rmses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::GlobalMean;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folds_partition_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = kfold_indices(23, 5, &mut rng).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        // Balanced within one.
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn fold_validation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(kfold_indices(10, 1, &mut rng).is_err());
+        assert!(kfold_indices(3, 4, &mut rng).is_err());
+        assert!(kfold_indices(4, 4, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn cv_on_constant_targets_is_zero_error() {
+        let data = Dataset::new(
+            (0..12).map(|i| vec![i as f64]).collect(),
+            vec![5.0; 12],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let rmses = cross_validate(&data, 3, &mut rng, GlobalMean::new).unwrap();
+        for r in rmses {
+            assert!(r < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cv_is_seeded() {
+        let data = Dataset::new(
+            (0..30).map(|i| vec![i as f64]).collect(),
+            (0..30).map(|i| (i % 7) as f64).collect(),
+        )
+        .unwrap();
+        let a = cross_validate(&data, 5, &mut StdRng::seed_from_u64(4), GlobalMean::new).unwrap();
+        let b = cross_validate(&data, 5, &mut StdRng::seed_from_u64(4), GlobalMean::new).unwrap();
+        assert_eq!(a, b);
+    }
+}

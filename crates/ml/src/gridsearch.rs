@@ -1,0 +1,272 @@
+//! Hyperparameter grid search.
+//!
+//! §III-B tunes every estimator "using a grid search considering an
+//! exhaustive set of hyperparameters", with "the validation set … taken out
+//! of the training set". [`grid_search`] does exactly that over any list of
+//! named candidate builders; `crossbeam` scoped threads evaluate candidates
+//! in parallel since each candidate is independent.
+
+use crossbeam::thread;
+use rand::Rng;
+
+use aerorem_numerics::stats;
+
+use crate::dataset::Dataset;
+use crate::{MlError, Regressor};
+
+/// One evaluated grid-search candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateScore {
+    /// Human-readable candidate description, e.g. `"k=16 w=distance p=2"`.
+    pub name: String,
+    /// Validation RMSE.
+    pub rmse: f64,
+}
+
+/// Result of a grid search: every candidate scored, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// Scores sorted ascending by RMSE (best first). Candidates that failed
+    /// to fit are excluded.
+    pub scores: Vec<CandidateScore>,
+}
+
+impl GridSearchResult {
+    /// The winning candidate.
+    ///
+    /// Returns `None` when every candidate failed.
+    pub fn best(&self) -> Option<&CandidateScore> {
+        self.scores.first()
+    }
+}
+
+/// A named estimator factory for the search grid.
+pub type Candidate<M> = (String, Box<dyn Fn() -> M + Sync>);
+
+/// Evaluates every candidate on a validation split carved out of the
+/// training data, in parallel.
+///
+/// `val_fraction` of `train` becomes the validation set (the paper's
+/// protocol); each candidate is fitted on the remainder and scored by
+/// validation RMSE. Candidates whose fit or predict fails are dropped from
+/// the ranking (a grid may legitimately contain configurations that cannot
+/// fit a given dataset).
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidHyperparameter`] for an empty candidate list
+/// or a degenerate split, [`MlError::Numerical`] if *all* candidates failed.
+pub fn grid_search<M, R>(
+    candidates: Vec<Candidate<M>>,
+    train: &Dataset,
+    val_fraction: f64,
+    rng: &mut R,
+) -> Result<GridSearchResult, MlError>
+where
+    M: Regressor + Send,
+    R: Rng,
+{
+    if candidates.is_empty() {
+        return Err(MlError::InvalidHyperparameter {
+            name: "candidates",
+            reason: "grid must contain at least one candidate",
+        });
+    }
+    let (fit_set, val_set) = train.train_test_split(1.0 - val_fraction, rng)?;
+
+    let results: Vec<Option<CandidateScore>> = thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .iter()
+            .map(|(name, make)| {
+                let fit_set = &fit_set;
+                let val_set = &val_set;
+                scope.spawn(move |_| {
+                    let mut model = make();
+                    if model.fit(&fit_set.x, &fit_set.y).is_err() {
+                        return None;
+                    }
+                    let preds = model.predict(&val_set.x).ok()?;
+                    Some(CandidateScore {
+                        name: name.clone(),
+                        rmse: stats::rmse(&preds, &val_set.y),
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid-search worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut scores: Vec<CandidateScore> = results.into_iter().flatten().collect();
+    if scores.is_empty() {
+        return Err(MlError::Numerical(
+            "every grid-search candidate failed to fit".into(),
+        ));
+    }
+    scores.sort_by(|a, b| a.rmse.partial_cmp(&b.rmse).expect("finite RMSE"));
+    Ok(GridSearchResult { scores })
+}
+
+/// Builds the paper's kNN hyperparameter grid: `k ∈ ks`,
+/// `weights ∈ {uniform, distance}`, `p ∈ {1, 2}`.
+pub fn knn_grid(ks: &[usize]) -> Vec<Candidate<crate::knn::KnnRegressor>> {
+    use crate::knn::{KnnRegressor, Weighting};
+    let mut out: Vec<Candidate<crate::knn::KnnRegressor>> = Vec::new();
+    for &k in ks {
+        for (wname, w) in [("uniform", Weighting::Uniform), ("distance", Weighting::Distance)] {
+            for p in [1.0, 2.0] {
+                let name = format!("k={k} w={wname} p={p}");
+                out.push((
+                    name,
+                    Box::new(move || {
+                        KnnRegressor::new(k, w, p).expect("grid parameters are valid")
+                    }),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the paper's MLP grid: "multiple hidden layers with a varying
+/// amount of nodes … different activation functions and optimizers"
+/// (§III-B). Epochs are reduced relative to the final training budget so
+/// the grid stays affordable.
+pub fn mlp_grid() -> Vec<Candidate<crate::mlp::Mlp>> {
+    use crate::mlp::{Activation, Mlp, MlpConfig, Optimizer};
+    let mut out: Vec<Candidate<crate::mlp::Mlp>> = Vec::new();
+    for width in [8usize, 16, 32] {
+        for (aname, act) in [("sigmoid", Activation::Sigmoid), ("relu", Activation::Relu)] {
+            for (oname, opt) in [("adam", Optimizer::adam(0.01)), ("sgd", Optimizer::Sgd { lr: 0.01 })]
+            {
+                let name = format!("mlp {width}x{aname} {oname}");
+                out.push((
+                    name,
+                    Box::new(move || {
+                        Mlp::new(MlpConfig {
+                            hidden: vec![(width, act)],
+                            optimizer: opt,
+                            epochs: 120,
+                            ..MlpConfig::paper_tuned()
+                        })
+                    }),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnRegressor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noisy_line(n: usize) -> Dataset {
+        // y = 2x with a deterministic "noise" wiggle.
+        Dataset::new(
+            (0..n).map(|i| vec![i as f64 / 10.0]).collect(),
+            (0..n)
+                .map(|i| 2.0 * (i as f64 / 10.0) + ((i * 7) % 3) as f64 * 0.05)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn search_ranks_candidates() {
+        let data = noisy_line(80);
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = grid_search(knn_grid(&[1, 3, 8]), &data, 0.25, &mut rng).unwrap();
+        assert_eq!(result.scores.len(), 12);
+        // Sorted ascending.
+        for w in result.scores.windows(2) {
+            assert!(w[0].rmse <= w[1].rmse);
+        }
+        let best = result.best().unwrap();
+        assert!(best.rmse < 0.5, "best rmse {}", best.rmse);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let data = noisy_line(60);
+        let a = grid_search(
+            knn_grid(&[1, 3]),
+            &data,
+            0.25,
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        let b = grid_search(
+            knn_grid(&[1, 3]),
+            &data,
+            0.25,
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let data = noisy_line(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty: Vec<Candidate<KnnRegressor>> = Vec::new();
+        assert!(grid_search(empty, &data, 0.25, &mut rng).is_err());
+    }
+
+    #[test]
+    fn failing_candidates_are_dropped() {
+        // k larger than the fit set is fine for kNN (it clamps), so use an
+        // impossible feature-scaled model to force a fit error.
+        let data = noisy_line(20);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cands = knn_grid(&[2]);
+        cands.push((
+            "broken".into(),
+            Box::new(|| {
+                KnnRegressor::new(1, crate::knn::Weighting::Uniform, 2.0)
+                    .unwrap()
+                    .with_feature_scaling(vec![1.0, 1.0, 1.0]) // wrong dim
+                    .unwrap()
+            }),
+        ));
+        let result = grid_search(cands, &data, 0.25, &mut rng).unwrap();
+        assert!(result.scores.iter().all(|s| s.name != "broken"));
+        assert_eq!(result.scores.len(), 4);
+    }
+
+    #[test]
+    fn mlp_grid_runs_and_ranks() {
+        // y = x0 + x1 on [0,1]²: every configuration can fit this, and the
+        // grid search must rank them without failures.
+        let data = Dataset::new(
+            (0..80)
+                .map(|i| vec![(i % 9) as f64 / 9.0, (i / 9) as f64 / 9.0])
+                .collect(),
+            (0..80)
+                .map(|i| (i % 9) as f64 / 9.0 + (i / 9) as f64 / 9.0)
+                .collect(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let result = grid_search(mlp_grid(), &data, 0.25, &mut rng).unwrap();
+        assert_eq!(result.scores.len(), 12);
+        let best = result.best().unwrap();
+        assert!(best.rmse < 0.25, "best MLP rmse {}", best.rmse);
+        // Adam dominates the top of the table on this budget.
+        assert!(best.name.contains("adam"), "winner {}", best.name);
+    }
+
+    #[test]
+    fn knn_grid_shape() {
+        let grid = knn_grid(&[3, 16]);
+        assert_eq!(grid.len(), 2 * 2 * 2);
+        assert!(grid.iter().any(|(n, _)| n == "k=16 w=distance p=2"));
+    }
+}

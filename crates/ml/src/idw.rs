@@ -1,0 +1,182 @@
+//! Inverse-distance-weighted (Shepard) interpolation.
+//!
+//! Not in the paper's estimator lineup, but the simplest spatial
+//! interpolator the REM literature uses — included as an extension and as
+//! an ablation baseline for the Figure-8 bench (see `DESIGN.md` §6).
+
+use crate::{validate_xy, MlError, Regressor};
+
+/// Shepard interpolation: `ŷ(q) = Σ wᵢ yᵢ / Σ wᵢ` with `wᵢ = 1/dᵢᵖ`,
+/// optionally restricted to the `max_neighbors` nearest samples.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_ml::idw::IdwInterpolator;
+/// use aerorem_ml::Regressor;
+///
+/// # fn main() -> Result<(), aerorem_ml::MlError> {
+/// let x = vec![vec![0.0], vec![2.0]];
+/// let y = vec![0.0, 10.0];
+/// let mut idw = IdwInterpolator::new(2.0, None)?;
+/// idw.fit(&x, &y)?;
+/// assert_eq!(idw.predict_one(&[1.0])?, 5.0); // symmetric point
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdwInterpolator {
+    power: f64,
+    max_neighbors: Option<usize>,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    dim: Option<usize>,
+}
+
+impl IdwInterpolator {
+    /// Creates an interpolator with distance power `p` (2 is classic) and
+    /// an optional neighbour cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for non-positive or
+    /// non-finite `power`, or a zero neighbour cap.
+    pub fn new(power: f64, max_neighbors: Option<usize>) -> Result<Self, MlError> {
+        if power <= 0.0 || !power.is_finite() {
+            return Err(MlError::InvalidHyperparameter {
+                name: "power",
+                reason: "must be positive and finite",
+            });
+        }
+        if max_neighbors == Some(0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "max_neighbors",
+                reason: "must be at least 1 when set",
+            });
+        }
+        Ok(IdwInterpolator {
+            power,
+            max_neighbors,
+            x: Vec::new(),
+            y: Vec::new(),
+            dim: None,
+        })
+    }
+}
+
+impl Regressor for IdwInterpolator {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        self.dim = Some(dim);
+        Ok(())
+    }
+
+    fn predict_one(&self, q: &[f64]) -> Result<f64, MlError> {
+        let dim = self.dim.ok_or(MlError::NotFitted)?;
+        if q.len() != dim {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                found: q.len(),
+            });
+        }
+        let mut dists: Vec<(usize, f64)> = self
+            .x
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d2: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (i, d2.sqrt())
+            })
+            .collect();
+        if let Some(cap) = self.max_neighbors {
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+            dists.truncate(cap);
+        }
+        // Exact hits dominate.
+        let exact: Vec<usize> = dists
+            .iter()
+            .filter(|&&(_, d)| d == 0.0)
+            .map(|&(i, _)| i)
+            .collect();
+        if !exact.is_empty() {
+            return Ok(exact.iter().map(|&i| self.y[i]).sum::<f64>() / exact.len() as f64);
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(i, d) in &dists {
+            let w = d.powf(-self.power);
+            num += w * self.y[i];
+            den += w;
+        }
+        Ok(num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hit_returns_sample() {
+        let mut idw = IdwInterpolator::new(2.0, None).unwrap();
+        idw.fit(&[vec![0.0], vec![1.0]], &[3.0, 7.0]).unwrap();
+        assert_eq!(idw.predict_one(&[1.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn predictions_bounded_by_sample_range() {
+        let mut idw = IdwInterpolator::new(2.0, None).unwrap();
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| (i % 4) as f64).collect();
+        idw.fit(&x, &y).unwrap();
+        for q in [0.3, 4.7, 11.0, -3.0] {
+            let p = idw.predict_one(&[q]).unwrap();
+            assert!((0.0..=3.0).contains(&p), "IDW is a convex combination");
+        }
+    }
+
+    #[test]
+    fn higher_power_localizes() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let y = vec![0.0, 0.0, 100.0];
+        let q = [0.5];
+        let mut soft = IdwInterpolator::new(1.0, None).unwrap();
+        let mut sharp = IdwInterpolator::new(6.0, None).unwrap();
+        soft.fit(&x, &y).unwrap();
+        sharp.fit(&x, &y).unwrap();
+        let p_soft = soft.predict_one(&q).unwrap();
+        let p_sharp = sharp.predict_one(&q).unwrap();
+        assert!(
+            p_sharp < p_soft,
+            "sharp ({p_sharp}) should ignore the far sample more than soft ({p_soft})"
+        );
+    }
+
+    #[test]
+    fn neighbor_cap_limits_influence() {
+        let x = vec![vec![0.0], vec![1.0], vec![100.0]];
+        let y = vec![0.0, 1.0, 1000.0];
+        let mut capped = IdwInterpolator::new(2.0, Some(2)).unwrap();
+        capped.fit(&x, &y).unwrap();
+        // The far outlier is excluded entirely.
+        let p = capped.predict_one(&[0.5]).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(IdwInterpolator::new(0.0, None).is_err());
+        assert!(IdwInterpolator::new(f64::NAN, None).is_err());
+        assert!(IdwInterpolator::new(2.0, Some(0)).is_err());
+        let idw = IdwInterpolator::new(2.0, None).unwrap();
+        assert_eq!(idw.predict_one(&[0.0]), Err(MlError::NotFitted));
+        let mut idw = IdwInterpolator::new(2.0, None).unwrap();
+        idw.fit(&[vec![0.0, 1.0]], &[1.0]).unwrap();
+        assert!(matches!(
+            idw.predict_one(&[0.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+}

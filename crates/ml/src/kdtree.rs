@@ -1,0 +1,293 @@
+//! A KD-tree for k-nearest-neighbour queries in low dimensions.
+//!
+//! The paper's kNN feature space mixes 3 spatial coordinates with ~80
+//! one-hot dimensions, where KD-trees degrade to brute force — so
+//! [`crate::knn::KnnRegressor`] picks its backend by dimensionality, and the
+//! `knn_backends` bench quantifies the crossover. This tree is exact: it
+//! returns the same neighbours as brute force.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A (squared-distance, index) candidate in the bounded max-heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    dist2: f64,
+    index: usize,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist2
+            .partial_cmp(&other.dist2)
+            .expect("distances are finite")
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into the point set.
+    point: usize,
+    axis: usize,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// An exact KD-tree over owned points.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_ml::kdtree::KdTree;
+///
+/// let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+/// let tree = KdTree::build(pts).unwrap();
+/// let nn = tree.nearest(&[0.9, 1.1], 1);
+/// assert_eq!(nn[0].0, 1); // index of (1,1)
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    root: Option<Box<Node>>,
+    dim: usize,
+}
+
+impl KdTree {
+    /// Builds a tree from points. Returns `None` for an empty set, ragged
+    /// rows, or zero-dimensional points.
+    pub fn build(points: Vec<Vec<f64>>) -> Option<Self> {
+        let dim = points.first()?.len();
+        if dim == 0 || points.iter().any(|p| p.len() != dim) {
+            return None;
+        }
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        let root = build_node(&points, &mut indices, 0, dim);
+        Some(KdTree { points, root, dim })
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty (never true for built trees).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns the `k` nearest points to `query` as `(index, distance)`
+    /// pairs, nearest first. Fewer than `k` results when the tree is small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.dim()`.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        self.search(self.root.as_deref(), query, k, &mut heap);
+        let mut out: Vec<(usize, f64)> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| (c.index, c.dist2.sqrt()))
+            .collect();
+        // into_sorted_vec is ascending by our Ord (nearest first).
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn search(
+        &self,
+        node: Option<&Node>,
+        query: &[f64],
+        k: usize,
+        heap: &mut BinaryHeap<Candidate>,
+    ) {
+        let Some(node) = node else { return };
+        let p = &self.points[node.point];
+        let dist2 = sq_dist(p, query);
+        if heap.len() < k {
+            heap.push(Candidate {
+                dist2,
+                index: node.point,
+            });
+        } else if let Some(worst) = heap.peek() {
+            if dist2 < worst.dist2 {
+                heap.pop();
+                heap.push(Candidate {
+                    dist2,
+                    index: node.point,
+                });
+            }
+        }
+        let delta = query[node.axis] - p[node.axis];
+        let (near, far) = if delta < 0.0 {
+            (node.left.as_deref(), node.right.as_deref())
+        } else {
+            (node.right.as_deref(), node.left.as_deref())
+        };
+        self.search(near, query, k, heap);
+        // Prune the far side unless the splitting plane is within the
+        // current worst distance.
+        let worst = heap.peek().map_or(f64::INFINITY, |c| c.dist2);
+        if heap.len() < k || delta * delta < worst {
+            self.search(far, query, k, heap);
+        }
+    }
+}
+
+fn build_node(
+    points: &[Vec<f64>],
+    indices: &mut [usize],
+    depth: usize,
+    dim: usize,
+) -> Option<Box<Node>> {
+    if indices.is_empty() {
+        return None;
+    }
+    let axis = depth % dim;
+    indices.sort_by(|&a, &b| {
+        points[a][axis]
+            .partial_cmp(&points[b][axis])
+            .expect("finite coordinates")
+    });
+    let mid = indices.len() / 2;
+    let point = indices[mid];
+    let (left, rest) = indices.split_at_mut(mid);
+    let right = &mut rest[1..];
+    Some(Box::new(Node {
+        point,
+        axis,
+        left: build_node(points, left, depth + 1, dim),
+        right: build_node(points, right, depth + 1, dim),
+    }))
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Brute-force exact k-nearest-neighbour reference, used as the fallback
+/// backend in high dimensions and as the test oracle.
+pub fn brute_force_nearest(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, sq_dist(p, query).sqrt()))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn build_rejects_bad_input() {
+        assert!(KdTree::build(vec![]).is_none());
+        assert!(KdTree::build(vec![vec![]]).is_none());
+        assert!(KdTree::build(vec![vec![1.0], vec![1.0, 2.0]]).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(vec![vec![1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.dim(), 3);
+        let nn = t.nearest(&[0.0, 0.0, 0.0], 5);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].0, 0);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let t = KdTree::build(vec![vec![1.0]]).unwrap();
+        assert!(t.nearest(&[0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_3d() {
+        let mut rng = StdRng::seed_from_u64(0x3D);
+        let points: Vec<Vec<f64>> = (0..500)
+            .map(|_| (0..3).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+        let tree = KdTree::build(points.clone()).unwrap();
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            for k in [1, 3, 16] {
+                let got = tree.nearest(&q, k);
+                let want = brute_force_nearest(&points, &q, k);
+                let got_d: Vec<f64> = got.iter().map(|g| g.1).collect();
+                let want_d: Vec<f64> = want.iter().map(|w| w.1).collect();
+                for (g, w) in got_d.iter().zip(&want_d) {
+                    assert!((g - w).abs() < 1e-9, "k={k}: {got_d:?} vs {want_d:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_high_dim() {
+        // Even where the tree is slow it must stay exact.
+        let mut rng = StdRng::seed_from_u64(0xD1E);
+        let points: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..12).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let tree = KdTree::build(points.clone()).unwrap();
+        let q: Vec<f64> = (0..12).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let got = tree.nearest(&q, 5);
+        let want = brute_force_nearest(&points, &q, 5);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.1 - w.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_all_returned() {
+        let points = vec![vec![1.0, 1.0]; 4];
+        let tree = KdTree::build(points).unwrap();
+        let nn = tree.nearest(&[1.0, 1.0], 4);
+        assert_eq!(nn.len(), 4);
+        let mut idx: Vec<usize> = nn.iter().map(|n| n.0).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+        assert!(nn.iter().all(|n| n.1 == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_query_dim_panics() {
+        let t = KdTree::build(vec![vec![1.0, 2.0]]).unwrap();
+        t.nearest(&[1.0], 1);
+    }
+
+    #[test]
+    fn results_sorted_nearest_first() {
+        let points = vec![vec![0.0], vec![5.0], vec![2.0], vec![8.0]];
+        let tree = KdTree::build(points).unwrap();
+        let nn = tree.nearest(&[1.0], 3);
+        let dists: Vec<f64> = nn.iter().map(|n| n.1).collect();
+        assert_eq!(dists, vec![1.0, 1.0, 4.0]);
+    }
+}

@@ -1,0 +1,424 @@
+//! k-nearest-neighbour regression.
+//!
+//! §III-B: "a k-nearest neighbor regressor was considered … configured to
+//! use Euclidean distance by setting `metric=minkowski` and `p=2` … the
+//! optimal values were `weights = distance` and `n_neighbors = 3`", and a
+//! variant "multiplying the one-hot encoded values by the factor of 3 and
+//! setting the `n_neighbors` parameter to 16" performed best overall. All
+//! of those knobs exist here; the ×3 trick is the
+//! [`KnnRegressor::with_feature_scaling`] hook.
+
+use crate::kdtree::{brute_force_nearest, KdTree};
+use crate::{validate_xy, MlError, Regressor};
+
+/// Neighbour weighting scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weighting {
+    /// Plain average of the k targets.
+    Uniform,
+    /// Average weighted by inverse distance (`weights = distance` in
+    /// scikit-learn terms). Exact matches dominate entirely.
+    Distance,
+}
+
+/// Above this dimensionality the KD-tree backend loses to brute force and
+/// the regressor switches automatically (see the `knn_backends` bench).
+const KDTREE_MAX_DIM: usize = 8;
+
+/// A kNN regressor with Minkowski metric.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_ml::knn::{KnnRegressor, Weighting};
+/// use aerorem_ml::Regressor;
+///
+/// # fn main() -> Result<(), aerorem_ml::MlError> {
+/// let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+/// let mut knn = KnnRegressor::new(3, Weighting::Distance, 2.0)?;
+/// knn.fit(&x, &y)?;
+/// assert_eq!(knn.predict_one(&[4.0])?, 16.0); // exact match wins
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    weighting: Weighting,
+    minkowski_p: f64,
+    feature_scale: Option<Vec<f64>>,
+    // Fitted state.
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    tree: Option<KdTree>,
+    dim: Option<usize>,
+}
+
+impl KnnRegressor {
+    /// Creates a regressor with `k` neighbours, a weighting scheme, and
+    /// Minkowski order `p` (`p = 2` is Euclidean, `p = 1` Manhattan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for `k = 0` or `p < 1`.
+    pub fn new(k: usize, weighting: Weighting, minkowski_p: f64) -> Result<Self, MlError> {
+        if k == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "k",
+                reason: "must be at least 1",
+            });
+        }
+        if minkowski_p < 1.0 || !minkowski_p.is_finite() {
+            return Err(MlError::InvalidHyperparameter {
+                name: "minkowski_p",
+                reason: "must be finite and >= 1",
+            });
+        }
+        Ok(KnnRegressor {
+            k,
+            weighting,
+            minkowski_p,
+            feature_scale: None,
+            x: Vec::new(),
+            y: Vec::new(),
+            tree: None,
+            dim: None,
+        })
+    }
+
+    /// The paper's best plain configuration: `k = 3`, distance weights,
+    /// Euclidean metric.
+    pub fn paper_tuned() -> Self {
+        Self::new(3, Weighting::Distance, 2.0).expect("valid constants")
+    }
+
+    /// Applies a per-feature scale before distance computation — the
+    /// paper's "one-hot encoded values multiplied by the factor of 3" trick
+    /// scales the MAC block by 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] if any scale is negative
+    /// or not finite.
+    pub fn with_feature_scaling(mut self, scale: Vec<f64>) -> Result<Self, MlError> {
+        if scale.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "feature_scale",
+                reason: "scales must be finite and non-negative",
+            });
+        }
+        self.feature_scale = Some(scale);
+        Ok(self)
+    }
+
+    /// The configured neighbour count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the fitted model is using the KD-tree backend.
+    pub fn uses_kdtree(&self) -> bool {
+        self.tree.is_some()
+    }
+
+    fn scaled(&self, row: &[f64]) -> Vec<f64> {
+        match &self.feature_scale {
+            Some(s) => row.iter().zip(s).map(|(v, w)| v * w).collect(),
+            None => row.to_vec(),
+        }
+    }
+
+    fn minkowski(&self, a: &[f64], b: &[f64]) -> f64 {
+        let p = self.minkowski_p;
+        if (p - 2.0).abs() < 1e-12 {
+            return a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+        }
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs().powf(p))
+            .sum::<f64>()
+            .powf(1.0 / p)
+    }
+
+    /// Finds the k nearest fitted rows to the (already scaled) query.
+    fn neighbours(&self, query: &[f64]) -> Vec<(usize, f64)> {
+        if let Some(tree) = &self.tree {
+            tree.nearest(query, self.k)
+        } else if (self.minkowski_p - 2.0).abs() < 1e-12 {
+            brute_force_nearest(&self.x, query, self.k)
+        } else {
+            let mut all: Vec<(usize, f64)> = self
+                .x
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, self.minkowski(p, query)))
+                .collect();
+            all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+            all.truncate(self.k);
+            all
+        }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        if let Some(scale) = &self.feature_scale {
+            if scale.len() != dim {
+                return Err(MlError::DimensionMismatch {
+                    expected: dim,
+                    found: scale.len(),
+                });
+            }
+        }
+        self.x = x.iter().map(|r| self.scaled(r)).collect();
+        self.y = y.to_vec();
+        self.dim = Some(dim);
+        // The KD-tree only accelerates the Euclidean metric in low
+        // dimensions; otherwise stick to brute force.
+        self.tree = if dim <= KDTREE_MAX_DIM && (self.minkowski_p - 2.0).abs() < 1e-12 {
+            KdTree::build(self.x.clone())
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    fn predict_one(&self, x: &[f64]) -> Result<f64, MlError> {
+        let dim = self.dim.ok_or(MlError::NotFitted)?;
+        if x.len() != dim {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                found: x.len(),
+            });
+        }
+        let query = self.scaled(x);
+        let nn = self.neighbours(&query);
+        debug_assert!(!nn.is_empty(), "fitted set is non-empty");
+        match self.weighting {
+            Weighting::Uniform => {
+                Ok(nn.iter().map(|&(i, _)| self.y[i]).sum::<f64>() / nn.len() as f64)
+            }
+            Weighting::Distance => {
+                // Exact matches dominate (scikit-learn semantics).
+                let exact: Vec<usize> = nn
+                    .iter()
+                    .filter(|&&(_, d)| d == 0.0)
+                    .map(|&(i, _)| i)
+                    .collect();
+                if !exact.is_empty() {
+                    return Ok(
+                        exact.iter().map(|&i| self.y[i]).sum::<f64>() / exact.len() as f64
+                    );
+                }
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &(i, d) in &nn {
+                    let w = 1.0 / d;
+                    num += w * self.y[i];
+                    den += w;
+                }
+                Ok(num / den)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.5]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn interpolates_a_line() {
+        let (x, y) = line_data();
+        let mut knn = KnnRegressor::new(2, Weighting::Distance, 2.0).unwrap();
+        knn.fit(&x, &y).unwrap();
+        for q in [0.25, 1.3, 7.1] {
+            let p = knn.predict_one(&[q]).unwrap();
+            assert!((p - (2.0 * q + 1.0)).abs() < 0.6, "at {q}: {p}");
+        }
+    }
+
+    #[test]
+    fn exact_match_dominates_distance_weighting() {
+        let (x, y) = line_data();
+        let mut knn = KnnRegressor::new(5, Weighting::Distance, 2.0).unwrap();
+        knn.fit(&x, &y).unwrap();
+        assert_eq!(knn.predict_one(&[3.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn uniform_weighting_is_plain_mean() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let y = vec![0.0, 10.0, 100.0];
+        let mut knn = KnnRegressor::new(2, Weighting::Uniform, 2.0).unwrap();
+        knn.fit(&x, &y).unwrap();
+        // Neighbours of 0.4 are x=0 and x=1 → mean 5.
+        assert_eq!(knn.predict_one(&[0.4]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_everything() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![2.0, 4.0];
+        let mut knn = KnnRegressor::new(16, Weighting::Uniform, 2.0).unwrap();
+        knn.fit(&x, &y).unwrap();
+        assert_eq!(knn.predict_one(&[0.5]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn backend_selection_by_dimension() {
+        let (x, y) = line_data();
+        let mut low = KnnRegressor::new(3, Weighting::Uniform, 2.0).unwrap();
+        low.fit(&x, &y).unwrap();
+        assert!(low.uses_kdtree(), "1-D Euclidean → KD-tree");
+
+        let x_hi: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64; 20]).collect();
+        let mut hi = KnnRegressor::new(3, Weighting::Uniform, 2.0).unwrap();
+        hi.fit(&x_hi, &y).unwrap();
+        assert!(!hi.uses_kdtree(), "20-D → brute force");
+
+        let mut manhattan = KnnRegressor::new(3, Weighting::Uniform, 1.0).unwrap();
+        manhattan.fit(&x, &y).unwrap();
+        assert!(!manhattan.uses_kdtree(), "p=1 → brute force");
+    }
+
+    #[test]
+    fn backends_agree() {
+        // Same data low-dim via tree vs forced brute force (p=1.9999…
+        // rounds differently, so compare p=2 tree against p=2 brute by
+        // padding dimensions instead).
+        let x3: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut tree = KnnRegressor::new(4, Weighting::Distance, 2.0).unwrap();
+        tree.fit(&x3, &y).unwrap();
+        assert!(tree.uses_kdtree());
+        // Pad with 6 constant zero dims: distances unchanged, but the
+        // regressor now picks brute force.
+        let x9: Vec<Vec<f64>> = x3
+            .iter()
+            .map(|r| {
+                let mut v = r.clone();
+                v.extend([0.0; 6]);
+                v
+            })
+            .collect();
+        let mut brute = KnnRegressor::new(4, Weighting::Distance, 2.0).unwrap();
+        brute.fit(&x9, &y).unwrap();
+        assert!(!brute.uses_kdtree());
+        for i in 0..10 {
+            let q3 = vec![i as f64 * 0.37, i as f64 * 0.21, 1.1];
+            let mut q9 = q3.clone();
+            q9.extend([0.0; 6]);
+            let a = tree.predict_one(&q3).unwrap();
+            let b = brute.predict_one(&q9).unwrap();
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn minkowski_p1_differs_from_p2() {
+        let x = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![5.0, 0.0]];
+        let y = vec![0.0, 1.0, 2.0];
+        let mut p1 = KnnRegressor::new(1, Weighting::Uniform, 1.0).unwrap();
+        let mut p2 = KnnRegressor::new(1, Weighting::Uniform, 2.0).unwrap();
+        p1.fit(&x, &y).unwrap();
+        p2.fit(&x, &y).unwrap();
+        // Query (4, 0): Manhattan → (3,4) costs 5, (5,0) costs 1 → y=2.
+        //               Euclidean → (5,0) costs 1 vs (3,4) costs √17 → y=2.
+        // Query (3, 2): Manhattan → (3,4)=2, (5,0)=4, origin=5 → y=1.
+        //               Euclidean → (3,4)=2, (5,0)=√8≈2.83 → y=1. Same…
+        // Use (2.0, 2.5): Manhattan: origin 4.5, (3,4) 2.5, (5,0) 5.5 → y=1.
+        //                 Euclidean: origin 3.20, (3,4) 1.80 → y=1. Same.
+        // The metrics disagree at (4.4, 0.1): Manhattan (5,0)=0.7,(3,4)=5.3;
+        // Euclidean (5,0)=0.608 → same winner. Verify distances instead.
+        let d1 = p1.minkowski(&[0.0, 0.0], &[3.0, 4.0]);
+        let d2 = p2.minkowski(&[0.0, 0.0], &[3.0, 4.0]);
+        assert_eq!(d1, 7.0);
+        assert_eq!(d2, 5.0);
+    }
+
+    #[test]
+    fn feature_scaling_changes_neighbourhoods() {
+        // Two clusters separated along dim 1; the query is nearer cluster B
+        // spatially, but scaling the "MAC" dimension ×3 flips the verdict.
+        let x = vec![
+            vec![0.0, 1.0], // group A, near
+            vec![1.2, 0.0], // group B
+        ];
+        let y = vec![10.0, 20.0];
+        let query = [0.0, 0.0]; // group B's one-hot position
+        let mut plain = KnnRegressor::new(1, Weighting::Uniform, 2.0).unwrap();
+        plain.fit(&x, &y).unwrap();
+        assert_eq!(plain.predict_one(&query).unwrap(), 10.0);
+        let mut scaled = KnnRegressor::new(1, Weighting::Uniform, 2.0)
+            .unwrap()
+            .with_feature_scaling(vec![1.0, 3.0])
+            .unwrap();
+        scaled.fit(&x, &y).unwrap();
+        assert_eq!(scaled.predict_one(&query).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn hyperparameter_validation() {
+        assert!(KnnRegressor::new(0, Weighting::Uniform, 2.0).is_err());
+        assert!(KnnRegressor::new(3, Weighting::Uniform, 0.5).is_err());
+        assert!(KnnRegressor::new(3, Weighting::Uniform, f64::NAN).is_err());
+        assert!(KnnRegressor::new(1, Weighting::Uniform, 2.0)
+            .unwrap()
+            .with_feature_scaling(vec![-1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let knn = KnnRegressor::paper_tuned();
+        assert_eq!(knn.predict_one(&[1.0, 2.0]), Err(MlError::NotFitted));
+        let mut knn = KnnRegressor::paper_tuned();
+        knn.fit(&[vec![1.0, 2.0]], &[1.0]).unwrap();
+        assert!(matches!(
+            knn.predict_one(&[1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+        // Scale length must match fit dimension.
+        let mut bad = KnnRegressor::new(1, Weighting::Uniform, 2.0)
+            .unwrap()
+            .with_feature_scaling(vec![1.0])
+            .unwrap();
+        assert!(bad.fit(&[vec![1.0, 2.0]], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn paper_tuned_settings() {
+        let knn = KnnRegressor::paper_tuned();
+        assert_eq!(knn.k(), 3);
+    }
+
+    #[test]
+    fn batch_predict() {
+        let (x, y) = line_data();
+        let mut knn = KnnRegressor::paper_tuned();
+        knn.fit(&x, &y).unwrap();
+        let preds = knn.predict(&x).unwrap();
+        assert_eq!(preds.len(), x.len());
+        // Exact training points reproduce their targets under distance
+        // weighting.
+        for (p, t) in preds.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Ordinary kriging with variogram fitting.
+//!
+//! The geostatistical gold standard for radio-map interpolation — not in the
+//! paper's lineup (see `DESIGN.md` §6: "kriging/REM tools scattered; no
+//! canonical 3D indoor REM pipeline"), implemented here as the extension
+//! estimator and ablation baseline.
+//!
+//! Pipeline: an **empirical semivariogram** is estimated from the training
+//! pairs ([`empirical_variogram`]), a parametric model (exponential /
+//! spherical / Gaussian) is fitted by weighted least squares over a
+//! parameter grid ([`fit_variogram`]), and predictions solve the ordinary
+//! kriging system over the nearest neighbours with the Lagrange multiplier
+//! enforcing unbiasedness.
+
+use aerorem_numerics::Matrix;
+
+use crate::kdtree::brute_force_nearest;
+use crate::{validate_xy, MlError, Regressor};
+
+/// Parametric semivariogram families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariogramKind {
+    /// `γ(h) = n + s·(1 − exp(−3h/r))`.
+    Exponential,
+    /// The spherical model: rises to the sill at exactly `h = r`.
+    Spherical,
+    /// `γ(h) = n + s·(1 − exp(−3h²/r²))` — very smooth near the origin.
+    Gaussian,
+}
+
+/// A fitted semivariogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variogram {
+    /// Model family.
+    pub kind: VariogramKind,
+    /// Nugget: variance at zero lag (measurement noise).
+    pub nugget: f64,
+    /// Partial sill: variance gained from nugget to plateau.
+    pub sill: f64,
+    /// Range: lag at which the plateau is (practically) reached.
+    pub range: f64,
+}
+
+impl Variogram {
+    /// Evaluates `γ(h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is negative.
+    pub fn gamma(&self, h: f64) -> f64 {
+        assert!(h >= 0.0, "lag must be non-negative");
+        if h == 0.0 {
+            return 0.0;
+        }
+        let r = self.range.max(1e-9);
+        let structured = match self.kind {
+            VariogramKind::Exponential => 1.0 - (-3.0 * h / r).exp(),
+            VariogramKind::Spherical => {
+                if h >= r {
+                    1.0
+                } else {
+                    1.5 * h / r - 0.5 * (h / r).powi(3)
+                }
+            }
+            VariogramKind::Gaussian => 1.0 - (-3.0 * h * h / (r * r)).exp(),
+        };
+        self.nugget + self.sill * structured
+    }
+}
+
+/// One bin of an empirical semivariogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariogramBin {
+    /// Mean lag of the pairs in the bin, meters.
+    pub lag: f64,
+    /// Semivariance `½·mean[(zᵢ − zⱼ)²]`.
+    pub gamma: f64,
+    /// Number of pairs.
+    pub pairs: usize,
+}
+
+/// Estimates the empirical semivariogram with `n_bins` equal-width lag bins
+/// up to `max_lag`.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidHyperparameter`] for zero bins or non-positive
+/// `max_lag`, [`MlError::EmptyTrainingSet`] for fewer than 2 points.
+pub fn empirical_variogram(
+    points: &[Vec<f64>],
+    values: &[f64],
+    n_bins: usize,
+    max_lag: f64,
+) -> Result<Vec<VariogramBin>, MlError> {
+    if n_bins == 0 {
+        return Err(MlError::InvalidHyperparameter {
+            name: "n_bins",
+            reason: "must be at least 1",
+        });
+    }
+    if max_lag <= 0.0 {
+        return Err(MlError::InvalidHyperparameter {
+            name: "max_lag",
+            reason: "must be positive",
+        });
+    }
+    if points.len() < 2 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    validate_xy(points, values)?;
+    let width = max_lag / n_bins as f64;
+    let mut sum_gamma = vec![0.0; n_bins];
+    let mut sum_lag = vec![0.0; n_bins];
+    let mut count = vec![0usize; n_bins];
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let h: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            if h >= max_lag {
+                continue;
+            }
+            let bin = ((h / width) as usize).min(n_bins - 1);
+            sum_gamma[bin] += 0.5 * (values[i] - values[j]).powi(2);
+            sum_lag[bin] += h;
+            count[bin] += 1;
+        }
+    }
+    Ok((0..n_bins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| VariogramBin {
+            lag: sum_lag[b] / count[b] as f64,
+            gamma: sum_gamma[b] / count[b] as f64,
+            pairs: count[b],
+        })
+        .collect())
+}
+
+/// Fits a variogram model to empirical bins by pair-count-weighted least
+/// squares over a dense parameter grid.
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyTrainingSet`] when no bins are provided.
+pub fn fit_variogram(bins: &[VariogramBin], kind: VariogramKind) -> Result<Variogram, MlError> {
+    if bins.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    let max_gamma = bins.iter().map(|b| b.gamma).fold(0.0f64, f64::max).max(1e-9);
+    let max_lag = bins.iter().map(|b| b.lag).fold(0.0f64, f64::max).max(1e-9);
+    let mut best = Variogram {
+        kind,
+        nugget: 0.0,
+        sill: max_gamma,
+        range: max_lag,
+    };
+    let mut best_err = f64::INFINITY;
+    for nug_frac in [0.0, 0.05, 0.1, 0.2, 0.35, 0.5] {
+        for sill_frac in [0.4, 0.6, 0.8, 1.0, 1.2, 1.5] {
+            for range_frac in [0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0] {
+                let v = Variogram {
+                    kind,
+                    nugget: nug_frac * max_gamma,
+                    sill: sill_frac * max_gamma,
+                    range: range_frac * max_lag,
+                };
+                let err: f64 = bins
+                    .iter()
+                    .map(|b| b.pairs as f64 * (v.gamma(b.lag) - b.gamma).powi(2))
+                    .sum();
+                if err < best_err {
+                    best_err = err;
+                    best = v;
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Ordinary kriging configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KrigingConfig {
+    /// Variogram family to fit.
+    pub variogram: VariogramKind,
+    /// Lag bins for the empirical variogram.
+    pub n_bins: usize,
+    /// Neighbours per prediction (keeps the linear solve small).
+    pub max_neighbors: usize,
+}
+
+impl Default for KrigingConfig {
+    fn default() -> Self {
+        KrigingConfig {
+            variogram: VariogramKind::Exponential,
+            n_bins: 12,
+            max_neighbors: 24,
+        }
+    }
+}
+
+/// Ordinary kriging regressor.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_ml::kriging::{KrigingConfig, OrdinaryKriging};
+/// use aerorem_ml::Regressor;
+///
+/// # fn main() -> Result<(), aerorem_ml::MlError> {
+/// let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.5]).collect();
+/// let y: Vec<f64> = x.iter().map(|r| -70.0 - r[0]).collect();
+/// let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+/// ok.fit(&x, &y)?;
+/// let p = ok.predict_one(&[2.25])?;
+/// assert!((p - -72.25).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrdinaryKriging {
+    config: KrigingConfig,
+    variogram: Option<Variogram>,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    dim: Option<usize>,
+}
+
+impl OrdinaryKriging {
+    /// Creates an unfitted kriging estimator.
+    pub fn new(config: KrigingConfig) -> Self {
+        OrdinaryKriging {
+            config,
+            variogram: None,
+            x: Vec::new(),
+            y: Vec::new(),
+            dim: None,
+        }
+    }
+
+    /// The fitted variogram, if any.
+    pub fn variogram(&self) -> Option<Variogram> {
+        self.variogram
+    }
+}
+
+impl OrdinaryKriging {
+    /// Predicts the target **and the kriging variance** at one row — the
+    /// model's own uncertainty about the prediction, in squared target
+    /// units. Zero at sampled locations, growing toward the variogram sill
+    /// far from any sample. This is what separates kriging from the other
+    /// interpolators: the REM can carry a confidence layer.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Regressor::predict_one`].
+    pub fn predict_with_variance(&self, q: &[f64]) -> Result<(f64, f64), MlError> {
+        let dim = self.dim.ok_or(MlError::NotFitted)?;
+        let vgram = self.variogram.ok_or(MlError::NotFitted)?;
+        if q.len() != dim {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                found: q.len(),
+            });
+        }
+        let nn = brute_force_nearest(&self.x, q, self.config.max_neighbors);
+        if let Some(&(i, d)) = nn.first() {
+            if d < 1e-12 {
+                return Ok((self.y[i], 0.0));
+            }
+        }
+        let n = nn.len();
+        let mut a = Matrix::zeros(n + 1, n + 1);
+        let mut b = vec![0.0; n + 1];
+        for (ri, &(i, _)) in nn.iter().enumerate() {
+            for (rj, &(j, _)) in nn.iter().enumerate() {
+                let h: f64 = self.x[i]
+                    .iter()
+                    .zip(&self.x[j])
+                    .map(|(p, r)| (p - r) * (p - r))
+                    .sum::<f64>()
+                    .sqrt();
+                a[(ri, rj)] = vgram.gamma(h);
+            }
+            a[(ri, n)] = 1.0;
+            a[(n, ri)] = 1.0;
+            b[ri] = vgram.gamma(nn[ri].1);
+        }
+        b[n] = 1.0;
+        for ri in 0..n {
+            a[(ri, ri)] += 1e-10;
+        }
+        let sol = a
+            .solve(&b)
+            .map_err(|e| MlError::Numerical(format!("kriging system: {e}")))?;
+        let pred: f64 = nn
+            .iter()
+            .enumerate()
+            .map(|(ri, &(i, _))| sol[ri] * self.y[i])
+            .sum();
+        // Kriging variance: sigma^2 = sum_i w_i gamma(q, x_i) + mu.
+        let variance: f64 = (0..n).map(|ri| sol[ri] * b[ri]).sum::<f64>() + sol[n];
+        Ok((pred, variance.max(0.0)))
+    }
+}
+
+impl Regressor for OrdinaryKriging {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        if x.len() < 2 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        // Max lag: half the data diameter (standard practice).
+        let mut max_lag = 0.0f64;
+        for i in 0..x.len().min(200) {
+            for j in (i + 1)..x.len().min(200) {
+                let h: f64 = x[i]
+                    .iter()
+                    .zip(&x[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                max_lag = max_lag.max(h);
+            }
+        }
+        // Half the data diameter is standard; tiny datasets can leave that
+        // window empty, so fall back to the full diameter.
+        let mut bins = empirical_variogram(x, y, self.config.n_bins, (max_lag / 2.0).max(1e-6))?;
+        if bins.is_empty() {
+            bins = empirical_variogram(x, y, self.config.n_bins, max_lag * 1.01)?;
+        }
+        self.variogram = Some(fit_variogram(&bins, self.config.variogram)?);
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        self.dim = Some(dim);
+        Ok(())
+    }
+
+    fn predict_one(&self, q: &[f64]) -> Result<f64, MlError> {
+        self.predict_with_variance(q).map(|(pred, _)| pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_properties() {
+        for kind in [
+            VariogramKind::Exponential,
+            VariogramKind::Spherical,
+            VariogramKind::Gaussian,
+        ] {
+            let v = Variogram {
+                kind,
+                nugget: 0.5,
+                sill: 2.0,
+                range: 3.0,
+            };
+            assert_eq!(v.gamma(0.0), 0.0, "{kind:?} at zero");
+            // Monotone non-decreasing.
+            let mut last = 0.0;
+            for i in 1..50 {
+                let g = v.gamma(i as f64 * 0.2);
+                assert!(g >= last - 1e-12, "{kind:?} not monotone");
+                last = g;
+            }
+            // Approaches nugget+sill at large lag.
+            assert!((v.gamma(100.0) - 2.5).abs() < 1e-6, "{kind:?} sill");
+            // Nugget discontinuity just above zero.
+            assert!(v.gamma(1e-9) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn spherical_hits_sill_exactly_at_range() {
+        let v = Variogram {
+            kind: VariogramKind::Spherical,
+            nugget: 0.0,
+            sill: 1.0,
+            range: 2.0,
+        };
+        assert!((v.gamma(2.0) - 1.0).abs() < 1e-12);
+        assert!((v.gamma(5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_variogram_of_linear_field_grows() {
+        // z = x → γ(h) = h²/2: strictly growing in lag.
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.5]).collect();
+        let vals: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        let bins = empirical_variogram(&pts, &vals, 8, 8.0).unwrap();
+        assert!(bins.len() >= 4);
+        for w in bins.windows(2) {
+            assert!(w[1].gamma > w[0].gamma);
+        }
+    }
+
+    #[test]
+    fn empirical_variogram_validation() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let vals = vec![0.0, 1.0];
+        assert!(empirical_variogram(&pts, &vals, 0, 1.0).is_err());
+        assert!(empirical_variogram(&pts, &vals, 4, 0.0).is_err());
+        assert!(empirical_variogram(&pts[..1], &vals[..1], 4, 1.0).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_reasonable_parameters() {
+        // Synthesize bins from a known exponential variogram.
+        let truth = Variogram {
+            kind: VariogramKind::Exponential,
+            nugget: 0.0,
+            sill: 4.0,
+            range: 5.0,
+        };
+        let bins: Vec<VariogramBin> = (1..=12)
+            .map(|i| {
+                let lag = i as f64 * 0.8;
+                VariogramBin {
+                    lag,
+                    gamma: truth.gamma(lag),
+                    pairs: 100,
+                }
+            })
+            .collect();
+        let fitted = fit_variogram(&bins, VariogramKind::Exponential).unwrap();
+        // Grid resolution limits precision; check the shape matches.
+        for b in &bins {
+            assert!(
+                (fitted.gamma(b.lag) - b.gamma).abs() < 0.8,
+                "at {}: {} vs {}",
+                b.lag,
+                fitted.gamma(b.lag),
+                b.gamma
+            );
+        }
+        assert!(fit_variogram(&[], VariogramKind::Gaussian).is_err());
+    }
+
+    #[test]
+    fn kriging_is_exact_at_samples() {
+        let x: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] * 0.5).sin() * 5.0 - 70.0).collect();
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&x, &y).unwrap();
+        for (xi, &yi) in x.iter().zip(&y) {
+            let p = ok.predict_one(xi).unwrap();
+            assert!((p - yi).abs() < 1e-6, "at {xi:?}: {p} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn kriging_interpolates_smoothly() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.5]).collect();
+        let y: Vec<f64> = x.iter().map(|r| -70.0 - 2.0 * r[0]).collect();
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&x, &y).unwrap();
+        let p = ok.predict_one(&[3.25]).unwrap();
+        assert!((p - -76.5).abs() < 1.0, "got {p}");
+        assert!(ok.variogram().is_some());
+    }
+
+    #[test]
+    fn kriging_2d_field() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                x.push(vec![i as f64, j as f64]);
+                y.push(-60.0 - (i as f64) - 0.5 * (j as f64));
+            }
+        }
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&x, &y).unwrap();
+        let p = ok.predict_one(&[3.5, 3.5]).unwrap();
+        assert!((p - (-60.0 - 3.5 - 1.75)).abs() < 0.5, "got {p}");
+    }
+
+    #[test]
+    fn variance_zero_at_samples_grows_away() {
+        let x: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| -70.0 - r[0]).collect();
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&x, &y).unwrap();
+        let (_, v_at_sample) = ok.predict_with_variance(&[4.0]).unwrap();
+        assert_eq!(v_at_sample, 0.0);
+        let (_, v_near) = ok.predict_with_variance(&[4.3]).unwrap();
+        let (_, v_far) = ok.predict_with_variance(&[30.0]).unwrap();
+        assert!(v_near >= 0.0);
+        assert!(
+            v_far > v_near,
+            "extrapolation must be less certain: {v_far} vs {v_near}"
+        );
+    }
+
+    #[test]
+    fn variance_errors_match_prediction_errors() {
+        let ok = OrdinaryKriging::new(KrigingConfig::default());
+        assert!(ok.predict_with_variance(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_the_solve() {
+        let x = vec![vec![0.0], vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![5.0, 5.0, 6.0, 7.0];
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&x, &y).unwrap();
+        let p = ok.predict_one(&[1.5]).unwrap();
+        assert!(p.is_finite());
+        assert!((5.0..=7.5).contains(&p));
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let ok = OrdinaryKriging::new(KrigingConfig::default());
+        assert_eq!(ok.predict_one(&[0.0]), Err(MlError::NotFitted));
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        assert!(ok.fit(&[vec![1.0]], &[1.0]).is_err(), "one point is not enough");
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&[vec![0.0], vec![1.0]], &[0.0, 1.0]).unwrap();
+        assert!(matches!(
+            ok.predict_one(&[0.0, 1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,209 @@
+//! From-scratch machine learning and geostatistics for REM prediction.
+//!
+//! §III-B of the paper trains several estimators on the collected
+//! `(x, y, z, one-hot MAC, one-hot channel) → RSS` samples and compares
+//! their RMSE on a 75/25 split (Figure 8):
+//!
+//! * a **baseline** that "always returns the mean per MAC address"
+//!   ([`baseline::GroupMeanBaseline`]);
+//! * **kNN regressors** ([`knn::KnnRegressor`]) with Minkowski metric,
+//!   distance weighting, grid-searched `k`, optionally with the one-hot MAC
+//!   block scaled ×3, plus a **per-MAC ensemble** ([`ensemble`]);
+//! * a **neural network** ([`mlp::Mlp`]): one 16-node sigmoid hidden layer,
+//!   linear output, Adam.
+//!
+//! The Rust ecosystem offers no scikit-learn, so everything here — KD-trees,
+//! backprop, Adam, grid search, k-fold CV — is implemented from scratch on
+//! `aerorem-numerics` (see `DESIGN.md` §2).
+//!
+//! Beyond the paper, the crate ships the geostatistical interpolators the
+//! REM community usually reaches for: **inverse-distance weighting**
+//! ([`idw`]) and **ordinary kriging** with variogram fitting ([`kriging`])
+//! — used as ablation baselines in the benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use aerorem_ml::knn::{KnnRegressor, Weighting};
+//! use aerorem_ml::Regressor;
+//!
+//! # fn main() -> Result<(), aerorem_ml::MlError> {
+//! let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+//! let y = vec![0.0, 1.0, 2.0, 3.0];
+//! let mut knn = KnnRegressor::new(2, Weighting::Distance, 2.0)?;
+//! knn.fit(&x, &y)?;
+//! let pred = knn.predict_one(&[1.4])?;
+//! assert!((pred - 1.4).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod crossval;
+pub mod dataset;
+pub mod ensemble;
+pub mod gridsearch;
+pub mod idw;
+pub mod kdtree;
+pub mod knn;
+pub mod kriging;
+pub mod mlp;
+pub mod preprocess;
+
+use std::fmt;
+
+/// Error type shared by all estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Predict called before fit.
+    NotFitted,
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Feature dimensions disagree (between rows, or fit vs predict).
+    DimensionMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Found feature count.
+        found: usize,
+    },
+    /// A hyperparameter was out of its valid range.
+    InvalidHyperparameter {
+        /// Which hyperparameter.
+        name: &'static str,
+        /// Why it is invalid.
+        reason: &'static str,
+    },
+    /// The targets/features length mismatch.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// A numerical routine failed (singular kriging system, NaN loss, …).
+    Numerical(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::NotFitted => write!(f, "estimator used before fit"),
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::DimensionMismatch { expected, found } => {
+                write!(f, "feature dimension mismatch: expected {expected}, found {found}")
+            }
+            MlError::InvalidHyperparameter { name, reason } => {
+                write!(f, "invalid hyperparameter {name}: {reason}")
+            }
+            MlError::LengthMismatch { rows, targets } => {
+                write!(f, "{rows} feature rows but {targets} targets")
+            }
+            MlError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// A regression estimator: fit on rows, predict scalars.
+pub trait Regressor {
+    /// Fits the estimator to feature rows `x` and targets `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError`] for empty, ragged, or mismatched input.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError>;
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before fit and
+    /// [`MlError::DimensionMismatch`] for wrong-width rows.
+    fn predict_one(&self, x: &[f64]) -> Result<f64, MlError>;
+
+    /// Predicts a batch of rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first row error.
+    fn predict(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+}
+
+/// Validates a feature matrix + target vector pair, returning the feature
+/// dimension.
+pub(crate) fn validate_xy(x: &[Vec<f64>], y: &[f64]) -> Result<usize, MlError> {
+    if x.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if x.len() != y.len() {
+        return Err(MlError::LengthMismatch {
+            rows: x.len(),
+            targets: y.len(),
+        });
+    }
+    let dim = x[0].len();
+    if dim == 0 {
+        return Err(MlError::DimensionMismatch {
+            expected: 1,
+            found: 0,
+        });
+    }
+    for row in x {
+        if row.len() != dim {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                found: row.len(),
+            });
+        }
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_xy_catches_problems() {
+        assert_eq!(validate_xy(&[], &[]), Err(MlError::EmptyTrainingSet));
+        assert_eq!(
+            validate_xy(&[vec![1.0]], &[1.0, 2.0]),
+            Err(MlError::LengthMismatch {
+                rows: 1,
+                targets: 2
+            })
+        );
+        assert_eq!(
+            validate_xy(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 0.0]),
+            Err(MlError::DimensionMismatch {
+                expected: 1,
+                found: 2
+            })
+        );
+        assert_eq!(
+            validate_xy(&[vec![]], &[0.0]),
+            Err(MlError::DimensionMismatch {
+                expected: 1,
+                found: 0
+            })
+        );
+        assert_eq!(validate_xy(&[vec![1.0, 2.0]], &[0.0]), Ok(2));
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(MlError::NotFitted.to_string().contains("before fit"));
+        assert!(MlError::Numerical("nan".into()).to_string().contains("nan"));
+        let e = MlError::InvalidHyperparameter {
+            name: "k",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains('k'));
+    }
+}

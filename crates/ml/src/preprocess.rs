@@ -1,0 +1,202 @@
+//! Feature preprocessing: one-hot encoding and standardization.
+//!
+//! §III-B: "MAC and channel features were considered as categorical and
+//! one-hot encoded", after dropping MACs with fewer than 16 samples. The
+//! paper-specific sample filtering lives in `aerorem-core`; the reusable
+//! encoders live here.
+
+use std::collections::BTreeMap;
+
+use crate::MlError;
+
+/// A one-hot encoder over arbitrary ordered keys.
+///
+/// Categories are assigned columns in sorted order so the encoding is
+/// independent of input order (reproducible feature layouts).
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_ml::preprocess::OneHotEncoder;
+///
+/// let enc = OneHotEncoder::fit(["b", "a", "b", "c"]);
+/// assert_eq!(enc.width(), 3);
+/// assert_eq!(enc.encode(&"a"), Some(vec![1.0, 0.0, 0.0]));
+/// assert_eq!(enc.encode(&"zz"), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OneHotEncoder<K: Ord> {
+    columns: BTreeMap<K, usize>,
+}
+
+impl<K: Ord + Clone> OneHotEncoder<K> {
+    /// Learns the category set from an iterator of keys.
+    pub fn fit<I: IntoIterator<Item = K>>(keys: I) -> Self {
+        let unique: std::collections::BTreeSet<K> = keys.into_iter().collect();
+        let columns = unique
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i))
+            .collect();
+        OneHotEncoder { columns }
+    }
+
+    /// Number of one-hot columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column index of a category, if known.
+    pub fn column(&self, key: &K) -> Option<usize> {
+        self.columns.get(key).copied()
+    }
+
+    /// Encodes one key as a one-hot vector, or `None` for unknown keys.
+    pub fn encode(&self, key: &K) -> Option<Vec<f64>> {
+        let col = self.column(key)?;
+        let mut v = vec![0.0; self.width()];
+        v[col] = 1.0;
+        Some(v)
+    }
+
+    /// The known categories in column order.
+    pub fn categories(&self) -> Vec<&K> {
+        let mut pairs: Vec<(&K, usize)> = self.columns.iter().map(|(k, &c)| (k, c)).collect();
+        pairs.sort_by_key(|&(_, c)| c);
+        pairs.into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+/// Z-score standardizer fitted per feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations per column.
+    ///
+    /// Constant columns get a std of 1 (they become all-zero after
+    /// transform rather than NaN).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyTrainingSet`] for no rows and
+    /// [`MlError::DimensionMismatch`] for ragged rows.
+    pub fn fit(x: &[Vec<f64>]) -> Result<Self, MlError> {
+        if x.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let dim = x[0].len();
+        if x.iter().any(|r| r.len() != dim) {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                found: x.iter().find(|r| r.len() != dim).map_or(0, |r| r.len()),
+            });
+        }
+        let n = x.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for row in x {
+            for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Transforms one row in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] for a wrong-width row.
+    pub fn transform_row(&self, row: &mut [f64]) -> Result<(), MlError> {
+        if row.len() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.means.len(),
+                found: row.len(),
+            });
+        }
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+        Ok(())
+    }
+
+    /// Transforms a whole matrix, returning a new one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first row error.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
+        x.iter()
+            .map(|r| {
+                let mut row = r.clone();
+                self.transform_row(&mut row)?;
+                Ok(row)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_sorted_stable_columns() {
+        let enc = OneHotEncoder::fit(["x", "a", "m", "a"]);
+        assert_eq!(enc.width(), 3);
+        assert_eq!(enc.column(&"a"), Some(0));
+        assert_eq!(enc.column(&"m"), Some(1));
+        assert_eq!(enc.column(&"x"), Some(2));
+        assert_eq!(enc.categories(), vec![&"a", &"m", &"x"]);
+        // Order of fit input does not matter.
+        let enc2 = OneHotEncoder::fit(["m", "x", "a"]);
+        assert_eq!(enc, enc2);
+    }
+
+    #[test]
+    fn one_hot_encoding_vectors() {
+        let enc = OneHotEncoder::fit([2u32, 5, 9]);
+        assert_eq!(enc.encode(&5), Some(vec![0.0, 1.0, 0.0]));
+        assert_eq!(enc.encode(&7), None);
+    }
+
+    #[test]
+    fn scaler_zero_mean_unit_std() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let sc = StandardScaler::fit(&x).unwrap();
+        let t = sc.transform(&x).unwrap();
+        let mean0: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        let var0: f64 = t.iter().map(|r| r[0] * r[0]).sum::<f64>() / 3.0;
+        assert!((var0 - 1.0).abs() < 1e-12);
+        // Constant column maps to zeros, not NaN.
+        assert!(t.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn scaler_validation() {
+        assert!(StandardScaler::fit(&[]).is_err());
+        assert!(StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let sc = StandardScaler::fit(&[vec![1.0, 2.0]]).unwrap();
+        let mut bad = vec![1.0];
+        assert!(sc.transform_row(&mut bad).is_err());
+    }
+}

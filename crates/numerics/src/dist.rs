@@ -1,0 +1,261 @@
+//! Seeded random distributions built on [`rand::Rng`].
+//!
+//! The workspace pins `rand` without `rand_distr`, so the handful of
+//! continuous distributions the radio and localization simulators need are
+//! implemented here: standard normal (Box–Muller), general normal,
+//! log-normal, Rayleigh, and Rician — the classic fading models.
+//!
+//! All samplers are plain functions taking `&mut impl Rng`, so they compose
+//! with any seeded generator (the toolchain uses [`rand::rngs::StdRng`]).
+
+use rand::Rng;
+
+/// Draws one standard normal (`N(0, 1)`) sample via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = aerorem_numerics::dist::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to keep ln(u1) finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws one `N(mean, std_dev²)` sample.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        std_dev >= 0.0 && std_dev.is_finite(),
+        "std_dev must be non-negative and finite"
+    );
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws one log-normal sample: `exp(N(mu, sigma²))`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws one Rayleigh sample with scale `sigma`.
+///
+/// Rayleigh fading models the envelope of a non-line-of-sight multipath
+/// channel; its amplitude is `sigma * sqrt(-2 ln U)`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive and finite.
+pub fn rayleigh<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    assert!(
+        sigma > 0.0 && sigma.is_finite(),
+        "sigma must be positive and finite"
+    );
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    sigma * (-2.0 * u.ln()).sqrt()
+}
+
+/// Draws one Rician sample with line-of-sight amplitude `nu` and scatter
+/// scale `sigma`.
+///
+/// Rician fading models a channel with a dominant line-of-sight component
+/// plus scattered multipath; for `nu = 0` it reduces to Rayleigh.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive or `nu` is negative.
+pub fn rician<R: Rng + ?Sized>(rng: &mut R, nu: f64, sigma: f64) -> f64 {
+    assert!(
+        sigma > 0.0 && sigma.is_finite(),
+        "sigma must be positive and finite"
+    );
+    assert!(nu >= 0.0 && nu.is_finite(), "nu must be non-negative");
+    let x = normal(rng, nu, sigma);
+    let y = normal(rng, 0.0, sigma);
+    (x * x + y * y).sqrt()
+}
+
+/// Draws a uniform sample in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or either bound is not finite.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite(), "need lo < hi");
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+/// Returns `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Draws one sample from a Poisson distribution with rate `lambda`, using
+/// Knuth's multiplication method (adequate for the small rates used by the
+/// beacon-arrival model).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be non-negative and finite"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+        // Defensive cap: lambda values in this workspace are < 100.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xAE20_2206)
+    }
+
+    fn sample_stats(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut r)).collect();
+        let (mean, var) = sample_stats(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_is_affine_transform() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut r, -73.0, 4.0)).collect();
+        let (mean, var) = sample_stats(&xs);
+        assert!((mean + 73.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 4.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut r = rng();
+        assert_eq!(normal(&mut r, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn rayleigh_mean_matches_theory() {
+        let mut r = rng();
+        let sigma = 2.0;
+        let xs: Vec<f64> = (0..50_000).map(|_| rayleigh(&mut r, sigma)).collect();
+        let (mean, _) = sample_stats(&xs);
+        let theory = sigma * (std::f64::consts::PI / 2.0).sqrt();
+        assert!((mean - theory).abs() < 0.05, "mean {mean} vs {theory}");
+    }
+
+    #[test]
+    fn rician_reduces_to_rayleigh_at_zero_nu() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| rician(&mut r, 0.0, 1.0)).collect();
+        let (mean, _) = sample_stats(&xs);
+        let theory = (std::f64::consts::PI / 2.0).sqrt();
+        assert!((mean - theory).abs() < 0.05);
+    }
+
+    #[test]
+    fn rician_dominant_los_concentrates_near_nu() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| rician(&mut r, 50.0, 1.0)).collect();
+        let (mean, _) = sample_stats(&xs);
+        assert!((mean - 50.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(log_normal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = uniform(&mut r, -3.0, 7.0);
+            assert!((-3.0..7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(bernoulli(&mut r, 2.0));
+        assert!(!bernoulli(&mut r, -1.0));
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut r = rng();
+        let hits = (0..50_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        let rate = hits as f64 / 50_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut r, 4.5) as f64).collect();
+        let (mean, var) = sample_stats(&xs);
+        assert!((mean - 4.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.5).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

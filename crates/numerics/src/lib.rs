@@ -1,0 +1,38 @@
+//! Small dense linear algebra, random distributions, and statistics.
+//!
+//! This crate is the numerical substrate for the `aerorem` workspace. The
+//! broader Rust ecosystem has well-known linear-algebra crates, but the
+//! reproduction is intentionally self-contained (see `DESIGN.md` §7), so this
+//! crate provides exactly what the rest of the toolchain needs:
+//!
+//! * [`Matrix`] — a heap-allocated, row-major dense matrix with the
+//!   factorizations required by the EKF ([`Matrix::cholesky`]) and by
+//!   ordinary kriging ([`Matrix::solve`] via partially-pivoted LU).
+//! * [`dist`] — seeded random distributions (standard normal via Box–Muller,
+//!   log-normal, Rayleigh, Rician) on top of any [`rand::Rng`].
+//! * [`stats`] — summary statistics (mean, variance, quantiles, RMSE) and
+//!   fixed-width histogram binning used by the evaluation harness.
+//!
+//! # Examples
+//!
+//! Solving a small linear system:
+//!
+//! ```
+//! use aerorem_numerics::Matrix;
+//!
+//! # fn main() -> Result<(), aerorem_numerics::NumericsError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let x = a.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod matrix;
+pub mod stats;
+
+pub use matrix::{Matrix, NumericsError};

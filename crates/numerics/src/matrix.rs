@@ -1,0 +1,743 @@
+//! Dense row-major matrices with the factorizations needed by the toolchain.
+//!
+//! The EKF in `aerorem-localization` needs small (≤ 9×9) symmetric solves and
+//! the ordinary-kriging solver in `aerorem-ml` needs moderately sized
+//! (≤ a few hundred) general solves; both are served by [`Matrix`].
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Error type for all fallible numerics operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumericsError {
+    /// Two operands had incompatible dimensions, e.g. multiplying a 2×3 by a 2×3.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A factorization failed because the matrix is singular (or, for
+    /// Cholesky, not positive definite).
+    Singular {
+        /// Which factorization failed.
+        op: &'static str,
+    },
+    /// A constructor was given rows of unequal length or zero size.
+    MalformedInput {
+        /// What was wrong with the input.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NumericsError::Singular { op } => {
+                write!(f, "matrix is singular or not positive definite in {op}")
+            }
+            NumericsError::MalformedInput { reason } => {
+                write!(f, "malformed matrix input: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+/// A dense, row-major, heap-allocated matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_numerics::Matrix;
+///
+/// let i = Matrix::identity(3);
+/// let a = Matrix::filled(3, 3, 2.0);
+/// let b = (&i * &a).unwrap();
+/// assert_eq!(b[(1, 1)], 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates an `n × n` diagonal matrix from the given diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag` is empty.
+    pub fn diagonal(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::MalformedInput`] if `rows` is empty, any row
+    /// is empty, or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumericsError> {
+        if rows.is_empty() {
+            return Err(NumericsError::MalformedInput {
+                reason: "no rows provided",
+            });
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(NumericsError::MalformedInput {
+                reason: "rows must be non-empty",
+            });
+        }
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(NumericsError::MalformedInput {
+                reason: "rows have unequal lengths",
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::MalformedInput`] if `data.len() != rows * cols`
+    /// or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, NumericsError> {
+        if rows == 0 || cols == 0 {
+            return Err(NumericsError::MalformedInput {
+                reason: "dimensions must be non-zero",
+            });
+        }
+        if data.len() != rows * cols {
+            return Err(NumericsError::MalformedInput {
+                reason: "data length does not match dimensions",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a single-column matrix from a slice.
+    pub fn column(v: &[f64]) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// A view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the given row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, NumericsError> {
+        if self.cols != rhs.rows {
+            return Err(NumericsError::DimensionMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if self.cols != v.len() {
+            return Err(NumericsError::DimensionMismatch {
+                op: "matvec",
+                lhs: (self.rows, self.cols),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = self.row(i);
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Scales every entry by `s`, returning a new matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        for x in &mut out.data {
+            *x *= s;
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when shapes differ.
+    pub fn add_mat(&self, rhs: &Matrix) -> Result<Matrix, NumericsError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when shapes differ.
+    pub fn sub_mat(&self, rhs: &Matrix) -> Result<Matrix, NumericsError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix, NumericsError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(NumericsError::DimensionMismatch {
+                op,
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Symmetrizes the matrix in place: `A ← (A + Aᵀ) / 2`.
+    ///
+    /// Useful to fight floating-point drift of EKF covariance matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let m = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = m;
+                self[(j, i)] = m;
+            }
+        }
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+    /// matrix, returning the lower-triangular factor `L`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Singular`] when the matrix is not (numerically)
+    /// positive definite, and [`NumericsError::DimensionMismatch`] when it is
+    /// not square.
+    pub fn cholesky(&self) -> Result<Matrix, NumericsError> {
+        if !self.is_square() {
+            return Err(NumericsError::DimensionMismatch {
+                op: "cholesky",
+                lhs: (self.rows, self.cols),
+                rhs: (self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(NumericsError::Singular { op: "cholesky" });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Matrix::cholesky`] and returns
+    /// [`NumericsError::DimensionMismatch`] when `b.len() != self.rows()`.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if b.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                op: "solve_spd",
+                lhs: (self.rows, self.cols),
+                rhs: (b.len(), 1),
+            });
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // forward substitution: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[(i, k)] * y[k];
+            }
+            y[i] = sum / l[(i, i)];
+        }
+        // back substitution: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= l[(k, i)] * x[k];
+            }
+            x[i] = sum / l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` for general square `A` via partially pivoted LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Singular`] for (numerically) singular `A`,
+    /// [`NumericsError::DimensionMismatch`] for non-square `A` or wrong-length `b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if !self.is_square() {
+            return Err(NumericsError::DimensionMismatch {
+                op: "solve",
+                lhs: (self.rows, self.cols),
+                rhs: (self.rows, self.cols),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                op: "solve",
+                lhs: (self.rows, self.cols),
+                rhs: (b.len(), 1),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        // Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            // pivot
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(NumericsError::Singular { op: "lu_solve" });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // back substitution
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= a[i * n + j] * x[j];
+            }
+            x[i] = sum / a[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Inverts a square matrix via LU solves against identity columns.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Matrix::solve`].
+    pub fn inverse(&self) -> Result<Matrix, NumericsError> {
+        if !self.is_square() {
+            return Err(NumericsError::DimensionMismatch {
+                op: "inverse",
+                lhs: (self.rows, self.cols),
+                rhs: (self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.fill(0.0);
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// The maximum absolute entry (∞-norm of the flattened data).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// The trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Result<Matrix, NumericsError>;
+
+    fn add(self, rhs: &Matrix) -> Self::Output {
+        self.add_mat(rhs)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Result<Matrix, NumericsError>;
+
+    fn sub(self, rhs: &Matrix) -> Self::Output {
+        self.sub_mat(rhs)
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Result<Matrix, NumericsError>;
+
+    fn mul(self, rhs: &Matrix) -> Self::Output {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]).unwrap();
+        let l = a.cholesky().unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(a.cholesky(), Err(NumericsError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_spd_matches_lu_solve() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 0.5], &[0.0, 0.5, 2.0]]).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let x1 = a.solve_spd(&b).unwrap();
+        let x2 = a.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_solve_requires_pivoting() {
+        // a[0][0] == 0 forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(NumericsError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((prod[(r, c)] - i[(r, c)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]).unwrap();
+        a.symmetrize();
+        assert_eq!(a[(0, 1)], 3.0);
+        assert_eq!(a[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, NumericsError::MalformedInput { .. }));
+    }
+
+    #[test]
+    fn from_vec_round_trip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+        assert!(Matrix::from_vec(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn trace_and_norms() {
+        let a = Matrix::from_rows(&[&[3.0, -4.0], &[0.0, 1.0]]).unwrap();
+        assert_eq!(a.trace(), 4.0);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.frobenius_norm() - (9.0_f64 + 16.0 + 1.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operators_delegate() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        let sum = (&a + &b).unwrap();
+        assert_eq!(sum[(0, 0)], 2.0);
+        let diff = (&sum - &b).unwrap();
+        assert_eq!(diff, a);
+        let prod = (&a * &b).unwrap();
+        assert_eq!(prod, b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let y = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Indoor 2.4 GHz radio propagation and beacon-scan simulation.
+//!
+//! This crate is the substitute for the paper's physical radio environment
+//! (a living room in a large apartment building in Antwerp, §III-A). The ML
+//! layer of the toolchain only ever sees `(x, y, z, mac, channel, rss)`
+//! tuples, so a propagation simulator that produces tuples with the right
+//! *statistical structure* preserves everything the evaluation depends on:
+//!
+//! * per-AP mean RSS surfaces that vary smoothly in space
+//!   ([`RadioEnvironment::mean_rss`]), built from configurable
+//!   [`pathloss`] models plus per-wall attenuation ([`walls`]);
+//! * spatially **correlated** log-normal shadowing ([`shadowing`], a
+//!   Gudmundson-style field) so that nearby samples agree — the property kNN
+//!   and kriging exploit;
+//! * per-sample fast fading ([`fading`]) and integer quantization, matching
+//!   what an ESP8266 `AT+CWLAP` row reports;
+//! * a beacon **detection** model ([`scan`]) in which weak APs are missed,
+//!   reproducing the sample-count gradients of Figures 6–7;
+//! * an nRF24 (Crazyradio) **interference** coupling ([`interference`]) that
+//!   degrades detection, reproducing Figure 5;
+//! * a [`building`] generator that synthesizes the surrounding apartment
+//!   building: ~73 APs whose density increases toward the building core in
+//!   the +x/−y direction from the scan volume, 49 SSIDs shared across radios,
+//!   and the asymmetric wall layout the paper calls out.
+//!
+//! # Examples
+//!
+//! ```
+//! use aerorem_propagation::building::SyntheticBuilding;
+//! use aerorem_spatial::Aabb;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let env = SyntheticBuilding::paper_like().generate(Aabb::paper_volume(), &mut rng);
+//! let ap = &env.access_points()[0];
+//! let rss = env.mean_rss(ap, Aabb::paper_volume().center());
+//! assert!(rss < 0.0, "indoor RSS is negative dBm, got {rss}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ap;
+pub mod building;
+pub mod channel;
+pub mod environment;
+pub mod fading;
+pub mod interference;
+pub mod pathloss;
+pub mod scan;
+pub mod shadowing;
+pub mod walls;
+
+pub use ap::{AccessPoint, MacAddress, Ssid};
+pub use channel::WifiChannel;
+pub use environment::RadioEnvironment;
+pub use interference::InterferenceSource;
+pub use scan::{BeaconObservation, ScanConfig};

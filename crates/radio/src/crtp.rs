@@ -1,0 +1,332 @@
+//! The Crazy RealTime Protocol packet format.
+//!
+//! A CRTP packet is one header byte — `pppp llcc` with `p` = port, `ll` =
+//! link bits (always 0b11 on the air), `cc` = channel — followed by up to
+//! 30 bytes of payload (the nRF24's 32-byte frame minus header and one
+//! reserved byte).
+
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Maximum CRTP payload length in bytes.
+pub const MAX_PAYLOAD: usize = 30;
+
+/// The CRTP ports used by the Crazyflie firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum CrtpPort {
+    /// Console text output (port 0) — the paper's scan results travel here.
+    Console = 0x0,
+    /// Parameter read/write (port 2).
+    Param = 0x2,
+    /// Commander setpoints (port 3) — waypoints go down this port.
+    Commander = 0x3,
+    /// Memory access (port 4).
+    Mem = 0x4,
+    /// Log telemetry (port 5).
+    Log = 0x5,
+    /// Localization data (port 6) — external position input.
+    Localization = 0x6,
+    /// Generic setpoint (port 7).
+    GenericSetpoint = 0x7,
+    /// Platform control (port 13).
+    Platform = 0xD,
+    /// Link-layer services: echo, ack, safelink (port 15).
+    LinkLayer = 0xF,
+}
+
+impl CrtpPort {
+    /// Decodes a port nibble.
+    pub fn from_nibble(n: u8) -> Option<Self> {
+        Some(match n {
+            0x0 => CrtpPort::Console,
+            0x2 => CrtpPort::Param,
+            0x3 => CrtpPort::Commander,
+            0x4 => CrtpPort::Mem,
+            0x5 => CrtpPort::Log,
+            0x6 => CrtpPort::Localization,
+            0x7 => CrtpPort::GenericSetpoint,
+            0xD => CrtpPort::Platform,
+            0xF => CrtpPort::LinkLayer,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CrtpPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Errors produced by CRTP encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrtpError {
+    /// Payload exceeded [`MAX_PAYLOAD`] bytes.
+    PayloadTooLong {
+        /// Actual length supplied.
+        len: usize,
+    },
+    /// Channel number above 3 (only 2 bits on the wire).
+    InvalidChannel {
+        /// The offending channel value.
+        channel: u8,
+    },
+    /// The input buffer was empty or the port nibble unknown.
+    MalformedFrame,
+}
+
+impl fmt::Display for CrtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrtpError::PayloadTooLong { len } => {
+                write!(f, "payload of {len} bytes exceeds CRTP maximum of {MAX_PAYLOAD}")
+            }
+            CrtpError::InvalidChannel { channel } => {
+                write!(f, "CRTP channel {channel} out of range 0..=3")
+            }
+            CrtpError::MalformedFrame => write!(f, "malformed CRTP frame"),
+        }
+    }
+}
+
+impl std::error::Error for CrtpError {}
+
+/// One CRTP packet.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_radio::crtp::{CrtpPacket, CrtpPort};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pkt = CrtpPacket::new(CrtpPort::Commander, 1, vec![1, 2, 3])?;
+/// let wire = pkt.encode();
+/// assert_eq!(CrtpPacket::decode(&wire)?, pkt);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrtpPacket {
+    port: CrtpPort,
+    channel: u8,
+    payload: Vec<u8>,
+}
+
+impl CrtpPacket {
+    /// Creates a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrtpError::PayloadTooLong`] for payloads over 30 bytes and
+    /// [`CrtpError::InvalidChannel`] for channels above 3.
+    pub fn new(
+        port: CrtpPort,
+        channel: u8,
+        payload: impl Into<Vec<u8>>,
+    ) -> Result<Self, CrtpError> {
+        let payload = payload.into();
+        if payload.len() > MAX_PAYLOAD {
+            return Err(CrtpError::PayloadTooLong {
+                len: payload.len(),
+            });
+        }
+        if channel > 3 {
+            return Err(CrtpError::InvalidChannel { channel });
+        }
+        Ok(CrtpPacket {
+            port,
+            channel,
+            payload,
+        })
+    }
+
+    /// The packet's port.
+    pub fn port(&self) -> CrtpPort {
+        self.port
+    }
+
+    /// The packet's 2-bit channel.
+    pub fn channel(&self) -> u8 {
+        self.channel
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Total on-air length: header byte plus payload.
+    pub fn wire_len(&self) -> usize {
+        1 + self.payload.len()
+    }
+
+    /// Serializes to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        // Link bits 0b11 per the on-air format.
+        let header = ((self.port as u8) << 4) | 0b1100 | self.channel;
+        buf.put_u8(header);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses a packet from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrtpError::MalformedFrame`] for empty buffers or unknown
+    /// ports, [`CrtpError::PayloadTooLong`] for over-long frames.
+    pub fn decode(wire: &[u8]) -> Result<Self, CrtpError> {
+        let (&header, payload) = wire.split_first().ok_or(CrtpError::MalformedFrame)?;
+        if payload.len() > MAX_PAYLOAD {
+            return Err(CrtpError::PayloadTooLong {
+                len: payload.len(),
+            });
+        }
+        let port = CrtpPort::from_nibble(header >> 4).ok_or(CrtpError::MalformedFrame)?;
+        let channel = header & 0b11;
+        Ok(CrtpPacket {
+            port,
+            channel,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Splits an arbitrarily long byte string into consecutive packets on
+    /// the given port/channel — how a multi-row scan result is shipped.
+    pub fn fragment(
+        port: CrtpPort,
+        channel: u8,
+        data: &[u8],
+    ) -> Result<Vec<CrtpPacket>, CrtpError> {
+        if channel > 3 {
+            return Err(CrtpError::InvalidChannel { channel });
+        }
+        if data.is_empty() {
+            return Ok(vec![CrtpPacket::new(port, channel, Vec::new())?]);
+        }
+        data.chunks(MAX_PAYLOAD)
+            .map(|c| CrtpPacket::new(port, channel, c.to_vec()))
+            .collect()
+    }
+
+    /// Reassembles fragments produced by [`CrtpPacket::fragment`].
+    pub fn reassemble(packets: &[CrtpPacket]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(packets.iter().map(|p| p.payload.len()).sum());
+        for p in packets {
+            out.extend_from_slice(&p.payload);
+        }
+        out
+    }
+}
+
+impl fmt::Display for CrtpPacket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CRTP[{:?}.{} {}B]",
+            self.port,
+            self.channel,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_ports() {
+        for nibble in 0..16u8 {
+            if let Some(port) = CrtpPort::from_nibble(nibble) {
+                let pkt = CrtpPacket::new(port, 2, vec![0xAB; 7]).unwrap();
+                let decoded = CrtpPacket::decode(&pkt.encode()).unwrap();
+                assert_eq!(decoded, pkt);
+            }
+        }
+    }
+
+    #[test]
+    fn header_layout() {
+        let pkt = CrtpPacket::new(CrtpPort::Commander, 1, vec![]).unwrap();
+        let wire = pkt.encode();
+        assert_eq!(wire.len(), 1);
+        // port 3 << 4 | link 0b11 << 2 | channel 1.
+        assert_eq!(wire[0], 0x3D);
+    }
+
+    #[test]
+    fn payload_limit_enforced() {
+        assert!(CrtpPacket::new(CrtpPort::Console, 0, vec![0; 30]).is_ok());
+        assert!(matches!(
+            CrtpPacket::new(CrtpPort::Console, 0, vec![0; 31]),
+            Err(CrtpError::PayloadTooLong { len: 31 })
+        ));
+    }
+
+    #[test]
+    fn channel_limit_enforced() {
+        assert!(CrtpPacket::new(CrtpPort::Console, 3, vec![]).is_ok());
+        assert!(matches!(
+            CrtpPacket::new(CrtpPort::Console, 4, vec![]),
+            Err(CrtpError::InvalidChannel { channel: 4 })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert_eq!(CrtpPacket::decode(&[]), Err(CrtpError::MalformedFrame));
+        // Port nibble 0x8 is unassigned.
+        assert_eq!(
+            CrtpPacket::decode(&[0x8C]),
+            Err(CrtpError::MalformedFrame)
+        );
+        let long = vec![0x0C; 32];
+        assert!(matches!(
+            CrtpPacket::decode(&long),
+            Err(CrtpError::PayloadTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn fragmentation_round_trip() {
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let frags = CrtpPacket::fragment(CrtpPort::Console, 0, &data).unwrap();
+        assert_eq!(frags.len(), 7); // ceil(200 / 30)
+        assert!(frags.iter().all(|f| f.payload().len() <= MAX_PAYLOAD));
+        assert_eq!(CrtpPacket::reassemble(&frags), data);
+    }
+
+    #[test]
+    fn fragment_empty_data_yields_one_empty_packet() {
+        let frags = CrtpPacket::fragment(CrtpPort::Console, 0, &[]).unwrap();
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].payload().is_empty());
+    }
+
+    #[test]
+    fn fragment_validates_channel() {
+        assert!(CrtpPacket::fragment(CrtpPort::Console, 7, b"x").is_err());
+    }
+
+    #[test]
+    fn wire_len() {
+        let pkt = CrtpPacket::new(CrtpPort::Log, 0, vec![0; 10]).unwrap();
+        assert_eq!(pkt.wire_len(), 11);
+        assert_eq!(pkt.encode().len(), 11);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let pkt = CrtpPacket::new(CrtpPort::Param, 2, vec![9]).unwrap();
+        assert_eq!(pkt.port(), CrtpPort::Param);
+        assert_eq!(pkt.channel(), 2);
+        assert_eq!(pkt.payload(), &[9]);
+        assert!(format!("{pkt}").contains("Param"));
+        assert!(CrtpError::MalformedFrame.to_string().contains("malformed"));
+    }
+}

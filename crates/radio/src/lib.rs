@@ -1,0 +1,44 @@
+//! CRTP protocol and Crazyradio link simulation.
+//!
+//! The base station talks to each Crazyflie through a Crazyradio PA dongle
+//! using the Crazy RealTime Protocol (CRTP): 126 radio channels uniformly
+//! spread over 2400–2525 MHz (§II-C of the paper). This crate models the
+//! three aspects the paper's system actually depends on:
+//!
+//! * [`crtp`] — the packet format (port/channel header + ≤ 30-byte payload)
+//!   used to ship setpoints down and scan results up.
+//! * [`link`] — the UAV-side uplink queue and radio on/off state machine.
+//!   The paper enlarges `CRTP_TX_QUEUE_SIZE` so that a full scan result can
+//!   be buffered while the radio is off; [`link::RadioLink`] reproduces both
+//!   the default-size overflow and the patched behaviour.
+//! * [`crazyradio`] — the dongle as an *interference source*: while
+//!   transmitting it injects the nRF24 carrier of
+//!   [`aerorem_propagation::interference`] into the scan model (Figure 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use aerorem_radio::crtp::{CrtpPacket, CrtpPort};
+//! use aerorem_radio::link::{LinkConfig, RadioLink};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut link = RadioLink::new(LinkConfig::paper_patched());
+//! link.set_radio_on(false);
+//! let pkt = CrtpPacket::new(CrtpPort::Console, 0, b"scan row".to_vec())?;
+//! link.enqueue_uplink(pkt)?; // buffered while the radio is off
+//! link.set_radio_on(true);
+//! assert_eq!(link.drain_uplink().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crazyradio;
+pub mod crtp;
+pub mod link;
+
+pub use crazyradio::Crazyradio;
+pub use crtp::{CrtpPacket, CrtpPort};
+pub use link::{LinkConfig, LinkError, RadioLink};

@@ -1,0 +1,298 @@
+//! Byte-level simulation of the AI Thinker ESP-01 AT-command firmware.
+//!
+//! §III-A: "This driver communicates with the ESP-01 module over its UART
+//! interface by sending AT instructions and parsing the output. Since the
+//! module is only used to scan for available access points, it suffices that
+//! the driver supports just the following AT instructions: i) `AT`, ii)
+//! `AT+CWMODE_CUR`, iii) `AT+CWLAP`, iv) `AT+CWLAPOPT`." This module
+//! implements that firmware surface, including its insistence on being put
+//! into station mode before a scan will run.
+
+use rand::RngCore;
+
+use aerorem_propagation::scan::{perform_scan, ScanConfig};
+
+use crate::driver::MeasurementContext;
+
+/// ESP8266 Wi-Fi operating modes for `AT+CWMODE_CUR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CwMode {
+    /// Station (client) mode — required for `AT+CWLAP`.
+    Station,
+    /// SoftAP mode.
+    SoftAp,
+    /// Station + SoftAP.
+    StationAndSoftAp,
+}
+
+impl CwMode {
+    fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => CwMode::Station,
+            2 => CwMode::SoftAp,
+            3 => CwMode::StationAndSoftAp,
+            _ => return None,
+        })
+    }
+}
+
+/// The simulated ESP-01 module: feed it AT command lines, get response
+/// lines back.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_scanner::at::Esp01Module;
+///
+/// let mut esp = Esp01Module::new();
+/// assert_eq!(esp.execute_control("AT"), vec!["OK".to_string()]);
+/// assert_eq!(esp.execute_control("AT+CWMODE_CUR=1"), vec!["OK".to_string()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Esp01Module {
+    mode: Option<CwMode>,
+    /// `AT+CWLAPOPT` print mask; bit 0 = ecn? The AI-Thinker mask we care
+    /// about selects ⟨ssid, rssi, mac, channel⟩.
+    lap_mask: u32,
+    scan_config: ScanConfig,
+}
+
+/// The `AT+CWLAPOPT` mask selecting ssid (2), rssi (4), mac (8) and
+/// channel (16) columns.
+pub const CWLAPOPT_SSID_RSSI_MAC_CHANNEL: u32 = 2 | 4 | 8 | 16;
+
+impl Esp01Module {
+    /// Powers up a module: no mode set, default print mask, paper-default
+    /// scan parameters.
+    pub fn new() -> Self {
+        Esp01Module {
+            mode: None,
+            lap_mask: CWLAPOPT_SSID_RSSI_MAC_CHANNEL,
+            scan_config: ScanConfig::paper_default(),
+        }
+    }
+
+    /// Replaces the scan parameters (dwell, channel list, thresholds).
+    pub fn set_scan_config(&mut self, config: ScanConfig) {
+        self.scan_config = config;
+    }
+
+    /// The active scan parameters.
+    pub fn scan_config(&self) -> &ScanConfig {
+        &self.scan_config
+    }
+
+    /// The currently configured Wi-Fi mode, if any.
+    pub fn mode(&self) -> Option<CwMode> {
+        self.mode
+    }
+
+    /// Executes a *control* AT command (everything except `AT+CWLAP`,
+    /// which needs a radio context — see [`Esp01Module::execute_cwlap`]).
+    ///
+    /// Returns the module's response lines; the final line is `OK` on
+    /// success or `ERROR` on failure, like the real firmware.
+    pub fn execute_control(&mut self, line: &str) -> Vec<String> {
+        let line = line.trim();
+        if line == "AT" {
+            return vec!["OK".into()];
+        }
+        if line == "AT+RST" {
+            // Software reset: the module reboots into its power-on state.
+            self.mode = None;
+            self.lap_mask = CWLAPOPT_SSID_RSSI_MAC_CHANNEL;
+            return vec!["OK".into(), "ready".into()];
+        }
+        if line == "AT+GMR" {
+            // Firmware version banner, AI-Thinker style.
+            return vec![
+                "AT version:1.2.0.0 (simulated)".into(),
+                "SDK version:aerorem-esp01".into(),
+                "OK".into(),
+            ];
+        }
+        if line == "ATE0" || line == "ATE1" {
+            // Echo control: accepted; the simulation never echoes anyway.
+            return vec!["OK".into()];
+        }
+        if let Some(rest) = line.strip_prefix("AT+CWMODE_CUR=") {
+            return match rest.parse::<u8>().ok().and_then(CwMode::from_code) {
+                Some(mode) => {
+                    self.mode = Some(mode);
+                    vec!["OK".into()]
+                }
+                None => vec!["ERROR".into()],
+            };
+        }
+        if let Some(rest) = line.strip_prefix("AT+CWLAPOPT=") {
+            // Real syntax: AT+CWLAPOPT=<sort_enable>,<mask>
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() == 2 {
+                if let (Ok(_sort), Ok(mask)) = (parts[0].parse::<u8>(), parts[1].parse::<u32>()) {
+                    self.lap_mask = mask;
+                    return vec!["OK".into()];
+                }
+            }
+            return vec!["ERROR".into()];
+        }
+        if line == "AT+CWLAP" {
+            // Needs execute_cwlap; signalled as busy to a naive caller.
+            return vec!["ERROR".into()];
+        }
+        vec!["ERROR".into()]
+    }
+
+    /// Executes `AT+CWLAP`: performs a real scan sweep against the context
+    /// and returns `+CWLAP:(...)` rows followed by `OK`.
+    ///
+    /// Mirrors the firmware's requirement that station mode be configured
+    /// first: without it the response is just `ERROR`.
+    pub fn execute_cwlap(
+        &mut self,
+        ctx: &MeasurementContext<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<String> {
+        match self.mode {
+            Some(CwMode::Station) | Some(CwMode::StationAndSoftAp) => {}
+            _ => return vec!["ERROR".into()],
+        }
+        let observations = perform_scan(
+            ctx.environment(),
+            ctx.position(),
+            ctx.interferers(),
+            &self.scan_config,
+            rng,
+        );
+        let mut lines: Vec<String> = observations
+            .iter()
+            .map(|o| {
+                format!(
+                    "+CWLAP:(\"{}\",{},\"{}\",{})",
+                    o.ssid, o.rssi_dbm, o.mac, o.channel.number()
+                )
+            })
+            .collect();
+        lines.push("OK".into());
+        lines
+    }
+}
+
+impl Default for Esp01Module {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerorem_propagation::building::SyntheticBuilding;
+    use aerorem_spatial::Aabb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn at_ping() {
+        let mut esp = Esp01Module::new();
+        assert_eq!(esp.execute_control("AT"), vec!["OK".to_string()]);
+        assert_eq!(esp.execute_control("  AT  "), vec!["OK".to_string()]);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut esp = Esp01Module::new();
+        esp.execute_control("AT+CWMODE_CUR=1");
+        esp.execute_control("AT+CWLAPOPT=1,6");
+        let resp = esp.execute_control("AT+RST");
+        assert_eq!(resp.first().map(String::as_str), Some("OK"));
+        assert!(resp.iter().any(|l| l == "ready"));
+        assert_eq!(esp.mode(), None, "mode cleared by reset");
+    }
+
+    #[test]
+    fn version_banner_and_echo() {
+        let mut esp = Esp01Module::new();
+        let gmr = esp.execute_control("AT+GMR");
+        assert_eq!(gmr.last().map(String::as_str), Some("OK"));
+        assert!(gmr.iter().any(|l| l.contains("AT version")));
+        assert_eq!(esp.execute_control("ATE0"), vec!["OK".to_string()]);
+        assert_eq!(esp.execute_control("ATE1"), vec!["OK".to_string()]);
+        assert_eq!(esp.execute_control("ATE2"), vec!["ERROR".to_string()]);
+    }
+
+    #[test]
+    fn cwmode_transitions() {
+        let mut esp = Esp01Module::new();
+        assert_eq!(esp.mode(), None);
+        assert_eq!(esp.execute_control("AT+CWMODE_CUR=1"), vec!["OK".to_string()]);
+        assert_eq!(esp.mode(), Some(CwMode::Station));
+        assert_eq!(esp.execute_control("AT+CWMODE_CUR=3"), vec!["OK".to_string()]);
+        assert_eq!(esp.mode(), Some(CwMode::StationAndSoftAp));
+        assert_eq!(esp.execute_control("AT+CWMODE_CUR=9"), vec!["ERROR".to_string()]);
+        assert_eq!(esp.execute_control("AT+CWMODE_CUR=x"), vec!["ERROR".to_string()]);
+    }
+
+    #[test]
+    fn cwlapopt_sets_mask() {
+        let mut esp = Esp01Module::new();
+        assert_eq!(esp.execute_control("AT+CWLAPOPT=1,30"), vec!["OK".to_string()]);
+        assert_eq!(esp.execute_control("AT+CWLAPOPT=1"), vec!["ERROR".to_string()]);
+        assert_eq!(esp.execute_control("AT+CWLAPOPT=a,b"), vec!["ERROR".to_string()]);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut esp = Esp01Module::new();
+        assert_eq!(esp.execute_control("AT+BOGUS"), vec!["ERROR".to_string()]);
+        assert_eq!(esp.execute_control(""), vec!["ERROR".to_string()]);
+    }
+
+    #[test]
+    fn cwlap_requires_station_mode() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let env = SyntheticBuilding::paper_like().generate(Aabb::paper_volume(), &mut rng);
+        let ctx = MeasurementContext::new(&env, Aabb::paper_volume().center(), &[]);
+        let mut esp = Esp01Module::new();
+        assert_eq!(esp.execute_cwlap(&ctx, &mut rng), vec!["ERROR".to_string()]);
+        esp.execute_control("AT+CWMODE_CUR=2"); // SoftAP only: still can't scan
+        assert_eq!(esp.execute_cwlap(&ctx, &mut rng), vec!["ERROR".to_string()]);
+        esp.execute_control("AT+CWMODE_CUR=1");
+        let lines = esp.execute_cwlap(&ctx, &mut rng);
+        assert_eq!(lines.last().map(String::as_str), Some("OK"));
+        assert!(lines.len() > 5, "a building full of APs yields rows");
+        assert!(lines[0].starts_with("+CWLAP:(\""));
+    }
+
+    #[test]
+    fn cwlap_rows_have_four_fields() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let env = SyntheticBuilding::paper_like().generate(Aabb::paper_volume(), &mut rng);
+        let ctx = MeasurementContext::new(&env, Aabb::paper_volume().center(), &[]);
+        let mut esp = Esp01Module::new();
+        esp.execute_control("AT+CWMODE_CUR=1");
+        let lines = esp.execute_cwlap(&ctx, &mut rng);
+        for row in lines.iter().filter(|l| l.starts_with("+CWLAP")) {
+            // ssid and mac are quoted; rssi and channel are bare ints.
+            assert_eq!(row.matches('"').count(), 4, "row {row}");
+            assert!(row.ends_with(')'), "row {row}");
+        }
+    }
+
+    #[test]
+    fn control_cwlap_refuses_without_context() {
+        let mut esp = Esp01Module::new();
+        esp.execute_control("AT+CWMODE_CUR=1");
+        assert_eq!(esp.execute_control("AT+CWLAP"), vec!["ERROR".to_string()]);
+    }
+
+    #[test]
+    fn scan_config_swap() {
+        let mut esp = Esp01Module::new();
+        let cfg = ScanConfig {
+            dwell_ms: 80.0,
+            ..ScanConfig::paper_default()
+        };
+        esp.set_scan_config(cfg.clone());
+        assert_eq!(esp.scan_config(), &cfg);
+    }
+}

@@ -1,0 +1,197 @@
+//! The technology-agnostic receiver driver contract.
+//!
+//! "For integration with the UAV, the user is required to provide the driver
+//! for the REM-generating receiver to react to the four specified
+//! instructions" (§II-A). Those four instructions are the methods of
+//! [`RemReceiver`]; anything that implements the trait — Wi-Fi, BLE, LoRa,
+//! mmWave — can be carried by the simulated UAV, provided it would
+//! physically fit the paper's size (USB-dongle) and weight (≤ 20 g) limits.
+
+use std::fmt;
+
+use rand::RngCore;
+
+use aerorem_propagation::scan::BeaconObservation;
+use aerorem_propagation::{InterferenceSource, RadioEnvironment};
+use aerorem_spatial::Vec3;
+
+/// Everything a receiver needs to take one measurement: where it is and
+/// what the radio world looks like.
+#[derive(Clone, Copy)]
+pub struct MeasurementContext<'a> {
+    env: &'a RadioEnvironment,
+    position: Vec3,
+    interferers: &'a [InterferenceSource],
+}
+
+impl<'a> MeasurementContext<'a> {
+    /// Bundles the environment, receiver position, and active interferers.
+    pub fn new(
+        env: &'a RadioEnvironment,
+        position: Vec3,
+        interferers: &'a [InterferenceSource],
+    ) -> Self {
+        MeasurementContext {
+            env,
+            position,
+            interferers,
+        }
+    }
+
+    /// The radio environment being sampled.
+    pub fn environment(&self) -> &'a RadioEnvironment {
+        self.env
+    }
+
+    /// The receiver's position in the scan-volume frame.
+    pub fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    /// Interference sources active during the measurement (empty when the
+    /// Crazyradio is shut down, per the paper's design).
+    pub fn interferers(&self) -> &'a [InterferenceSource] {
+        self.interferers
+    }
+}
+
+impl fmt::Debug for MeasurementContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MeasurementContext")
+            .field("position", &self.position)
+            .field("aps", &self.env.access_points().len())
+            .field("interferers", &self.interferers.len())
+            .finish()
+    }
+}
+
+/// Lifecycle state of a receiver, as reported by instruction (ii).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReceiverStatus {
+    /// Power applied but the driver has not initialized it yet.
+    Uninitialized,
+    /// Initialized and idle; a measurement can be started.
+    Ready,
+    /// A measurement is in progress.
+    Busy,
+    /// The receiver reported an unrecoverable error.
+    Fault,
+}
+
+impl fmt::Display for ReceiverStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Errors surfaced by receiver drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiverError {
+    /// An instruction was issued in the wrong state (e.g. measuring before
+    /// initializing).
+    InvalidState {
+        /// The state the receiver was in.
+        was: ReceiverStatus,
+        /// The instruction that was attempted.
+        instruction: &'static str,
+    },
+    /// The module answered something the driver could not parse.
+    ProtocolError {
+        /// The offending response line.
+        response: String,
+    },
+    /// No measurement output is available to fetch.
+    NoOutput,
+}
+
+impl fmt::Display for ReceiverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReceiverError::InvalidState { was, instruction } => {
+                write!(f, "instruction {instruction} invalid in state {was}")
+            }
+            ReceiverError::ProtocolError { response } => {
+                write!(f, "unparseable module response: {response:?}")
+            }
+            ReceiverError::NoOutput => write!(f, "no measurement output available"),
+        }
+    }
+}
+
+impl std::error::Error for ReceiverError {}
+
+/// The four-instruction driver contract of §II-A.
+///
+/// Implementations are expected to be state machines:
+/// `Uninitialized → (init) → Ready → (measure) → Busy → Ready`, with the
+/// measurement output retrievable exactly once after each measurement.
+pub trait RemReceiver {
+    /// Instruction (i): initializes the receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReceiverError`] when the module does not respond correctly.
+    fn init(&mut self) -> Result<(), ReceiverError>;
+
+    /// Instruction (ii): reports the receiver's state.
+    fn status(&self) -> ReceiverStatus;
+
+    /// Instruction (iii): performs one measurement at the context's
+    /// position. Blocks (in simulated terms) for
+    /// [`RemReceiver::measurement_duration_ms`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReceiverError::InvalidState`] unless the receiver is
+    /// [`ReceiverStatus::Ready`].
+    fn measure(
+        &mut self,
+        ctx: &MeasurementContext<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), ReceiverError>;
+
+    /// Instruction (iv): takes and parses the output of the last
+    /// measurement. Consumes the output; calling twice yields
+    /// [`ReceiverError::NoOutput`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReceiverError::NoOutput`] when no measurement has completed
+    /// since the last fetch.
+    fn take_observations(&mut self) -> Result<Vec<BeaconObservation>, ReceiverError>;
+
+    /// How long one measurement takes, in milliseconds — the mission planner
+    /// budgets scan time from this.
+    fn measurement_duration_ms(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerorem_propagation::environment::RadioEnvironmentBuilder;
+
+    #[test]
+    fn context_accessors() {
+        let env = RadioEnvironmentBuilder::new().build();
+        let ctx = MeasurementContext::new(&env, Vec3::new(1.0, 2.0, 3.0), &[]);
+        assert_eq!(ctx.position(), Vec3::new(1.0, 2.0, 3.0));
+        assert!(ctx.interferers().is_empty());
+        assert_eq!(ctx.environment().access_points().len(), 0);
+        assert!(format!("{ctx:?}").contains("MeasurementContext"));
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = ReceiverError::InvalidState {
+            was: ReceiverStatus::Busy,
+            instruction: "measure",
+        };
+        assert!(e.to_string().contains("Busy"));
+        assert!(ReceiverError::NoOutput.to_string().contains("no measurement"));
+        let p = ReceiverError::ProtocolError {
+            response: "garbage".into(),
+        };
+        assert!(p.to_string().contains("garbage"));
+        assert_eq!(ReceiverStatus::Ready.to_string(), "Ready");
+    }
+}

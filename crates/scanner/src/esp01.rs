@@ -1,0 +1,222 @@
+//! The paper's custom ESP-01 driver: a [`RemReceiver`] built on the
+//! AT-command module.
+//!
+//! The driver's init sequence mirrors §III-A: ping with `AT`, set station
+//! mode via `AT+CWMODE_CUR=1`, then configure the output columns with
+//! `AT+CWLAPOPT`. Measurements issue `AT+CWLAP` and buffer the raw response
+//! until the commander fetches and parses it.
+
+use rand::RngCore;
+
+use aerorem_propagation::scan::{BeaconObservation, ScanConfig};
+
+use crate::at::{Esp01Module, CWLAPOPT_SSID_RSSI_MAC_CHANNEL};
+use crate::driver::{MeasurementContext, ReceiverError, ReceiverStatus, RemReceiver};
+use crate::parse::parse_cwlap_response;
+
+/// The ESP-01 receiver driver.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_scanner::{Esp01Receiver, RemReceiver, ReceiverStatus};
+///
+/// let rx = Esp01Receiver::new();
+/// assert_eq!(rx.status(), ReceiverStatus::Uninitialized);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Esp01Receiver {
+    module: Esp01Module,
+    status: ReceiverStatus,
+    pending_output: Option<Vec<String>>,
+}
+
+impl Esp01Receiver {
+    /// Creates an uninitialized driver around a fresh module.
+    pub fn new() -> Self {
+        Esp01Receiver {
+            module: Esp01Module::new(),
+            status: ReceiverStatus::Uninitialized,
+            pending_output: None,
+        }
+    }
+
+    /// Creates a driver with custom scan parameters.
+    pub fn with_scan_config(config: ScanConfig) -> Self {
+        let mut rx = Self::new();
+        rx.module.set_scan_config(config);
+        rx
+    }
+
+    /// Access to the underlying simulated module (for tests and fault
+    /// injection).
+    pub fn module_mut(&mut self) -> &mut Esp01Module {
+        &mut self.module
+    }
+
+    fn expect_ok(&mut self, lines: Vec<String>) -> Result<(), ReceiverError> {
+        match lines.last().map(String::as_str) {
+            Some("OK") => Ok(()),
+            _ => {
+                self.status = ReceiverStatus::Fault;
+                Err(ReceiverError::ProtocolError {
+                    response: lines.join("\n"),
+                })
+            }
+        }
+    }
+}
+
+impl Default for Esp01Receiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RemReceiver for Esp01Receiver {
+    fn init(&mut self) -> Result<(), ReceiverError> {
+        let ping = self.module.execute_control("AT");
+        self.expect_ok(ping)?;
+        let mode = self.module.execute_control("AT+CWMODE_CUR=1");
+        self.expect_ok(mode)?;
+        let opt = self
+            .module
+            .execute_control(&format!("AT+CWLAPOPT=1,{CWLAPOPT_SSID_RSSI_MAC_CHANNEL}"));
+        self.expect_ok(opt)?;
+        self.status = ReceiverStatus::Ready;
+        Ok(())
+    }
+
+    fn status(&self) -> ReceiverStatus {
+        self.status
+    }
+
+    fn measure(
+        &mut self,
+        ctx: &MeasurementContext<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), ReceiverError> {
+        if self.status != ReceiverStatus::Ready {
+            return Err(ReceiverError::InvalidState {
+                was: self.status,
+                instruction: "measure",
+            });
+        }
+        self.status = ReceiverStatus::Busy;
+        let lines = self.module.execute_cwlap(ctx, rng);
+        if lines.last().map(String::as_str) != Some("OK") {
+            self.status = ReceiverStatus::Fault;
+            return Err(ReceiverError::ProtocolError {
+                response: lines.join("\n"),
+            });
+        }
+        self.pending_output = Some(lines);
+        self.status = ReceiverStatus::Ready;
+        Ok(())
+    }
+
+    fn take_observations(&mut self) -> Result<Vec<BeaconObservation>, ReceiverError> {
+        let lines = self.pending_output.take().ok_or(ReceiverError::NoOutput)?;
+        parse_cwlap_response(&lines).map_err(|e| ReceiverError::ProtocolError {
+            response: e.to_string(),
+        })
+    }
+
+    fn measurement_duration_ms(&self) -> f64 {
+        self.module.scan_config().duration_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerorem_propagation::building::SyntheticBuilding;
+    use aerorem_spatial::Aabb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> (aerorem_propagation::RadioEnvironment, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0xE59);
+        let env = SyntheticBuilding::paper_like().generate(Aabb::paper_volume(), &mut rng);
+        (env, rng)
+    }
+
+    #[test]
+    fn lifecycle_init_measure_fetch() {
+        let (env, mut rng) = world();
+        let mut rx = Esp01Receiver::new();
+        assert_eq!(rx.status(), ReceiverStatus::Uninitialized);
+        rx.init().unwrap();
+        assert_eq!(rx.status(), ReceiverStatus::Ready);
+        let ctx = MeasurementContext::new(&env, Aabb::paper_volume().center(), &[]);
+        rx.measure(&ctx, &mut rng).unwrap();
+        assert_eq!(rx.status(), ReceiverStatus::Ready);
+        let obs = rx.take_observations().unwrap();
+        assert!(
+            (15..=73).contains(&obs.len()),
+            "expected a few dozen rows, got {}",
+            obs.len()
+        );
+        // The tuples reference real building APs.
+        for o in &obs {
+            assert!(env.access_point(o.mac).is_some(), "unknown MAC {}", o.mac);
+        }
+    }
+
+    #[test]
+    fn measure_before_init_rejected() {
+        let (env, mut rng) = world();
+        let mut rx = Esp01Receiver::new();
+        let ctx = MeasurementContext::new(&env, Aabb::paper_volume().center(), &[]);
+        let err = rx.measure(&ctx, &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            ReceiverError::InvalidState {
+                was: ReceiverStatus::Uninitialized,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn output_consumed_once() {
+        let (env, mut rng) = world();
+        let mut rx = Esp01Receiver::new();
+        rx.init().unwrap();
+        let ctx = MeasurementContext::new(&env, Aabb::paper_volume().center(), &[]);
+        rx.measure(&ctx, &mut rng).unwrap();
+        assert!(rx.take_observations().is_ok());
+        assert_eq!(rx.take_observations(), Err(ReceiverError::NoOutput));
+    }
+
+    #[test]
+    fn fetch_without_measure_is_no_output() {
+        let mut rx = Esp01Receiver::new();
+        rx.init().unwrap();
+        assert_eq!(rx.take_observations(), Err(ReceiverError::NoOutput));
+    }
+
+    #[test]
+    fn duration_follows_scan_config() {
+        let cfg = ScanConfig {
+            dwell_ms: 100.0,
+            ..ScanConfig::paper_default()
+        };
+        let rx = Esp01Receiver::with_scan_config(cfg);
+        assert!((rx.measurement_duration_ms() - 1300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_measurements_differ() {
+        // Fading and detection randomness make consecutive scans differ.
+        let (env, mut rng) = world();
+        let mut rx = Esp01Receiver::new();
+        rx.init().unwrap();
+        let ctx = MeasurementContext::new(&env, Aabb::paper_volume().center(), &[]);
+        rx.measure(&ctx, &mut rng).unwrap();
+        let a = rx.take_observations().unwrap();
+        rx.measure(&ctx, &mut rng).unwrap();
+        let b = rx.take_observations().unwrap();
+        assert_ne!(a, b, "two scans should not be byte-identical");
+    }
+}

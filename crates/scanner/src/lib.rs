@@ -1,0 +1,48 @@
+//! REM-generating receiver simulation: the ESP-01 module and the
+//! four-instruction driver contract.
+//!
+//! §II-A of the paper defines a modular interface between the UAV and *any*
+//! REM-sampling receiver: a driver must support (i) initializing, (ii)
+//! checking the state of, (iii) instructing a measurement on, and (iv)
+//! parsing the output of the receiver. That contract is the [`RemReceiver`]
+//! trait here — implement it and your receiver rides the same toolchain.
+//!
+//! The paper instantiates the contract with an AI Thinker ESP-01 (ESP8266)
+//! Wi-Fi module driven over UART with AT commands (§III-A). This crate
+//! contains a byte-level simulation of that module ([`at::Esp01Module`]:
+//! `AT`, `AT+CWMODE_CUR`, `AT+CWLAPOPT`, `AT+CWLAP`) and the driver that
+//! speaks to it ([`esp01::Esp01Receiver`]), producing the
+//! `⟨ssid, rssi, mac, channel⟩` tuples the rest of the pipeline consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use aerorem_scanner::{Esp01Receiver, MeasurementContext, RemReceiver};
+//! use aerorem_propagation::building::SyntheticBuilding;
+//! use aerorem_spatial::Aabb;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let env = SyntheticBuilding::paper_like().generate(Aabb::paper_volume(), &mut rng);
+//! let mut rx = Esp01Receiver::new();
+//! rx.init()?;
+//! let ctx = MeasurementContext::new(&env, Aabb::paper_volume().center(), &[]);
+//! rx.measure(&ctx, &mut rng)?;
+//! let rows = rx.take_observations()?;
+//! assert!(!rows.is_empty(), "the apartment building is full of APs");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod at;
+pub mod driver;
+pub mod esp01;
+pub mod parse;
+pub mod scripted;
+
+pub use driver::{MeasurementContext, ReceiverError, ReceiverStatus, RemReceiver};
+pub use esp01::Esp01Receiver;

@@ -1,0 +1,220 @@
+//! Parsing `+CWLAP:(...)` response rows into observation tuples.
+
+use std::fmt;
+
+use aerorem_propagation::ap::{MacAddress, Ssid};
+use aerorem_propagation::scan::BeaconObservation;
+use aerorem_propagation::WifiChannel;
+
+/// Error produced when a `+CWLAP` row cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCwlapError {
+    line: String,
+    reason: &'static str,
+}
+
+impl ParseCwlapError {
+    fn new(line: &str, reason: &'static str) -> Self {
+        ParseCwlapError {
+            line: line.to_string(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseCwlapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse CWLAP row ({}): {:?}", self.reason, self.line)
+    }
+}
+
+impl std::error::Error for ParseCwlapError {}
+
+/// Parses one `+CWLAP:("ssid",rssi,"mac",channel)` row.
+///
+/// # Errors
+///
+/// Returns [`ParseCwlapError`] describing the first malformed field.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_scanner::parse::parse_cwlap_row;
+///
+/// let obs = parse_cwlap_row("+CWLAP:(\"HomeNet\",-67,\"02:00:00:00:00:01\",6)").unwrap();
+/// assert_eq!(obs.rssi_dbm, -67);
+/// assert_eq!(obs.channel.number(), 6);
+/// ```
+pub fn parse_cwlap_row(line: &str) -> Result<BeaconObservation, ParseCwlapError> {
+    let line = line.trim();
+    let body = line
+        .strip_prefix("+CWLAP:(")
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| ParseCwlapError::new(line, "missing +CWLAP:(...) frame"))?;
+
+    // ssid is quoted and may contain commas; find its closing quote.
+    let body = body
+        .strip_prefix('"')
+        .ok_or_else(|| ParseCwlapError::new(line, "ssid not quoted"))?;
+    let ssid_end = body
+        .find('"')
+        .ok_or_else(|| ParseCwlapError::new(line, "unterminated ssid"))?;
+    let ssid = &body[..ssid_end];
+    let rest = body[ssid_end + 1..]
+        .strip_prefix(',')
+        .ok_or_else(|| ParseCwlapError::new(line, "missing field separator after ssid"))?;
+
+    let mut fields = rest.split(',');
+    let rssi_str = fields
+        .next()
+        .ok_or_else(|| ParseCwlapError::new(line, "missing rssi"))?;
+    let rssi_dbm: i32 = rssi_str
+        .trim()
+        .parse()
+        .map_err(|_| ParseCwlapError::new(line, "rssi not an integer"))?;
+
+    let mac_str = fields
+        .next()
+        .ok_or_else(|| ParseCwlapError::new(line, "missing mac"))?
+        .trim();
+    let mac_str = mac_str
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| ParseCwlapError::new(line, "mac not quoted"))?;
+    let mac: MacAddress = mac_str
+        .parse()
+        .map_err(|_| ParseCwlapError::new(line, "invalid mac"))?;
+
+    let ch_str = fields
+        .next()
+        .ok_or_else(|| ParseCwlapError::new(line, "missing channel"))?;
+    let ch_num: u8 = ch_str
+        .trim()
+        .parse()
+        .map_err(|_| ParseCwlapError::new(line, "channel not an integer"))?;
+    let channel =
+        WifiChannel::new(ch_num).ok_or_else(|| ParseCwlapError::new(line, "channel out of range"))?;
+
+    if fields.next().is_some() {
+        return Err(ParseCwlapError::new(line, "trailing fields"));
+    }
+
+    Ok(BeaconObservation {
+        ssid: Ssid::new(ssid),
+        rssi_dbm,
+        mac,
+        channel,
+    })
+}
+
+/// Parses a full `AT+CWLAP` response: every `+CWLAP:` row, ignoring the
+/// terminating `OK` and blank lines.
+///
+/// # Errors
+///
+/// Fails on the first malformed `+CWLAP:` row; non-row lines other than
+/// `OK`/empty are also rejected so module faults are not silently skipped.
+pub fn parse_cwlap_response(lines: &[String]) -> Result<Vec<BeaconObservation>, ParseCwlapError> {
+    let mut out = Vec::new();
+    for line in lines {
+        let t = line.trim();
+        if t.is_empty() || t == "OK" {
+            continue;
+        }
+        if t.starts_with("+CWLAP:") {
+            out.push(parse_cwlap_row(t)?);
+        } else {
+            return Err(ParseCwlapError::new(t, "unexpected line in response"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_valid_row() {
+        let obs =
+            parse_cwlap_row("+CWLAP:(\"telenet-12345\",-73,\"02:00:00:00:00:2a\",11)").unwrap();
+        assert_eq!(obs.ssid.as_str(), "telenet-12345");
+        assert_eq!(obs.rssi_dbm, -73);
+        assert_eq!(obs.mac.to_string(), "02:00:00:00:00:2a");
+        assert_eq!(obs.channel.number(), 11);
+    }
+
+    #[test]
+    fn ssid_with_comma_and_parens() {
+        let obs = parse_cwlap_row("+CWLAP:(\"my,net(2.4)\",-60,\"02:00:00:00:00:01\",1)").unwrap();
+        assert_eq!(obs.ssid.as_str(), "my,net(2.4)");
+    }
+
+    #[test]
+    fn empty_ssid_allowed() {
+        let obs = parse_cwlap_row("+CWLAP:(\"\",-80,\"02:00:00:00:00:01\",13)").unwrap();
+        assert_eq!(obs.ssid.as_str(), "");
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let bad = [
+            "CWLAP:(\"x\",-60,\"02:00:00:00:00:01\",1)",   // missing '+' frame
+            "+CWLAP:(\"x\",-60,\"02:00:00:00:00:01\",1",    // missing ')'
+            "+CWLAP:(x,-60,\"02:00:00:00:00:01\",1)",       // unquoted ssid
+            "+CWLAP:(\"x\",abc,\"02:00:00:00:00:01\",1)",   // bad rssi
+            "+CWLAP:(\"x\",-60,02:00:00:00:00:01,1)",       // unquoted mac
+            "+CWLAP:(\"x\",-60,\"nope\",1)",                // bad mac
+            "+CWLAP:(\"x\",-60,\"02:00:00:00:00:01\",14)",  // channel out of range
+            "+CWLAP:(\"x\",-60,\"02:00:00:00:00:01\",1,9)", // trailing field
+            "+CWLAP:(\"x\",-60,\"02:00:00:00:00:01\")",     // missing channel
+        ];
+        for b in bad {
+            assert!(parse_cwlap_row(b).is_err(), "{b} should fail");
+        }
+    }
+
+    #[test]
+    fn response_parsing_skips_ok_and_blanks() {
+        let lines = vec![
+            "+CWLAP:(\"a\",-50,\"02:00:00:00:00:01\",1)".to_string(),
+            "".to_string(),
+            "+CWLAP:(\"b\",-60,\"02:00:00:00:00:02\",6)".to_string(),
+            "OK".to_string(),
+        ];
+        let obs = parse_cwlap_response(&lines).unwrap();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[1].rssi_dbm, -60);
+    }
+
+    #[test]
+    fn response_rejects_stray_lines() {
+        let lines = vec!["busy p...".to_string()];
+        assert!(parse_cwlap_response(&lines).is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_reason() {
+        let e = parse_cwlap_row("junk").unwrap_err();
+        assert!(e.to_string().contains("frame"));
+    }
+
+    #[test]
+    fn round_trip_with_formatter() {
+        // The module formats rows; the parser must read them back.
+        let obs = BeaconObservation {
+            ssid: Ssid::new("Net X"),
+            rssi_dbm: -71,
+            mac: MacAddress::from_index(99),
+            channel: WifiChannel::new(9).unwrap(),
+        };
+        let line = format!(
+            "+CWLAP:(\"{}\",{},\"{}\",{})",
+            obs.ssid,
+            obs.rssi_dbm,
+            obs.mac,
+            obs.channel.number()
+        );
+        assert_eq!(parse_cwlap_row(&line).unwrap(), obs);
+    }
+}

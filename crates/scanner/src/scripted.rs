@@ -1,0 +1,197 @@
+//! A scripted receiver for tests and failure injection.
+//!
+//! Implements the four-instruction [`RemReceiver`] contract without any
+//! radio model: measurements replay a pre-programmed queue of outcomes.
+//! Used to test mission logic against receiver faults that the simulated
+//! ESP-01 never produces on its own (flaky init, mid-campaign faults,
+//! garbage output).
+
+use std::collections::VecDeque;
+
+use rand::RngCore;
+
+use aerorem_propagation::scan::BeaconObservation;
+
+use crate::driver::{MeasurementContext, ReceiverError, ReceiverStatus, RemReceiver};
+
+/// One scripted measurement outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptedOutcome {
+    /// The measurement succeeds with these rows.
+    Rows(Vec<BeaconObservation>),
+    /// The module faults; the receiver enters [`ReceiverStatus::Fault`].
+    Fault,
+}
+
+/// A replayed receiver.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_scanner::scripted::{ScriptedOutcome, ScriptedReceiver};
+/// use aerorem_scanner::{RemReceiver, ReceiverStatus};
+///
+/// let mut rx = ScriptedReceiver::new(vec![ScriptedOutcome::Rows(vec![])], 1.0);
+/// rx.init().unwrap();
+/// assert_eq!(rx.status(), ReceiverStatus::Ready);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedReceiver {
+    outcomes: VecDeque<ScriptedOutcome>,
+    status: ReceiverStatus,
+    pending: Option<Vec<BeaconObservation>>,
+    duration_ms: f64,
+    /// When `true`, `init` fails (simulating a dead module).
+    pub fail_init: bool,
+    measurements_taken: usize,
+}
+
+impl ScriptedReceiver {
+    /// Creates a receiver that replays `outcomes` in order; once exhausted,
+    /// further measurements return empty row sets.
+    pub fn new(outcomes: Vec<ScriptedOutcome>, duration_ms: f64) -> Self {
+        ScriptedReceiver {
+            outcomes: outcomes.into(),
+            status: ReceiverStatus::Uninitialized,
+            pending: None,
+            duration_ms,
+            fail_init: false,
+            measurements_taken: 0,
+        }
+    }
+
+    /// How many measurements have been taken.
+    pub fn measurements_taken(&self) -> usize {
+        self.measurements_taken
+    }
+}
+
+impl RemReceiver for ScriptedReceiver {
+    fn init(&mut self) -> Result<(), ReceiverError> {
+        if self.fail_init {
+            self.status = ReceiverStatus::Fault;
+            return Err(ReceiverError::ProtocolError {
+                response: "no response to AT".into(),
+            });
+        }
+        self.status = ReceiverStatus::Ready;
+        Ok(())
+    }
+
+    fn status(&self) -> ReceiverStatus {
+        self.status
+    }
+
+    fn measure(
+        &mut self,
+        _ctx: &MeasurementContext<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> Result<(), ReceiverError> {
+        if self.status != ReceiverStatus::Ready {
+            return Err(ReceiverError::InvalidState {
+                was: self.status,
+                instruction: "measure",
+            });
+        }
+        self.measurements_taken += 1;
+        match self.outcomes.pop_front() {
+            Some(ScriptedOutcome::Rows(rows)) => {
+                self.pending = Some(rows);
+                Ok(())
+            }
+            Some(ScriptedOutcome::Fault) => {
+                self.status = ReceiverStatus::Fault;
+                Err(ReceiverError::ProtocolError {
+                    response: "scripted module fault".into(),
+                })
+            }
+            None => {
+                self.pending = Some(Vec::new());
+                Ok(())
+            }
+        }
+    }
+
+    fn take_observations(&mut self) -> Result<Vec<BeaconObservation>, ReceiverError> {
+        self.pending.take().ok_or(ReceiverError::NoOutput)
+    }
+
+    fn measurement_duration_ms(&self) -> f64 {
+        self.duration_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerorem_propagation::ap::{MacAddress, Ssid};
+    use aerorem_propagation::environment::RadioEnvironmentBuilder;
+    use aerorem_propagation::WifiChannel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn row() -> BeaconObservation {
+        BeaconObservation {
+            ssid: Ssid::new("scripted"),
+            rssi_dbm: -60,
+            mac: MacAddress::from_index(1),
+            channel: WifiChannel::new(6).unwrap(),
+        }
+    }
+
+    #[test]
+    fn replays_in_order_then_runs_dry() {
+        let env = RadioEnvironmentBuilder::new().build();
+        let ctx = MeasurementContext::new(&env, aerorem_spatial::Vec3::ZERO, &[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut rx = ScriptedReceiver::new(
+            vec![
+                ScriptedOutcome::Rows(vec![row(), row()]),
+                ScriptedOutcome::Rows(vec![row()]),
+            ],
+            500.0,
+        );
+        rx.init().unwrap();
+        rx.measure(&ctx, &mut rng).unwrap();
+        assert_eq!(rx.take_observations().unwrap().len(), 2);
+        rx.measure(&ctx, &mut rng).unwrap();
+        assert_eq!(rx.take_observations().unwrap().len(), 1);
+        // Script exhausted: empty results, not errors.
+        rx.measure(&ctx, &mut rng).unwrap();
+        assert!(rx.take_observations().unwrap().is_empty());
+        assert_eq!(rx.measurements_taken(), 3);
+        assert_eq!(rx.measurement_duration_ms(), 500.0);
+    }
+
+    #[test]
+    fn fault_injection_stops_the_receiver() {
+        let env = RadioEnvironmentBuilder::new().build();
+        let ctx = MeasurementContext::new(&env, aerorem_spatial::Vec3::ZERO, &[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut rx = ScriptedReceiver::new(
+            vec![
+                ScriptedOutcome::Rows(vec![row()]),
+                ScriptedOutcome::Fault,
+            ],
+            500.0,
+        );
+        rx.init().unwrap();
+        rx.measure(&ctx, &mut rng).unwrap();
+        let _ = rx.take_observations().unwrap();
+        assert!(rx.measure(&ctx, &mut rng).is_err());
+        assert_eq!(rx.status(), ReceiverStatus::Fault);
+        // Fault is sticky: further measurements are invalid-state errors.
+        assert!(matches!(
+            rx.measure(&ctx, &mut rng),
+            Err(ReceiverError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn dead_module_fails_init() {
+        let mut rx = ScriptedReceiver::new(vec![], 100.0);
+        rx.fail_init = true;
+        assert!(rx.init().is_err());
+        assert_eq!(rx.status(), ReceiverStatus::Fault);
+    }
+}

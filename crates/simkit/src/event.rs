@@ -1,0 +1,206 @@
+//! A deterministic, time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An entry in the queue: ordered by time, then by insertion sequence so
+/// that events scheduled for the same instant pop in FIFO order. This makes
+/// every simulation run bit-reproducible.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO ordering for simultaneous
+/// events.
+///
+/// The queue is the core of every `aerorem` scenario: mission steps, radio
+/// state changes, watchdog expiries, and battery events are all payloads
+/// scheduled here.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_simkit::{EventQueue, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { ScanDone, RadioOn }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(3), Ev::ScanDone);
+/// q.schedule(SimTime::from_secs(3), Ev::RadioOn); // same instant: FIFO
+/// assert_eq!(q.pop().unwrap().1, Ev::ScanDone);
+/// assert_eq!(q.pop().unwrap().1, Ev::RadioOn);
+/// assert!(q.is_empty());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past (before the time of the last popped event) is
+    /// clamped to "now": the event will be the next one delivered. This
+    /// mirrors an RTOS posting to an expired timer rather than corrupting the
+    /// timeline.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the internal clock
+    /// to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events, keeping the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "late");
+        q.pop();
+        // Now at t=10; schedule for t=1 should clamp, not time-travel.
+        q.schedule(SimTime::from_secs(1), "clamped");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(10));
+        assert_eq!(e, "clamped");
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(3), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(q.now() + SimDuration::from_secs(1), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn len_peek_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

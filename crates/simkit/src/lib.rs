@@ -1,0 +1,43 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The paper's firmware runs on FreeRTOS: periodic tasks (the 100 ms
+//! position-hold feedback task), watchdog timers
+//! (`COMMANDER_WDT_TIMEOUT_SHUTDOWN`), and queues (`CRTP_TX_QUEUE_SIZE`).
+//! This crate provides the simulation-side equivalents:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time.
+//! * [`EventQueue`] — a deterministic time-ordered event queue with stable
+//!   FIFO tie-breaking, the heart of every scenario in `aerorem-mission`.
+//! * [`PeriodicTask`] — fixed-rate task bookkeeping with suspend/resume,
+//!   mirroring FreeRTOS `vTaskSuspend`/`vTaskResume` semantics the paper's
+//!   feedback task relies on.
+//! * [`Watchdog`] — feed-or-expire timers for the commander shutdown rule.
+//! * [`TraceLog`] — a bounded, timestamped trace for debugging scenarios.
+//!
+//! Everything here is pure and deterministic: no wall-clock access, no
+//! threads, no randomness.
+//!
+//! # Examples
+//!
+//! ```
+//! use aerorem_simkit::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(20), "b");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(10), "a");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!((t.as_millis(), e), (10, "a"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod tasks;
+mod time;
+mod trace;
+
+pub use event::EventQueue;
+pub use tasks::{PeriodicTask, TaskState, Watchdog};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, TraceLog};

@@ -1,0 +1,288 @@
+//! Periodic-task and watchdog bookkeeping.
+//!
+//! These model the two FreeRTOS mechanisms the paper's firmware changes rely
+//! on: the 100 ms position-hold feedback task that is *resumed* at the start
+//! of each scan and *suspended* at its end (§II-C), and the
+//! `COMMANDER_WDT_TIMEOUT_SHUTDOWN` watchdog that shuts the UAV down when no
+//! setpoint arrives in time.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Lifecycle state of a [`PeriodicTask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// The task fires at its period.
+    Running,
+    /// The task is suspended: [`PeriodicTask::due`] never returns firings.
+    Suspended,
+}
+
+/// A fixed-rate task, with FreeRTOS-style suspend/resume.
+///
+/// The task does not own a callback; the simulation loop asks it how many
+/// firings are [`due`](PeriodicTask::due) and performs the work itself. This
+/// keeps the kernel free of closures and lifetimes while preserving exact
+/// firing times.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_simkit::{PeriodicTask, SimDuration, SimTime};
+///
+/// // The paper's position-hold feedback task: every 100 ms.
+/// let mut task = PeriodicTask::new(SimDuration::from_millis(100));
+/// task.resume(SimTime::ZERO);
+/// let firings = task.due(SimTime::from_millis(350));
+/// assert_eq!(firings.len(), 3); // t=100, 200, 300 ms
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicTask {
+    period: SimDuration,
+    state: TaskState,
+    /// Time of the next firing while running.
+    next_fire: SimTime,
+}
+
+impl PeriodicTask {
+    /// Creates a suspended task with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(period > SimDuration::ZERO, "period must be positive");
+        PeriodicTask {
+            period,
+            state: TaskState::Suspended,
+            next_fire: SimTime::ZERO,
+        }
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> TaskState {
+        self.state
+    }
+
+    /// Resumes the task at `now`; the first firing is one period later.
+    /// Resuming an already-running task restarts its phase.
+    pub fn resume(&mut self, now: SimTime) {
+        self.state = TaskState::Running;
+        self.next_fire = now + self.period;
+    }
+
+    /// Suspends the task; pending firings are discarded.
+    pub fn suspend(&mut self) {
+        self.state = TaskState::Suspended;
+    }
+
+    /// Returns the exact times of every firing due up to and including `now`,
+    /// advancing the internal schedule. Suspended tasks return nothing.
+    pub fn due(&mut self, now: SimTime) -> Vec<SimTime> {
+        let mut fired = Vec::new();
+        if self.state != TaskState::Running {
+            return fired;
+        }
+        while self.next_fire <= now {
+            fired.push(self.next_fire);
+            self.next_fire += self.period;
+        }
+        fired
+    }
+
+    /// The time of the next scheduled firing, or `None` if suspended.
+    pub fn next_fire(&self) -> Option<SimTime> {
+        match self.state {
+            TaskState::Running => Some(self.next_fire),
+            TaskState::Suspended => None,
+        }
+    }
+}
+
+/// A feed-or-expire watchdog timer.
+///
+/// Models `COMMANDER_WDT_TIMEOUT_SHUTDOWN`: if the commander receives no
+/// setpoint within the timeout, the Crazyflie shuts down (§II-C). The paper
+/// raises the timeout to 10 s so the radio-off scan interval can be bridged.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_simkit::{SimDuration, SimTime, Watchdog};
+///
+/// let mut wdt = Watchdog::new(SimDuration::from_secs(2));
+/// wdt.feed(SimTime::ZERO);
+/// assert!(!wdt.expired(SimTime::from_secs(1)));
+/// assert!(wdt.expired(SimTime::from_secs(3)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    timeout: SimDuration,
+    last_fed: SimTime,
+    enabled: bool,
+}
+
+impl Watchdog {
+    /// Creates an enabled watchdog, last fed at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn new(timeout: SimDuration) -> Self {
+        assert!(timeout > SimDuration::ZERO, "timeout must be positive");
+        Watchdog {
+            timeout,
+            last_fed: SimTime::ZERO,
+            enabled: true,
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Replaces the timeout (the paper's firmware patch raises it to 10 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn set_timeout(&mut self, timeout: SimDuration) {
+        assert!(timeout > SimDuration::ZERO, "timeout must be positive");
+        self.timeout = timeout;
+    }
+
+    /// Records activity, restarting the countdown.
+    pub fn feed(&mut self, now: SimTime) {
+        self.last_fed = now;
+    }
+
+    /// Whether the watchdog has gone unfed for longer than the timeout.
+    /// Disabled watchdogs never expire.
+    pub fn expired(&self, now: SimTime) -> bool {
+        self.enabled && now.saturating_since(self.last_fed) > self.timeout
+    }
+
+    /// Time remaining before expiry (zero if already expired or disabled).
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        if !self.enabled {
+            return SimDuration::ZERO;
+        }
+        self.timeout
+            .saturating_sub(now.saturating_since(self.last_fed))
+    }
+
+    /// Disables the watchdog (it will never expire).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Re-enables the watchdog, feeding it at `now`.
+    pub fn enable(&mut self, now: SimTime) {
+        self.enabled = true;
+        self.last_fed = now;
+    }
+
+    /// Whether the watchdog is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_task_fires_at_exact_times() {
+        let mut t = PeriodicTask::new(SimDuration::from_millis(100));
+        t.resume(SimTime::from_millis(50));
+        let f = t.due(SimTime::from_millis(400));
+        assert_eq!(
+            f,
+            vec![
+                SimTime::from_millis(150),
+                SimTime::from_millis(250),
+                SimTime::from_millis(350)
+            ]
+        );
+        // No double delivery.
+        assert!(t.due(SimTime::from_millis(400)).is_empty());
+        assert_eq!(t.next_fire(), Some(SimTime::from_millis(450)));
+    }
+
+    #[test]
+    fn suspended_task_never_fires() {
+        let mut t = PeriodicTask::new(SimDuration::from_millis(100));
+        assert_eq!(t.state(), TaskState::Suspended);
+        assert!(t.due(SimTime::from_secs(10)).is_empty());
+        assert_eq!(t.next_fire(), None);
+    }
+
+    #[test]
+    fn suspend_resume_cycle_restarts_phase() {
+        let mut t = PeriodicTask::new(SimDuration::from_millis(100));
+        t.resume(SimTime::ZERO);
+        t.due(SimTime::from_millis(100));
+        t.suspend();
+        assert!(t.due(SimTime::from_secs(5)).is_empty());
+        t.resume(SimTime::from_secs(5));
+        let f = t.due(SimTime::from_millis(5100));
+        assert_eq!(f, vec![SimTime::from_millis(5100)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        PeriodicTask::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn watchdog_expires_after_timeout() {
+        let mut w = Watchdog::new(SimDuration::from_millis(500));
+        w.feed(SimTime::from_secs(1));
+        assert!(!w.expired(SimTime::from_millis(1500)));
+        assert!(!w.expired(SimTime::from_millis(1500))); // exactly at limit: not expired
+        assert!(w.expired(SimTime::from_millis(1501)));
+    }
+
+    #[test]
+    fn watchdog_feed_resets() {
+        let mut w = Watchdog::new(SimDuration::from_secs(1));
+        w.feed(SimTime::ZERO);
+        w.feed(SimTime::from_secs(5));
+        assert!(!w.expired(SimTime::from_secs(5)));
+        assert_eq!(
+            w.remaining(SimTime::from_millis(5400)),
+            SimDuration::from_millis(600)
+        );
+    }
+
+    #[test]
+    fn watchdog_disable_enable() {
+        let mut w = Watchdog::new(SimDuration::from_millis(10));
+        w.disable();
+        assert!(!w.expired(SimTime::from_secs(100)));
+        assert!(!w.is_enabled());
+        assert_eq!(w.remaining(SimTime::from_secs(100)), SimDuration::ZERO);
+        w.enable(SimTime::from_secs(100));
+        assert!(w.is_enabled());
+        assert!(!w.expired(SimTime::from_secs(100)));
+        assert!(w.expired(SimTime::from_millis(100_011)));
+    }
+
+    #[test]
+    fn watchdog_timeout_extension_bridges_gap() {
+        // The paper's scenario: a ~3 s radio-off scan must not trip the WDT.
+        let mut w = Watchdog::new(SimDuration::from_millis(2000)); // default-ish
+        w.feed(SimTime::ZERO);
+        let scan_end = SimTime::from_secs(3);
+        assert!(w.expired(scan_end), "default timeout should trip");
+        w.set_timeout(SimDuration::from_secs(10)); // the paper's patch
+        assert!(!w.expired(scan_end), "patched timeout should survive");
+    }
+}

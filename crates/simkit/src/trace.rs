@@ -1,0 +1,183 @@
+//! A bounded, timestamped trace log for simulation debugging.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event was recorded.
+    pub time: SimTime,
+    /// Short component tag, e.g. `"commander"` or `"radio"`.
+    pub component: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:<12} {}", self.time, self.component, self.message)
+    }
+}
+
+/// A bounded FIFO of [`TraceEntry`] records.
+///
+/// When full, the oldest entries are evicted, so long campaigns keep a
+/// recent window instead of growing without bound.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_simkit::{SimTime, TraceLog};
+///
+/// let mut log = TraceLog::with_capacity(2);
+/// log.record(SimTime::ZERO, "radio", "off".to_string());
+/// log.record(SimTime::from_secs(3), "radio", "on".to_string());
+/// log.record(SimTime::from_secs(4), "scan", "done".to_string());
+/// assert_eq!(log.len(), 2); // the first entry was evicted
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log bounded to `capacity` entries.
+    ///
+    /// A capacity of zero disables recording entirely (every record is
+    /// counted as dropped).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a log with a generous default capacity (65 536 entries).
+    pub fn new() -> Self {
+        Self::with_capacity(65_536)
+    }
+
+    /// Records one entry, evicting the oldest if the log is full.
+    pub fn record(&mut self, time: SimTime, component: &'static str, message: String) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            component,
+            message,
+        });
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted or rejected so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Entries from the given component, oldest first.
+    pub fn by_component<'a>(
+        &'a self,
+        component: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.component == component)
+    }
+
+    /// Drops all entries (the dropped counter is preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut log = TraceLog::new();
+        log.record(SimTime::from_secs(1), "a", "one".into());
+        log.record(SimTime::from_secs(2), "b", "two".into());
+        let msgs: Vec<&str> = log.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["one", "two"]);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_most_recent() {
+        let mut log = TraceLog::with_capacity(3);
+        for i in 0..10u64 {
+            log.record(SimTime::from_secs(i), "x", format!("{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        let msgs: Vec<&str> = log.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["7", "8", "9"]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut log = TraceLog::with_capacity(0);
+        log.record(SimTime::ZERO, "x", "gone".into());
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn filter_by_component() {
+        let mut log = TraceLog::new();
+        log.record(SimTime::ZERO, "radio", "off".into());
+        log.record(SimTime::ZERO, "scan", "start".into());
+        log.record(SimTime::from_secs(3), "radio", "on".into());
+        assert_eq!(log.by_component("radio").count(), 2);
+        assert_eq!(log.by_component("scan").count(), 1);
+        assert_eq!(log.by_component("nope").count(), 0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let e = TraceEntry {
+            time: SimTime::from_millis(1500),
+            component: "commander",
+            message: "wdt fed".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("commander"));
+        assert!(s.contains("wdt fed"));
+    }
+
+    #[test]
+    fn clear_preserves_dropped_count() {
+        let mut log = TraceLog::with_capacity(1);
+        log.record(SimTime::ZERO, "x", "a".into());
+        log.record(SimTime::ZERO, "x", "b".into());
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Crazyflie-class UAV simulation: dynamics, battery, and the commander
+//! firmware model.
+//!
+//! The paper customizes a Bitcraze Crazyflie 2.1 (§II): a ~27 g quadrotor
+//! running FreeRTOS, carrying the Loco Positioning Deck and a custom ESP-01
+//! deck. This crate models the vehicle-side behaviours the system design
+//! depends on:
+//!
+//! * [`battery`] — endurance. "The Crazyflie is advertised as having a
+//!   flight time of up to 7 min … without the weight and power consumed by
+//!   the LPD and the custom ESP8266 deck" (§III-A). The model is calibrated
+//!   so that the paper's endurance test (hover + periodic scans with both
+//!   decks) lasts ≈ 6 min 12 s over ≈ 36 scans.
+//! * [`dynamics`] — a point-mass quadrotor with a velocity-limited position
+//!   controller and hover jitter, enough to model waypoint flight and
+//!   position hold.
+//! * [`commander`] — the firmware commander: setpoint watchdog
+//!   (`COMMANDER_WDT_TIMEOUT_SHUTDOWN`), the 500 ms level-out rule, and the
+//!   extra position-hold feedback task that keeps the UAV in place while the
+//!   radio is off (§II-C).
+//! * [`firmware`] — stock vs paper-patched firmware configuration.
+//! * [`vehicle`] — the assembled [`Uav`]: dynamics + battery + commander +
+//!   the localization EKF.
+//!
+//! # Examples
+//!
+//! ```
+//! use aerorem_uav::firmware::FirmwareConfig;
+//!
+//! let stock = FirmwareConfig::stock_2021_06();
+//! let patched = FirmwareConfig::paper_patched();
+//! assert!(patched.wdt_timeout > stock.wdt_timeout);
+//! assert!(patched.tx_queue_size > stock.tx_queue_size);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod commander;
+pub mod dynamics;
+pub mod firmware;
+pub mod vehicle;
+
+pub use battery::{Battery, BatteryConfig};
+pub use commander::{Commander, CommanderState};
+pub use firmware::FirmwareConfig;
+pub use vehicle::{FlightMode, Uav, UavId};

@@ -1,0 +1,83 @@
+//! Coverage planning on a generated REM — the use case the paper's
+//! introduction motivates: find "dark" connectivity regions and plan where
+//! to add an AP or position a relay.
+//!
+//! ```sh
+//! cargo run --release --example coverage_planning
+//! ```
+
+use aerorem::core::coverage::CoverageMap;
+use aerorem::core::pipeline::{PipelineConfig, RemPipeline};
+use aerorem::mission::plan::FleetPlan;
+use aerorem::simkit::SimDuration;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+
+    // A moderate survey is plenty for coverage planning.
+    let mut config = PipelineConfig::paper_demo();
+    config.campaign.fleet_plan = FleetPlan {
+        fleet_size: 2,
+        total_waypoints: 24,
+        travel_time: SimDuration::from_secs(3),
+        scan_time: SimDuration::from_secs(2),
+    };
+    config.rem_resolution_m = 0.4;
+
+    println!("surveying and building per-AP REMs...");
+    let result = RemPipeline::new(config).run(&mut rng)?;
+
+    // The intro's use case is extending *your own* network: pick one
+    // mid-tier AP (the kind whose coverage actually has holes) and plan
+    // for it specifically.
+    let mean_rss = |m| {
+        let (sum, n) = result
+            .campaign
+            .samples
+            .iter()
+            .filter(|s| s.mac == m)
+            .fold((0.0, 0usize), |(s, n), smp| {
+                (s + f64::from(smp.rssi_dbm), n + 1)
+            });
+        sum / n.max(1) as f64
+    };
+    let mut macs = result.layout.macs();
+    macs.sort_by_key(|&m| (mean_rss(m) + 70.0).abs() as i64);
+    let target_mac = macs[0];
+    println!(
+        "planning for {target_mac} (mean observed RSS {:.1} dBm)",
+        mean_rss(target_mac)
+    );
+    let rem = result.generate_rem(target_mac)?;
+    let coverage = CoverageMap::from_rems(&[rem]).expect("one grid combines");
+    for threshold in [-65.0, -70.0, -75.0] {
+        println!(
+            "coverage at {threshold} dBm: {:.0}% of the volume",
+            coverage.coverage_fraction(threshold) * 100.0
+        );
+    }
+
+    // Plan against the mid threshold.
+    let threshold = -70.0;
+    let dark = coverage.dark_cells(threshold);
+    if dark.is_empty() {
+        println!("no dark regions at {threshold} dBm — nothing to plan.");
+        return Ok(());
+    }
+    println!(
+        "\n{} dark cells below {threshold} dBm; planning a relay...",
+        dark.len()
+    );
+    match coverage.suggest_relay(threshold, 1.2) {
+        Some(plan) => println!(
+            "place a relay/AP at {} — covers {}/{} dark cells ({:.0}%)",
+            plan.position,
+            plan.dark_cells_covered,
+            plan.dark_cells_total,
+            plan.fix_fraction() * 100.0
+        ),
+        None => println!("coverage is already complete at {threshold} dBm"),
+    }
+    Ok(())
+}

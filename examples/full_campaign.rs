@@ -1,0 +1,42 @@
+//! The paper's §III demo, end to end: two Crazyflies, 72 waypoints, the
+//! full preprocessing + Figure-8 model comparison, and a REM of the
+//! strongest AP.
+//!
+//! ```sh
+//! cargo run --release --example full_campaign [seed]
+//! ```
+
+use aerorem::core::pipeline::{PipelineConfig, RemPipeline};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2206);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    println!("running the 2-UAV / 72-waypoint campaign (seed {seed})...\n");
+    let result = RemPipeline::new(PipelineConfig::paper_demo()).run(&mut rng)?;
+
+    println!("{}", result.campaign.stats_summary());
+    println!(
+        "preprocessing: {} retained / {} dropped (paper: 2565 / 131)\n",
+        result.preprocess_report.retained_samples, result.preprocess_report.dropped_samples
+    );
+    println!("{}", result.figure8_table());
+
+    let mac = result.strongest_mac().expect("campaign observed APs");
+    let rem = result.generate_rem(mac)?;
+    let (nx, ny, nz) = rem.dims();
+    println!(
+        "REM of {mac}: {nx}x{ny}x{nz} cells, {:.1} to {:.1} dBm (mean {:.1})",
+        rem.min_dbm(),
+        rem.max_dbm(),
+        rem.mean_dbm()
+    );
+
+    let gt = result.ground_truth_rmse(100, &mut rng)?;
+    println!("\nRMSE against the hidden ground-truth surface: {gt:.2} dB");
+    Ok(())
+}

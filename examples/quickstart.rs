@@ -1,0 +1,67 @@
+//! Quickstart: the smallest end-to-end run of the toolchain.
+//!
+//! Builds a synthetic apartment building, flies a single UAV over a small
+//! waypoint grid, trains the paper's best kNN on the collected samples, and
+//! predicts Wi-Fi RSS at a point the UAV never visited.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aerorem::core::features::{preprocess, PreprocessConfig};
+use aerorem::core::models::ModelKind;
+use aerorem::mission::campaign::{Campaign, CampaignConfig};
+use aerorem::mission::plan::FleetPlan;
+use aerorem::simkit::SimDuration;
+use aerorem::spatial::Vec3;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // One UAV, 12 waypoints — a quick survey instead of the full 72-point
+    // campaign (see the full_campaign example for that).
+    let config = CampaignConfig {
+        fleet_plan: FleetPlan {
+            fleet_size: 1,
+            total_waypoints: 12,
+            travel_time: SimDuration::from_secs(3),
+            scan_time: SimDuration::from_secs(2),
+        },
+        ..CampaignConfig::paper_demo()
+    };
+
+    println!("flying the survey...");
+    let report = Campaign::new(config).run(&mut rng);
+    println!("{}", report.stats_summary());
+
+    // Preprocess exactly like the paper (drop rare MACs, one-hot encode)
+    // with a lower retention bar since this survey is small.
+    let (data, layout, prep) = preprocess(
+        &report.samples,
+        &PreprocessConfig {
+            min_samples_per_mac: 6,
+        },
+    )?;
+    println!(
+        "retained {} samples across {} APs",
+        prep.retained_samples, prep.retained_macs
+    );
+
+    // Train the paper's best model on everything we have.
+    let mut model = ModelKind::KnnScaled16.build(&layout)?;
+    model.fit(&data.x, &data.y)?;
+
+    // Ask for signal quality at a location no UAV visited.
+    let query = Vec3::new(1.11, 2.22, 0.55);
+    let mac = layout.macs()[0];
+    let rss = model.predict_one(&layout.encode_query(query, mac)?)?;
+    println!("predicted RSS of {mac} at {query}: {rss:.1} dBm");
+
+    // The simulator knows the hidden truth — compare.
+    if let Some(ap) = report.environment.access_point(mac) {
+        let truth = report.environment.mean_rss(ap, query);
+        println!("ground truth (hidden from the model): {truth:.1} dBm");
+    }
+    Ok(())
+}

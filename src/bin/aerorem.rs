@@ -1,0 +1,238 @@
+//! The `aerorem` command-line tool: survey, evaluate, map, plan.
+//!
+//! ```text
+//! aerorem survey   [--seed N] [--waypoints 72] [--uavs 2] --out samples.csv
+//! aerorem evaluate --in samples.csv [--seed N]
+//! aerorem map      --in samples.csv [--mac aa:bb:..] [--resolution 0.25] --out rem.csv
+//! aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]
+//! ```
+//!
+//! `survey` runs the simulated campaign and writes the collected samples;
+//! the other commands are pure data processing and would work identically
+//! on samples from real hardware.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use aerorem::core::coverage::CoverageMap;
+use aerorem::core::features::{preprocess, PreprocessConfig};
+use aerorem::core::models::{evaluate_all, ModelKind};
+use aerorem::core::rem::RemGrid;
+use aerorem::mission::campaign::{Campaign, CampaignConfig};
+use aerorem::mission::csv;
+use aerorem::mission::plan::FleetPlan;
+use aerorem::propagation::ap::MacAddress;
+use aerorem::spatial::Aabb;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage("no command given");
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => return usage(&e),
+    };
+    let result = match command.as_str() {
+        "survey" => survey(&flags),
+        "evaluate" => evaluate(&flags),
+        "map" => map(&flags),
+        "coverage" => coverage(&flags),
+        other => return usage(&format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, found {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("bad --{key}: {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn required<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{key} is required"))
+}
+
+fn load_samples(flags: &Flags) -> Result<aerorem::mission::SampleSet, String> {
+    let path = required(flags, "in")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    csv::from_csv(&text).map_err(|e| e.to_string())
+}
+
+fn survey(flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flag(flags, "seed", 2206)?;
+    let waypoints: usize = flag(flags, "waypoints", 72)?;
+    let uavs: usize = flag(flags, "uavs", 2)?;
+    let out = required(flags, "out")?;
+    let config = CampaignConfig {
+        fleet_plan: FleetPlan {
+            fleet_size: uavs,
+            total_waypoints: waypoints,
+            ..FleetPlan::paper_demo()
+        },
+        ..CampaignConfig::paper_demo()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    eprintln!("flying {uavs} UAV(s) over {waypoints} waypoints (seed {seed})...");
+    let report = Campaign::new(config).run(&mut rng);
+    eprint!("{}", report.stats_summary());
+    std::fs::write(out, csv::to_csv(&report.samples)).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {} samples to {out}", report.samples.len());
+    Ok(())
+}
+
+fn evaluate(flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flag(flags, "seed", 2206)?;
+    let samples = load_samples(flags)?;
+    let min_per_mac: usize = flag(flags, "min-samples", 16)?;
+    let (data, layout, prep) = preprocess(
+        &samples,
+        &PreprocessConfig {
+            min_samples_per_mac: min_per_mac,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} samples loaded, {} retained over {} APs",
+        prep.total_samples, prep.retained_samples, prep.retained_macs
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let scores =
+        evaluate_all(&ModelKind::ALL, &data, &layout, &mut rng).map_err(|e| e.to_string())?;
+    println!("{:<32} {:>10}", "model", "RMSE [dBm]");
+    for s in &scores {
+        println!("{:<32} {:>10.4}", s.kind.label(), s.rmse_dbm);
+    }
+    Ok(())
+}
+
+fn fit_best_model(
+    samples: &aerorem::mission::SampleSet,
+) -> Result<
+    (
+        Box<dyn aerorem::ml::Regressor>,
+        aerorem::core::features::FeatureLayout,
+    ),
+    String,
+> {
+    let (data, layout, _) = preprocess(samples, &PreprocessConfig::paper())
+        .or_else(|_| {
+            preprocess(
+                samples,
+                &PreprocessConfig {
+                    min_samples_per_mac: 4,
+                },
+            )
+        })
+        .map_err(|e| e.to_string())?;
+    let mut model = ModelKind::KnnScaled16
+        .build(&layout)
+        .map_err(|e| e.to_string())?;
+    model.fit(&data.x, &data.y).map_err(|e| e.to_string())?;
+    Ok((model, layout))
+}
+
+fn map(flags: &Flags) -> Result<(), String> {
+    let samples = load_samples(flags)?;
+    let out = required(flags, "out")?;
+    let resolution: f64 = flag(flags, "resolution", 0.25)?;
+    let (model, layout) = fit_best_model(&samples)?;
+    let mac = match flags.get("mac") {
+        Some(m) => m
+            .parse::<MacAddress>()
+            .map_err(|e| e.to_string())?,
+        None => {
+            let mac = layout.macs()[0];
+            eprintln!("no --mac given; mapping {mac}");
+            mac
+        }
+    };
+    let grid = RemGrid::generate(
+        model.as_ref(),
+        &layout,
+        Aabb::paper_volume(),
+        resolution,
+        mac,
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(out, grid.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
+    let (nx, ny, nz) = grid.dims();
+    eprintln!(
+        "wrote {nx}x{ny}x{nz} REM of {mac} to {out} ({:.1}..{:.1} dBm)",
+        grid.min_dbm(),
+        grid.max_dbm()
+    );
+    // A quick visual check at mid-height.
+    let mid_z = (grid.volume().min().z + grid.volume().max().z) / 2.0;
+    if let Some(art) = grid.render_slice(mid_z) {
+        eprintln!("{art}");
+    }
+    Ok(())
+}
+
+fn coverage(flags: &Flags) -> Result<(), String> {
+    let samples = load_samples(flags)?;
+    let threshold: f64 = flag(flags, "threshold", -75.0)?;
+    let radius: f64 = flag(flags, "radius", 1.2)?;
+    let (model, layout) = fit_best_model(&samples)?;
+    let rems: Vec<RemGrid> = layout
+        .macs()
+        .into_iter()
+        .take(8)
+        .map(|m| RemGrid::generate(model.as_ref(), &layout, Aabb::paper_volume(), 0.4, m))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let cov = CoverageMap::from_rems(&rems).ok_or("could not combine REMs")?;
+    println!(
+        "coverage at {threshold} dBm: {:.0}% of the volume",
+        cov.coverage_fraction(threshold) * 100.0
+    );
+    match cov.suggest_relay(threshold, radius) {
+        Some(plan) => println!(
+            "suggested relay at {}: fixes {}/{} dark cells",
+            plan.position, plan.dark_cells_covered, plan.dark_cells_total
+        ),
+        None => println!("no dark cells — coverage complete"),
+    }
+    Ok(())
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage:\n  aerorem survey   [--seed N] [--waypoints 72] [--uavs 2] --out samples.csv\n  \
+         aerorem evaluate --in samples.csv [--seed N] [--min-samples 16]\n  \
+         aerorem map      --in samples.csv [--mac aa:bb:cc:dd:ee:ff] [--resolution 0.25] --out rem.csv\n  \
+         aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,60 @@
+//! # aerorem — autonomous generation of fine-grained 3D indoor REMs
+//!
+//! A full Rust reproduction of *"Small UAVs-supported Autonomous Generation
+//! of Fine-grained 3D Indoor Radio Environmental Maps"* (ICDCS 2022): small
+//! UAVs with UWB localization carry a technology-agnostic Wi-Fi scanner
+//! through an indoor volume, and an ML layer predicts signal quality at
+//! locations the UAVs never visited.
+//!
+//! This crate is the facade: it re-exports every subsystem under one name.
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced figures.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use aerorem::core::pipeline::{PipelineConfig, RemPipeline};
+//! use aerorem::spatial::Vec3;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2206);
+//! let result = RemPipeline::new(PipelineConfig::paper_demo()).run(&mut rng)?;
+//! println!("{}", result.figure8_table());
+//! let mac = result.strongest_mac().expect("APs observed");
+//! let rss = result.predict(Vec3::new(1.0, 1.0, 1.0), mac)?;
+//! println!("predicted {rss:.1} dBm at an unvisited point");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Layer map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`numerics`] | dense linear algebra, distributions, statistics |
+//! | [`simkit`] | deterministic discrete-event kernel (time, tasks, watchdogs) |
+//! | [`spatial`] | vectors, volumes, waypoint grids |
+//! | [`propagation`] | indoor 2.4 GHz radio world: path loss, shadowing, scans, interference |
+//! | [`radio`] | CRTP packets, Crazyradio, uplink queue |
+//! | [`scanner`] | ESP-01 AT-command receiver + the four-instruction driver contract |
+//! | [`localization`] | UWB TWR/TDoA ranging + EKF (+ Lighthouse extension) |
+//! | [`uav`] | quadrotor dynamics, battery, commander firmware model |
+//! | [`mission`] | waypoint planning, base-station client, campaign runner |
+//! | [`ml`] | kNN / MLP / baselines / grid search / IDW / kriging, from scratch |
+//! | [`core`] | the pipeline: preprocessing, Figure-8 model zoo, REM grids, coverage |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aerorem_core as core;
+pub use aerorem_localization as localization;
+pub use aerorem_mission as mission;
+pub use aerorem_ml as ml;
+pub use aerorem_numerics as numerics;
+pub use aerorem_propagation as propagation;
+pub use aerorem_radio as radio;
+pub use aerorem_scanner as scanner;
+pub use aerorem_simkit as simkit;
+pub use aerorem_spatial as spatial;
+pub use aerorem_uav as uav;

@@ -1,0 +1,117 @@
+//! End-to-end test of the `aerorem` command-line tool: survey → CSV →
+//! evaluate → map → coverage, driving the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aerorem"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("aerorem_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn survey_evaluate_map_coverage_roundtrip() {
+    let samples = tmp("samples.csv");
+    let rem = tmp("rem.csv");
+
+    // survey
+    let out = bin()
+        .args([
+            "survey",
+            "--seed",
+            "5",
+            "--waypoints",
+            "16",
+            "--uavs",
+            "2",
+            "--out",
+            samples.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let csv = std::fs::read_to_string(&samples).unwrap();
+    assert!(csv.lines().count() > 100, "samples written");
+    assert!(csv.starts_with("uav,waypoint,"));
+
+    // evaluate
+    let out = bin()
+        .args([
+            "evaluate",
+            "--in",
+            samples.to_str().unwrap(),
+            "--min-samples",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("baseline: mean per MAC"));
+    assert!(text.contains("ordinary kriging"));
+
+    // map
+    let out = bin()
+        .args([
+            "map",
+            "--in",
+            samples.to_str().unwrap(),
+            "--resolution",
+            "0.5",
+            "--out",
+            rem.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let rem_csv = std::fs::read_to_string(&rem).unwrap();
+    assert!(rem_csv.starts_with("x,y,z,rssi_dbm"));
+    assert!(rem_csv.lines().count() > 50);
+
+    // coverage
+    let out = bin()
+        .args([
+            "coverage",
+            "--in",
+            samples.to_str().unwrap(),
+            "--threshold",
+            "-72",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("coverage at -72 dBm"));
+
+    let _ = std::fs::remove_file(samples);
+    let _ = std::fs::remove_file(rem);
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    // No command.
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Unknown command.
+    let out = bin().arg("teleport").output().unwrap();
+    assert!(!out.status.success());
+
+    // Missing required flag.
+    let out = bin().args(["survey", "--seed", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    // Missing input file.
+    let out = bin()
+        .args(["evaluate", "--in", "/nonexistent/x.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

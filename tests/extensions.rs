@@ -1,0 +1,140 @@
+//! Shape tests for the future-work extension experiments (DESIGN.md §6).
+
+use aerorem_bench::{density, fleet, lighthouse_cmp};
+
+/// Density sweep: more waypoints → better REM, with diminishing returns.
+#[test]
+fn density_sweep_improves_then_flattens() {
+    let rows = density::run(&[12, 48], 2206).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows[1].samples > rows[0].samples * 2);
+    assert!(
+        rows[1].ground_truth_rmse_db < rows[0].ground_truth_rmse_db,
+        "denser sampling must improve the map: {} vs {}",
+        rows[1].ground_truth_rmse_db,
+        rows[0].ground_truth_rmse_db
+    );
+    // And costs proportionally more time.
+    assert!(rows[1].campaign_secs > rows[0].campaign_secs * 2.0);
+}
+
+/// Fleet scaling: one UAV cannot finish the 72-waypoint demo on a single
+/// battery — the reason the paper flies two.
+#[test]
+fn single_uav_hits_the_battery_wall() {
+    let rows = fleet::run(&[1, 2], 2206);
+    let solo = &rows[0];
+    let pair = &rows[1];
+    assert_eq!(solo.fleet, 1);
+    assert!(
+        solo.battery_aborts == 1 && solo.waypoints_visited < 72,
+        "a single UAV must abort partway: visited {}",
+        solo.waypoints_visited
+    );
+    assert_eq!(pair.waypoints_visited, 72, "two UAVs finish the job");
+    assert_eq!(pair.battery_aborts, 0);
+    assert!(pair.samples > solo.samples);
+}
+
+/// Lighthouse comparison: two base stations match or beat six UWB anchors —
+/// the conclusion's "comparable precision, while requiring less anchors".
+#[test]
+fn lighthouse_matches_uwb_with_less_infrastructure() {
+    let rows = lighthouse_cmp::run(2206);
+    let lighthouse = rows
+        .iter()
+        .find(|r| r.system.contains("Lighthouse"))
+        .unwrap();
+    let uwb6 = rows
+        .iter()
+        .find(|r| r.system.contains("Twr, 6 anchors"))
+        .unwrap();
+    assert_eq!(lighthouse.infrastructure, 2);
+    assert_eq!(uwb6.infrastructure, 6);
+    assert!(
+        lighthouse.rmse_m <= uwb6.rmse_m,
+        "lighthouse {} m vs 6-anchor UWB {} m",
+        lighthouse.rmse_m,
+        uwb6.rmse_m
+    );
+    assert!(lighthouse.rmse_m < 0.05, "sub-5 cm hover accuracy");
+    // Rendering mentions both families.
+    let txt = lighthouse_cmp::render(&rows);
+    assert!(txt.contains("UWB"));
+    assert!(txt.contains("Lighthouse"));
+}
+
+/// Shadowing ablation: interpolation quality degrades monotonically as the
+/// shadow field decorrelates — the physical premise of REM interpolation.
+#[test]
+fn shorter_shadow_correlation_means_worse_interpolation() {
+    let rows = aerorem_bench::shadow::run(&[0.5, 2.0, 4.0], 2206);
+    assert_eq!(rows.len(), 3);
+    assert!(
+        rows[0].rmse_db > rows[1].rmse_db && rows[1].rmse_db > rows[2].rmse_db,
+        "expected monotone decline, got {:?}",
+        rows.iter().map(|r| r.rmse_db).collect::<Vec<_>>()
+    );
+}
+
+/// Sequential vs concurrent scheduling: the paper's "run in a sequence, not
+/// jointly" decision must pay off in recovered samples.
+#[test]
+fn sequential_operation_beats_concurrent() {
+    let rows = aerorem_bench::sequential::run(2206);
+    assert_eq!(rows.len(), 2);
+    let seq = rows.iter().find(|r| r.schedule == "sequential").unwrap();
+    let conc = rows.iter().find(|r| r.schedule == "concurrent").unwrap();
+    assert!(
+        seq.samples as f64 > conc.samples as f64 * 1.15,
+        "sequential {} should clearly beat concurrent {}",
+        seq.samples,
+        conc.samples
+    );
+}
+
+/// Adaptive resurvey: with an equal follow-up budget, uncertainty-driven
+/// waypoints must improve the map at least as much as random ones (and
+/// both must beat the initial sparse survey).
+#[test]
+fn adaptive_resurvey_beats_random_followups() {
+    let rows = aerorem_bench::adaptive::run(2206).unwrap();
+    let rmse = |name: &str| {
+        rows.iter()
+            .find(|r| r.strategy == name)
+            .unwrap()
+            .ground_truth_rmse_db
+    };
+    assert!(rmse("adaptive") < rmse("initial"));
+    assert!(rmse("random") < rmse("initial"));
+    assert!(
+        rmse("adaptive") <= rmse("random"),
+        "adaptive {} vs random {}",
+        rmse("adaptive"),
+        rmse("random")
+    );
+}
+
+/// IMU ablation: at the demo's 100 Hz ranging rate the IMU is irrelevant;
+/// at sparse fix rates it becomes load-bearing — the reason the Crazyflie's
+/// estimator (Mueller et al.) fuses it at all.
+#[test]
+fn imu_matters_only_at_low_ranging_rates() {
+    let rows = aerorem_bench::imurate::run(2206);
+    let at = |hz: f64| rows.iter().find(|r| (r.fix_hz - hz).abs() < 0.1).unwrap();
+    // 100 Hz: both approaches equivalent (within 30 %).
+    let fast = at(100.0);
+    assert!(fast.aided_worst_m < fast.blind_worst_m * 1.3);
+    // 2 Hz: the aided filter is clearly better.
+    let slow = at(2.0);
+    assert!(
+        slow.aided_worst_m < slow.blind_worst_m * 0.7,
+        "aided {} vs blind {}",
+        slow.aided_worst_m,
+        slow.blind_worst_m
+    );
+    // Blind error grows monotonically as fixes get sparser.
+    for w in rows.windows(2) {
+        assert!(w[1].blind_worst_m > w[0].blind_worst_m);
+    }
+}

@@ -1,0 +1,186 @@
+//! Failure injection across the mission stack: receiver faults, UWB
+//! outages, and battery exhaustion must degrade the campaign gracefully,
+//! never corrupt it.
+
+use aerorem::localization::{AnchorConstellation, RangingConfig, RangingMode};
+use aerorem::mission::basestation::BaseStationClient;
+use aerorem::mission::plan::FleetPlan;
+use aerorem::propagation::building::SyntheticBuilding;
+use aerorem::scanner::scripted::{ScriptedOutcome, ScriptedReceiver};
+use aerorem::scanner::RemReceiver;
+use aerorem::simkit::{SimDuration, SimTime};
+use aerorem::spatial::{Aabb, Vec3};
+use aerorem::uav::firmware::FirmwareConfig;
+use aerorem::uav::{Uav, UavId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn world() -> (
+    aerorem::mission::MissionPlan,
+    aerorem::propagation::RadioEnvironment,
+    AnchorConstellation,
+    StdRng,
+) {
+    let volume = Aabb::paper_volume();
+    let plan = FleetPlan {
+        fleet_size: 1,
+        total_waypoints: 6,
+        travel_time: SimDuration::from_secs(3),
+        scan_time: SimDuration::from_secs(2),
+    }
+    .expand(volume)
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(0xFA11);
+    let env = SyntheticBuilding::paper_like().generate(volume, &mut rng);
+    (plan, env, AnchorConstellation::volume_corners(volume), rng)
+}
+
+fn client() -> BaseStationClient {
+    BaseStationClient::new(
+        2450.0,
+        Vec3::new(-1.5, 1.6, 0.8),
+        FirmwareConfig::paper_patched(),
+        RangingConfig::lps_default(RangingMode::Tdoa),
+    )
+}
+
+#[test]
+fn receiver_fault_mid_campaign_skips_waypoint_but_finishes_flight() {
+    let (plan, env, anchors, mut rng) = world();
+    // Fault on the 3rd of 6 scans; empty script afterwards (no rows).
+    let row = aerorem::propagation::scan::BeaconObservation {
+        ssid: "x".into(),
+        rssi_dbm: -60,
+        mac: aerorem::propagation::ap::MacAddress::from_index(1),
+        channel: aerorem::propagation::WifiChannel::new(6).unwrap(),
+    };
+    let mut receiver = ScriptedReceiver::new(
+        vec![
+            ScriptedOutcome::Rows(vec![row.clone(), row.clone()]),
+            ScriptedOutcome::Rows(vec![row.clone()]),
+            ScriptedOutcome::Fault,
+        ],
+        1500.0,
+    );
+    receiver.init().unwrap();
+    let mut c = client();
+    let (outcome, _) = c.fly_leg_with_receiver(
+        &plan,
+        &plan.legs[0],
+        &env,
+        &anchors,
+        SimTime::ZERO,
+        &mut receiver,
+        &mut rng,
+    );
+    // Flight completes every waypoint despite the dead receiver.
+    assert_eq!(outcome.waypoints_visited, 6);
+    assert!(!outcome.shutdown);
+    // Scans 3..6 all fail (fault is sticky), scans 1-2 delivered rows.
+    assert_eq!(outcome.receiver_faults, 4);
+    assert_eq!(outcome.samples.len(), 3);
+}
+
+#[test]
+fn dead_receiver_from_the_start_yields_empty_but_clean_leg() {
+    let (plan, env, anchors, mut rng) = world();
+    let mut receiver = ScriptedReceiver::new(vec![ScriptedOutcome::Fault], 1000.0);
+    receiver.init().unwrap();
+    let mut c = client();
+    let (outcome, _) = c.fly_leg_with_receiver(
+        &plan,
+        &plan.legs[0],
+        &env,
+        &anchors,
+        SimTime::ZERO,
+        &mut receiver,
+        &mut rng,
+    );
+    assert_eq!(outcome.samples.len(), 0);
+    assert_eq!(outcome.receiver_faults, 6);
+    assert_eq!(outcome.waypoints_visited, 6, "the survey itself completes");
+}
+
+#[test]
+fn uwb_outage_degrades_estimate_then_recovers() {
+    // Fly a hover with a 2-second total ranging outage in the middle: the
+    // EKF coasts (uncertainty grows), then snaps back when ranging returns.
+    let anchors = AnchorConstellation::volume_corners(Aabb::paper_volume());
+    let good = RangingConfig::lps_default(RangingMode::Twr);
+    let outage = RangingConfig {
+        dropout_probability: 1.0,
+        ..good
+    };
+    let mut rng = StdRng::seed_from_u64(0xFA12);
+    let hover = Vec3::new(1.87, 1.6, 1.0);
+    let mut uav = Uav::new(
+        UavId(0),
+        FirmwareConfig::paper_patched(),
+        good,
+        Vec3::new(hover.x, hover.y, 0.0),
+    );
+    // Converge for 5 s.
+    for step in 1..=500u64 {
+        let now = SimTime::from_millis(step * 10);
+        uav.commander_mut().set_setpoint(now, hover);
+        uav.step(now, 0.01, &anchors, &mut rng);
+    }
+    let err_before = uav.localization_error();
+    assert!(err_before < 0.1, "converged before outage: {err_before}");
+
+    // Outage: swap in the dropout config by rebuilding a UAV mid-test is
+    // not possible (config is fixed), so emulate by ranging against an
+    // empty constellation for 2 s.
+    let empty = AnchorConstellation::new(vec![]);
+    for step in 501..=700u64 {
+        let now = SimTime::from_millis(step * 10);
+        uav.commander_mut().set_setpoint(now, hover);
+        uav.step(now, 0.01, &empty, &mut rng);
+    }
+    // Recovery.
+    for step in 701..=900u64 {
+        let now = SimTime::from_millis(step * 10);
+        uav.commander_mut().set_setpoint(now, hover);
+        uav.step(now, 0.01, &anchors, &mut rng);
+    }
+    let err_after = uav.localization_error();
+    assert!(
+        err_after < 0.1,
+        "estimate must recover after the outage: {err_after}"
+    );
+    // And the outage config itself yields no measurements at all.
+    assert!(outage.measure(&anchors, hover, &mut rng).is_empty());
+}
+
+#[test]
+fn battery_exhaustion_aborts_leg_cleanly() {
+    // A 60-waypoint single-UAV leg cannot fit one battery: the leg must
+    // abort with partial results, not panic or produce garbage.
+    let volume = Aabb::paper_volume();
+    let plan = FleetPlan {
+        fleet_size: 1,
+        total_waypoints: 60,
+        travel_time: SimDuration::from_secs(4),
+        scan_time: SimDuration::from_secs(3),
+    }
+    .expand(volume)
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(0xFA13);
+    let env = SyntheticBuilding::paper_like().generate(volume, &mut rng);
+    let anchors = AnchorConstellation::volume_corners(volume);
+    let mut c = client();
+    let (outcome, _) = c.fly_leg(&plan, &plan.legs[0], &env, &anchors, SimTime::ZERO, &mut rng);
+    assert!(outcome.aborted_on_battery);
+    assert!(outcome.waypoints_visited < 60);
+    assert!(
+        outcome.waypoints_visited > 30,
+        "should get well past half: {}",
+        outcome.waypoints_visited
+    );
+    // Partial samples are still valid and annotated.
+    assert!(!outcome.samples.is_empty());
+    for s in outcome.samples.iter() {
+        assert!(s.waypoint_index < outcome.waypoints_visited);
+        assert!(volume.inflated(0.5).unwrap().contains(s.position));
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration: the full pipeline from synthetic world to REM.
+
+use aerorem::core::coverage::CoverageMap;
+use aerorem::core::models::ModelKind;
+use aerorem::core::pipeline::{PipelineConfig, RemPipeline};
+use aerorem::mission::campaign::CampaignConfig;
+use aerorem::mission::plan::FleetPlan;
+use aerorem::simkit::SimDuration;
+use aerorem::spatial::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_config() -> PipelineConfig {
+    PipelineConfig {
+        campaign: CampaignConfig {
+            fleet_plan: FleetPlan {
+                fleet_size: 2,
+                total_waypoints: 16,
+                travel_time: SimDuration::from_secs(3),
+                scan_time: SimDuration::from_secs(2),
+            },
+            ..CampaignConfig::paper_demo()
+        },
+        preprocess: aerorem::core::features::PreprocessConfig {
+            min_samples_per_mac: 8,
+        },
+        eval_models: vec![
+            ModelKind::MeanPerMac,
+            ModelKind::Knn3,
+            ModelKind::KnnScaled16,
+        ],
+        rem_model: ModelKind::KnnScaled16,
+        rem_resolution_m: 0.5,
+    }
+}
+
+#[test]
+fn pipeline_produces_usable_rem() {
+    let mut rng = StdRng::seed_from_u64(0x1777);
+    let result = RemPipeline::new(fast_config()).run(&mut rng).unwrap();
+
+    // Every leg completed and delivered everything (patched firmware).
+    for leg in &result.campaign.legs {
+        assert_eq!(leg.waypoints_visited, leg.waypoints_planned);
+        assert!(!leg.shutdown);
+        assert_eq!(leg.packets_dropped, 0);
+    }
+
+    // Predictions are plausible dBm everywhere inside the volume.
+    let mac = result.strongest_mac().unwrap();
+    let volume = result.campaign.plan.volume;
+    for t in [0.1, 0.5, 0.9] {
+        let p = volume.lerp_point(t, 1.0 - t, 0.5);
+        let rss = result.predict(p, mac).unwrap();
+        assert!((-100.0..=-10.0).contains(&rss), "rss {rss} at {p}");
+    }
+
+    // REM grid covers the volume consistently with point predictions.
+    let rem = result.generate_rem(mac).unwrap();
+    assert_eq!(rem.volume(), volume);
+    let center_grid = rem.sample(volume.center()).unwrap();
+    let center_pt = result.predict(volume.center(), mac).unwrap();
+    assert!(
+        (center_grid - center_pt).abs() < 6.0,
+        "grid {center_grid} vs point {center_pt}"
+    );
+}
+
+#[test]
+fn location_annotations_track_ground_truth() {
+    let mut rng = StdRng::seed_from_u64(0x1778);
+    let result = RemPipeline::new(fast_config()).run(&mut rng).unwrap();
+    // Decimeter-level UWB localization (§II-B): annotation error is small.
+    let err = result
+        .campaign
+        .samples
+        .mean_annotation_error_m()
+        .expect("samples exist");
+    assert!(err < 0.10, "mean annotation error {err} m");
+}
+
+#[test]
+fn models_learn_the_actual_radio_world() {
+    // The trained model's predictions at unvisited locations must track
+    // the hidden propagation surface far better than a constant guess.
+    let mut rng = StdRng::seed_from_u64(0x1779);
+    let result = RemPipeline::new(fast_config()).run(&mut rng).unwrap();
+    let rmse = result.ground_truth_rmse(80, &mut rng).unwrap();
+    assert!(rmse < 8.0, "ground-truth RMSE {rmse} dB");
+}
+
+#[test]
+fn coverage_planning_works_on_generated_rems() {
+    let mut rng = StdRng::seed_from_u64(0x177A);
+    let result = RemPipeline::new(fast_config()).run(&mut rng).unwrap();
+    let macs = result.layout.macs();
+    let rems: Vec<_> = macs
+        .iter()
+        .take(4)
+        .map(|&m| result.generate_rem(m).unwrap())
+        .collect();
+    let cov = CoverageMap::from_rems(&rems).unwrap();
+    // Thresholds order coverage monotonically.
+    let f90 = cov.coverage_fraction(-90.0);
+    let f70 = cov.coverage_fraction(-70.0);
+    let f50 = cov.coverage_fraction(-50.0);
+    assert!(f90 >= f70 && f70 >= f50);
+    // If anything is dark at −60 dBm, the planner proposes something.
+    if !cov.dark_cells(-60.0).is_empty() {
+        let plan = cov.suggest_relay(-60.0, 1.5).unwrap();
+        assert!(result.campaign.plan.volume.contains(plan.position));
+    }
+}
+
+#[test]
+fn different_seeds_different_worlds_same_invariants() {
+    for seed in [1u64, 99] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = RemPipeline::new(fast_config()).run(&mut rng).unwrap();
+        assert!(result.preprocess_report.retained_samples > 50);
+        let scores = &result.scores;
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().all(|s| s.rmse_dbm.is_finite() && s.rmse_dbm > 0.0));
+        // Samples all carry in-volume annotations.
+        let vol = result.campaign.plan.volume.inflated(0.5).unwrap();
+        for s in result.campaign.samples.iter() {
+            assert!(vol.contains(s.position), "sample at {}", s.position);
+        }
+        let _ = Vec3::ZERO;
+    }
+}

@@ -1,0 +1,335 @@
+//! Property-based tests over the core data structures and invariants.
+
+use aerorem::ml::kdtree::{brute_force_nearest, KdTree};
+use aerorem::ml::knn::{KnnRegressor, Weighting};
+use aerorem::ml::kriging::{Variogram, VariogramKind};
+use aerorem::ml::Regressor;
+use aerorem::numerics::stats::{rmse, Histogram};
+use aerorem::numerics::Matrix;
+use aerorem::propagation::channel::{band_overlap_fraction, WifiChannel};
+use aerorem::propagation::shadowing::ShadowingField;
+use aerorem::radio::crtp::{CrtpPacket, CrtpPort};
+use aerorem::simkit::{EventQueue, SimTime};
+use aerorem::spatial::{Aabb, Vec3};
+use proptest::prelude::*;
+
+fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_map(move |x| {
+        let span = range.end - range.start;
+        range.start + (x.abs() % span)
+    })
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (
+        finite_f64(-50.0..50.0),
+        finite_f64(-50.0..50.0),
+        finite_f64(-50.0..50.0),
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    // --- spatial ---
+
+    #[test]
+    fn vec3_triangle_inequality(a in vec3(), b in vec3(), c in vec3()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn vec3_norm_scales_linearly(v in vec3(), s in finite_f64(0.0..100.0)) {
+        prop_assert!(((v * s).norm() - s * v.norm()).abs() < 1e-6 * (1.0 + v.norm() * s));
+    }
+
+    #[test]
+    fn aabb_clamp_is_inside_and_idempotent(p in vec3()) {
+        let v = Aabb::paper_volume();
+        let c = v.clamp(p);
+        prop_assert!(v.contains(c));
+        prop_assert_eq!(v.clamp(c), c);
+    }
+
+    #[test]
+    fn waypoint_grids_stay_inside(n in 1usize..100) {
+        let v = Aabb::paper_volume();
+        let g = aerorem::spatial::grid::WaypointGrid::even(v, n).unwrap();
+        prop_assert_eq!(g.len(), n);
+        prop_assert!(g.iter().all(|p| v.contains(*p)));
+    }
+
+    // --- numerics ---
+
+    #[test]
+    fn lu_solve_reconstructs_rhs(
+        seed in 0u64..1000,
+        n in 1usize..8,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = rng.gen_range(-5.0..5.0);
+            }
+            a[(i, i)] += 10.0; // diagonally dominant → nonsingular
+        }
+        let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&x_true) {
+            prop_assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu(seed in 0u64..500, n in 1usize..7) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // SPD via AᵀA + I.
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = rng.gen_range(-2.0..2.0);
+            }
+        }
+        let spd = m.transpose().matmul(&m).unwrap().add_mat(&Matrix::identity(n)).unwrap();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let x1 = spd.solve_spd(&b).unwrap();
+        let x2 = spd.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn rmse_nonnegative_and_zero_iff_equal(ys in prop::collection::vec(finite_f64(-100.0..0.0), 1..40)) {
+        prop_assert_eq!(rmse(&ys, &ys), 0.0);
+        let shifted: Vec<f64> = ys.iter().map(|y| y + 1.0).collect();
+        prop_assert!((rmse(&shifted, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_observations(
+        xs in prop::collection::vec(finite_f64(-10.0..10.0), 0..200),
+    ) {
+        let mut h = Histogram::new(-5.0, 5.0, 0.5).unwrap();
+        h.extend(xs.iter().copied());
+        prop_assert_eq!(h.total() + h.outliers(), xs.len() as u64);
+    }
+
+    // --- propagation ---
+
+    #[test]
+    fn band_overlap_fraction_bounded(
+        a_lo in finite_f64(0.0..100.0), a_w in finite_f64(0.1..50.0),
+        b_lo in finite_f64(0.0..100.0), b_w in finite_f64(0.1..50.0),
+    ) {
+        let f = band_overlap_fraction(a_lo, a_lo + a_w, b_lo, b_lo + b_w);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn channel_overlap_symmetric_for_equal_widths(a in 1u8..=13, b in 1u8..=13) {
+        let ca = WifiChannel::new(a).unwrap();
+        let cb = WifiChannel::new(b).unwrap();
+        prop_assert!((ca.overlap_fraction(cb) - cb.overlap_fraction(ca)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shadowing_deterministic_and_finite(p in vec3(), ap in 0u64..50) {
+        let f = ShadowingField::new(4.0, 2.0, 99);
+        let v = f.sample(ap, p);
+        prop_assert!(v.is_finite());
+        prop_assert_eq!(v, f.sample(ap, p));
+        // Physically plausible bound: |shadowing| < 8σ.
+        prop_assert!(v.abs() < 32.0);
+    }
+
+    // --- radio ---
+
+    #[test]
+    fn crtp_fragment_reassemble_roundtrip(data in prop::collection::vec(any::<u8>(), 0..500)) {
+        let frags = CrtpPacket::fragment(CrtpPort::Console, 0, &data).unwrap();
+        prop_assert_eq!(CrtpPacket::reassemble(&frags), data);
+    }
+
+    #[test]
+    fn crtp_wire_roundtrip(
+        channel in 0u8..=3,
+        payload in prop::collection::vec(any::<u8>(), 0..=30),
+    ) {
+        let pkt = CrtpPacket::new(CrtpPort::Log, channel, payload).unwrap();
+        prop_assert_eq!(CrtpPacket::decode(&pkt.encode()).unwrap(), pkt);
+    }
+
+    // --- simkit ---
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    // --- ml ---
+
+    #[test]
+    fn kdtree_matches_brute_force(
+        seed in 0u64..300,
+        n in 1usize..80,
+        k in 1usize..10,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        let tree = KdTree::build(points.clone()).unwrap();
+        let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let got = tree.nearest(&q, k);
+        let want = brute_force_nearest(&points, &q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.1 - w.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_prediction_within_target_range(
+        seed in 0u64..200,
+        k in 1usize..8,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|r| -60.0 - r[0]).collect();
+        let mut knn = KnnRegressor::new(k, Weighting::Distance, 2.0).unwrap();
+        knn.fit(&x, &y).unwrap();
+        let q = rng.gen_range(0.0..10.0);
+        let p = knn.predict_one(&[q]).unwrap();
+        // kNN is a convex combination of targets.
+        let lo = y.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = y.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((lo - 1e-9..=hi + 1e-9).contains(&p));
+    }
+
+    #[test]
+    fn variogram_monotone_nondecreasing(
+        nugget in finite_f64(0.0..2.0),
+        sill in finite_f64(0.1..10.0),
+        range in finite_f64(0.5..20.0),
+        h1 in finite_f64(0.001..50.0),
+        h2 in finite_f64(0.001..50.0),
+    ) {
+        for kind in [VariogramKind::Exponential, VariogramKind::Spherical, VariogramKind::Gaussian] {
+            let v = Variogram { kind, nugget, sill, range };
+            let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+            prop_assert!(v.gamma(lo) <= v.gamma(hi) + 1e-12);
+            prop_assert!(v.gamma(lo) >= 0.0);
+        }
+    }
+}
+
+// --- mission / uav invariants ---
+
+proptest! {
+    #[test]
+    fn csv_roundtrip_arbitrary_ssids(ssids in prop::collection::vec(".{0,32}", 1..10)) {
+        use aerorem::mission::{csv, Sample, SampleSet};
+        use aerorem::propagation::ap::{MacAddress, Ssid};
+        use aerorem::propagation::WifiChannel;
+        use aerorem::simkit::SimTime;
+        use aerorem::uav::UavId;
+        let mut set = SampleSet::new();
+        for (i, name) in ssids.iter().enumerate() {
+            set.push(Sample {
+                uav: UavId(0),
+                waypoint_index: i,
+                position: Vec3::new(i as f64, 0.0, 1.0),
+                true_position: Vec3::new(i as f64, 0.0, 1.0),
+                ssid: Ssid::new(name.clone()),
+                mac: MacAddress::from_index(i as u32),
+                channel: WifiChannel::new(6).unwrap(),
+                rssi_dbm: -70,
+                timestamp: SimTime::from_millis(i as u64),
+            });
+        }
+        let back = csv::from_csv(&csv::to_csv(&set)).unwrap();
+        prop_assert_eq!(back, set);
+    }
+
+    #[test]
+    fn commander_never_recovers_from_shutdown(
+        feed_times in prop::collection::vec(0u64..20_000, 0..30),
+        probe in 0u64..40_000,
+    ) {
+        use aerorem::simkit::SimTime;
+        use aerorem::uav::commander::{Commander, CommanderState};
+        use aerorem::uav::dynamics::ControlInput;
+        use aerorem::uav::firmware::FirmwareConfig;
+        let mut c = Commander::new(FirmwareConfig::stock_2021_06(), SimTime::ZERO);
+        let mut feeds = feed_times.clone();
+        feeds.sort_unstable();
+        let mut shutdown_seen = false;
+        for t in feeds {
+            let input = c.control(SimTime::from_millis(t));
+            if c.state() == CommanderState::Shutdown {
+                shutdown_seen = true;
+                prop_assert_eq!(input, ControlInput::MotorsOff);
+            }
+            if !shutdown_seen {
+                c.set_setpoint(SimTime::from_millis(t), Vec3::splat(1.0));
+            } else {
+                // Feeding after shutdown must not resurrect the commander.
+                c.set_setpoint(SimTime::from_millis(t), Vec3::splat(1.0));
+                prop_assert_eq!(c.state(), CommanderState::Shutdown);
+            }
+        }
+        let final_input = c.control(SimTime::from_millis(probe.max(30_000)));
+        // 30+ s of silence always ends in shutdown on stock firmware.
+        prop_assert_eq!(final_input, ControlInput::MotorsOff);
+    }
+
+    #[test]
+    fn battery_drain_is_monotone(
+        durations in prop::collection::vec(1u64..120, 1..40),
+    ) {
+        use aerorem::simkit::SimDuration;
+        use aerorem::uav::battery::{Battery, BatteryConfig, PowerState};
+        let mut b = Battery::new(BatteryConfig::paper_crazyflie());
+        let mut last = b.remaining_mah();
+        for d in durations {
+            b.drain(SimDuration::from_secs(d), PowerState::hover_with_decks());
+            prop_assert!(b.remaining_mah() <= last);
+            prop_assert!(b.remaining_mah() >= 0.0);
+            last = b.remaining_mah();
+        }
+    }
+
+    #[test]
+    fn quadrotor_stays_above_floor(
+        targets in prop::collection::vec(
+            (finite_f64(-3.0..3.0), finite_f64(-3.0..3.0), finite_f64(-2.0..3.0)),
+            1..6,
+        ),
+    ) {
+        use aerorem::uav::dynamics::{ControlInput, DynamicsConfig, Quadrotor};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut q = Quadrotor::new(DynamicsConfig::crazyflie(), Vec3::ZERO);
+        for (x, y, z) in targets {
+            for _ in 0..100 {
+                q.step(0.01, ControlInput::Position(Vec3::new(x, y, z)), &mut rng);
+                prop_assert!(q.position().z >= -1e-9, "below floor: {}", q.position().z);
+                prop_assert!(q.velocity().norm() <= 0.6 + 1e-9);
+            }
+        }
+    }
+}
