@@ -1,0 +1,22 @@
+# Developer entry points. `make check` is the full gate run in CI and
+# before every commit; the individual targets exist for quicker loops.
+
+.PHONY: check build test doc clippy timing
+
+check: build test doc clippy
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Serial-vs-parallel pipeline timing table (see EXPERIMENTS.md).
+timing:
+	cargo run --release -p aerorem-bench --bin experiments -- timing

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! experiments [--seed N] <fig5|fig6|fig7|fig8|endurance|stats|prep|loc|queue|all>
-//! experiments [--seed N] <fig8ext|density|fleet|lighthouse|shadow|sequential|adaptive|imurate|montecarlo|ext>
+//! experiments [--seed N] <fig8ext|density|fleet|lighthouse|shadow|sequential|adaptive|imurate|montecarlo|timing|ext>
 //! ```
 
 use aerorem_bench::{
     adaptive, density, imurate, montecarlo, endurance, fig5, fig6, fig7, fig8, fleet, lighthouse_cmp, loc, paper_campaign,
-    prep, queue, sequential, shadow, stats,
+    pipeline_timing, prep, queue, sequential, shadow, stats,
 };
 use aerorem_bench::DEFAULT_SEED;
 
@@ -103,6 +103,10 @@ fn main() {
                 Ok(rows) => adaptive::render(&rows),
                 Err(e) => format!("adaptive failed: {e}\n"),
             },
+            "timing" => match pipeline_timing::run(seed) {
+                Ok(rows) => pipeline_timing::render(&rows),
+                Err(e) => format!("timing failed: {e}\n"),
+            },
             "queue" => queue::render(&queue::run(seed)),
             other => usage(&format!("unknown experiment {other:?}")),
         };
@@ -113,7 +117,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments [--seed N] <fig5|fig6|fig7|fig8|fig8ext|endurance|stats|prep|loc|queue|density|fleet|lighthouse|shadow|sequential|adaptive|imurate|montecarlo|all|ext>"
+        "usage: experiments [--seed N] <fig5|fig6|fig7|fig8|fig8ext|endurance|stats|prep|loc|queue|density|fleet|lighthouse|shadow|sequential|adaptive|imurate|montecarlo|timing|all|ext>"
     );
     std::process::exit(2);
 }

@@ -953,12 +953,15 @@ pub mod sequential {
 
 /// Extension experiment: uncertainty-driven adaptive resurvey.
 ///
-/// After a sparse initial survey, where should the UAV go next? This
+/// After a partial initial survey (a coarse first leg that covers only
+/// part of the volume — the realistic shape of an interrupted or
+/// battery-limited first pass), where should the UAV go next? This
 /// experiment compares two follow-up strategies with the same budget:
-/// waypoints chosen at the kriging confidence map's most uncertain cells
-/// (`aerorem_core::adaptive`) vs uniformly random waypoints. Both follow-up
-/// legs are actually flown; the final REMs are scored against the hidden
-/// ground truth.
+/// waypoints chosen by uncertainty-mass capture over the kriging
+/// confidence maps (`aerorem_core::adaptive`) vs uniformly random
+/// waypoints. Both follow-up legs are actually flown; the final REMs are
+/// scored against the hidden ground truth over the *full* volume, so a
+/// strategy that never visits the unsurveyed region pays for it.
 pub mod adaptive {
     use aerorem_core::adaptive::select_uncertain_waypoints;
     use aerorem_core::features::{preprocess, PreprocessConfig};
@@ -1042,13 +1045,24 @@ pub mod adaptive {
         let mut client =
             BaseStationClient::new(2450.0, Vec3::new(-1.5, 1.6, 0.8), firmware, ranging);
 
-        // --- Initial sparse survey: 16 waypoints. ---
+        // --- Initial partial survey: 16 waypoints over half of the volume
+        // (a coarse first pass that ran out of battery before the far end).
+        let size = volume.size();
+        let surveyed = Aabb::new(
+            volume.min(),
+            Vec3::new(
+                volume.min().x + 0.5 * size.x,
+                volume.max().y,
+                volume.max().z,
+            ),
+        )
+        .expect("non-degenerate partial volume");
         let plan = FleetPlan {
             fleet_size: 1,
             total_waypoints: 16,
             ..FleetPlan::paper_demo()
         }
-        .expand(volume)
+        .expand(surveyed)
         .expect("valid plan");
         let (initial, _) =
             client.fly_leg(&plan, &plan.legs[0], &env, &anchors, SimTime::ZERO, &mut rng);
@@ -1298,6 +1312,106 @@ pub mod montecarlo {
         out.push_str(&fmt_row("A - B gap", "294", &mc.ab_gaps));
         out.push_str(&fmt_row("mean RSS [dBm]", "-73", &mc.mean_rss));
         out.push_str(&fmt_row("distinct MACs", "73", &mc.macs));
+        out
+    }
+}
+
+/// Tentpole instrumentation experiment: serial vs parallel end-to-end
+/// pipeline timing.
+///
+/// Runs the paper's full demo pipeline twice with the same seed — once
+/// under [`ExecPolicy::Serial`], once under [`ExecPolicy::Parallel`] — and
+/// tabulates the per-stage wall-clock timings from the pipeline's built-in
+/// instrumentation, including REM generation for the strongest MAC. The
+/// two runs must produce identical model scores (the parallel paths are
+/// deterministic); `run` asserts this, so the experiment doubles as an
+/// end-to-end determinism check.
+pub mod pipeline_timing {
+    use aerorem_core::exec::ExecPolicy;
+    use aerorem_core::instrument::Instrumentation;
+    use aerorem_core::pipeline::{PipelineConfig, RemPipeline};
+    use aerorem_ml::MlError;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// One policy's instrumented run.
+    #[derive(Debug, Clone)]
+    pub struct PolicyRow {
+        /// Which execution policy.
+        pub policy: ExecPolicy,
+        /// The pipeline's stage timings plus REM generation.
+        pub instrumentation: Instrumentation,
+    }
+
+    /// Runs the demo pipeline under both policies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serial and parallel runs disagree on any model score —
+    /// that would be a determinism bug.
+    pub fn run(seed: u64) -> Result<Vec<PolicyRow>, MlError> {
+        let mut rows = Vec::new();
+        let mut scores = Vec::new();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result =
+                RemPipeline::with_policy(PipelineConfig::paper_demo(), policy).run(&mut rng)?;
+            let mut inst = result.instrumentation.clone();
+            if let Some(mac) = result.strongest_mac() {
+                let rem = inst.time("generate_rem", || result.generate_rem(mac))?;
+                inst.count("rem_voxels", rem.len() as u64);
+            }
+            scores.push(result.scores.clone());
+            rows.push(PolicyRow {
+                policy,
+                instrumentation: inst,
+            });
+        }
+        assert_eq!(
+            scores[0], scores[1],
+            "serial and parallel pipelines must produce identical scores"
+        );
+        Ok(rows)
+    }
+
+    /// Renders the stage-by-stage comparison with per-stage speedups.
+    pub fn render(rows: &[PolicyRow]) -> String {
+        let mut out = String::from("End-to-end paper demo: serial vs parallel wall clock\n");
+        for row in rows {
+            if let Some(threads) = row.instrumentation.get_label("threads") {
+                out.push_str(&format!("{}: {threads} thread(s)\n", row.policy));
+            }
+        }
+        let [serial, parallel] = rows else {
+            return out;
+        };
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>14} {:>9}\n",
+            "stage", "serial [ms]", "parallel [ms]", "speedup"
+        ));
+        let mut lines = Vec::new();
+        for (stage, sd) in serial.instrumentation.stages() {
+            let Some(pd) = parallel.instrumentation.stage(stage) else {
+                continue;
+            };
+            lines.push((stage.to_string(), sd, pd));
+        }
+        lines.push((
+            "total".to_string(),
+            serial.instrumentation.total(),
+            parallel.instrumentation.total(),
+        ));
+        for (stage, sd, pd) in lines {
+            let (s_ms, p_ms) = (sd.as_secs_f64() * 1e3, pd.as_secs_f64() * 1e3);
+            let speedup = if p_ms > 0.0 { s_ms / p_ms } else { f64::NAN };
+            out.push_str(&format!(
+                "{stage:<18} {s_ms:>12.1} {p_ms:>14.1} {speedup:>8.2}x\n"
+            ));
+        }
         out
     }
 }

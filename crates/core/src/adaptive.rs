@@ -4,22 +4,32 @@
 //! ([`RemGrid::generate_with_confidence`]) the toolchain can do better:
 //! after an initial sparse survey, send the UAV back to exactly the places
 //! the map is least certain about. This module picks those follow-up
-//! waypoints: a greedy maximum-uncertainty selection with a minimum
-//! separation constraint (revisiting one blind spot five times teaches
-//! less than visiting five blind spots).
+//! waypoints by greedy *uncertainty-mass capture*: each pick maximizes the
+//! total uncertainty within its influence radius, and the uncertainty it
+//! captures is discounted before the next pick. Compared with picking the
+//! raw highest-σ cells (which all sit on the volume boundary, where kriging
+//! σ always peaks), mass capture places waypoints at the *centers* of
+//! uncertain regions and spreads successive picks across distinct blind
+//! spots — the standard greedy design for sequential variance reduction.
 
 use aerorem_spatial::Vec3;
 
 use crate::rem::RemGrid;
 
-/// Selects up to `k` follow-up waypoints at the cells with the highest
-/// summed uncertainty across the given sigma grids, greedily enforcing a
-/// minimum pairwise separation.
+/// Selects up to `k` follow-up waypoints by greedy uncertainty-mass
+/// capture over the summed sigma grids, enforcing a minimum pairwise
+/// separation.
+///
+/// Each candidate cell is scored by the kernel-weighted uncertainty it
+/// would capture, `Σ_j w_j · exp(−‖c − j‖² / r²)`, where the influence
+/// radius `r` is the larger of `min_separation_m` and the equal-share
+/// radius `(volume / k)^(1/3)`; after a pick, captured mass is discounted
+/// by `1 − exp(−d²/r²)` so the next pick targets a different blind spot.
 ///
 /// All grids must share one lattice (generate them at one resolution).
-/// Returns fewer than `k` points when the separation constraint exhausts
-/// the volume, and an empty vector when `sigma_grids` is empty or shapes
-/// disagree.
+/// Returns fewer than `k` points when the separation constraint (or
+/// exhausted uncertainty mass) stops the selection early, and an empty
+/// vector when `sigma_grids` is empty or shapes disagree.
 ///
 /// # Panics
 ///
@@ -39,6 +49,9 @@ pub fn select_uncertain_waypoints(
     {
         return Vec::new();
     }
+    if k == 0 {
+        return Vec::new();
+    }
     // Total uncertainty per cell.
     let mut cells: Vec<(Vec3, f64)> = first.cells().collect();
     for g in &sigma_grids[1..] {
@@ -46,15 +59,40 @@ pub fn select_uncertain_waypoints(
             *total += v;
         }
     }
-    // Greedy: highest total first, subject to separation.
-    cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite uncertainty"));
+    // Influence radius: half the radius of a waypoint's equal share of the
+    // volume. Wider kernels drag every pick toward the volume centroid;
+    // narrower ones degenerate to raw argmax-σ (boundary-hugging).
+    let size = first.volume().size();
+    let share_radius = (size.x * size.y * size.z / k as f64).cbrt();
+    let radius = min_separation_m.max(0.5 * share_radius).max(1e-9);
+    let inv_r2 = 1.0 / (radius * radius);
+
+    let positions: Vec<Vec3> = cells.iter().map(|&(p, _)| p).collect();
+    let mut mass: Vec<f64> = cells.iter().map(|&(_, w)| w.max(0.0)).collect();
     let mut picked: Vec<Vec3> = Vec::with_capacity(k);
-    for (p, _) in cells {
-        if picked.len() >= k {
+    while picked.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &p) in positions.iter().enumerate() {
+            if !picked.iter().all(|q| q.distance(p) >= min_separation_m) {
+                continue;
+            }
+            let captured: f64 = positions
+                .iter()
+                .zip(&mass)
+                .map(|(&q, &w)| w * (-p.distance(q).powi(2) * inv_r2).exp())
+                .sum();
+            if best.is_none_or(|(_, s)| captured > s) {
+                best = Some((i, captured));
+            }
+        }
+        let Some((i, captured)) = best else { break };
+        if captured <= 0.0 {
             break;
         }
-        if picked.iter().all(|q| q.distance(p) >= min_separation_m) {
-            picked.push(p);
+        let c = positions[i];
+        picked.push(c);
+        for (&q, w) in positions.iter().zip(mass.iter_mut()) {
+            *w *= 1.0 - (-c.distance(q).powi(2) * inv_r2).exp();
         }
     }
     picked

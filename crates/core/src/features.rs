@@ -24,6 +24,8 @@ use aerorem_propagation::ap::MacAddress;
 use aerorem_propagation::WifiChannel;
 use aerorem_spatial::Vec3;
 
+use crate::exec::{self, ExecPolicy};
+
 /// Preprocessing knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PreprocessConfig {
@@ -158,7 +160,8 @@ pub struct PreprocessReport {
     pub retained_macs: usize,
 }
 
-/// Runs the paper's preprocessing over a sample set.
+/// Runs the paper's preprocessing over a sample set under the default
+/// [`ExecPolicy`].
 ///
 /// Returns the feature dataset, the layout, and the retention report.
 ///
@@ -168,6 +171,24 @@ pub struct PreprocessReport {
 pub fn preprocess(
     samples: &SampleSet,
     config: &PreprocessConfig,
+) -> Result<(Dataset, FeatureLayout, PreprocessReport), MlError> {
+    preprocess_with(samples, config, ExecPolicy::default())
+}
+
+/// [`preprocess`] with an explicit execution policy.
+///
+/// Two stages parallelize: the per-MAC channel grouping (each retained MAC
+/// scans the kept samples independently) and the per-sample feature-row
+/// encoding. Both are pure per-item maps reassembled in input order, so
+/// serial and parallel runs produce identical datasets and layouts.
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyTrainingSet`] when nothing survives the filter.
+pub fn preprocess_with(
+    samples: &SampleSet,
+    config: &PreprocessConfig,
+    policy: ExecPolicy,
 ) -> Result<(Dataset, FeatureLayout, PreprocessReport), MlError> {
     let counts = samples.counts_per_mac();
     let retained: Vec<MacAddress> = counts
@@ -190,25 +211,21 @@ pub fn preprocess(
     let channel_encoder = OneHotEncoder::fit(kept.iter().map(|s| s.channel.number()));
 
     // Dominant channel per MAC (APs beacon on one channel; ties broken by
-    // channel number for determinism).
-    let mut per_mac_channels: HashMap<MacAddress, HashMap<u8, usize>> = HashMap::new();
-    for s in &kept {
-        *per_mac_channels
-            .entry(s.mac)
-            .or_default()
-            .entry(s.channel.number())
-            .or_insert(0) += 1;
-    }
-    let mac_channels: HashMap<MacAddress, u8> = per_mac_channels
-        .into_iter()
-        .map(|(mac, chans)| {
+    // channel number for determinism). Each MAC is grouped independently.
+    let mac_channels: HashMap<MacAddress, u8> =
+        exec::map_vec(policy, retained.clone(), |mac| {
+            let mut chans: HashMap<u8, usize> = HashMap::new();
+            for s in kept.iter().filter(|s| s.mac == mac) {
+                *chans.entry(s.channel.number()).or_insert(0) += 1;
+            }
             let best = chans
                 .into_iter()
                 .max_by_key(|&(ch, n)| (n, std::cmp::Reverse(ch)))
                 .map(|(ch, _)| ch)
-                .expect("mac has samples");
+                .expect("retained mac has samples");
             (mac, best)
         })
+        .into_iter()
         .collect();
 
     let layout = FeatureLayout {
@@ -217,14 +234,18 @@ pub fn preprocess(
         mac_channels,
     };
 
-    let mut x = Vec::with_capacity(kept.len());
-    let mut y = Vec::with_capacity(kept.len());
-    for s in &kept {
+    // Per-sample feature rows: independent, order-preserving.
+    let rows = exec::map_vec(policy, kept.clone(), |s| {
         let row = layout
             .encode_row(s.position, s.mac, s.channel)
             .expect("retained samples encode");
+        (row, f64::from(s.rssi_dbm))
+    });
+    let mut x = Vec::with_capacity(rows.len());
+    let mut y = Vec::with_capacity(rows.len());
+    for (row, target) in rows {
         x.push(row);
-        y.push(f64::from(s.rssi_dbm));
+        y.push(target);
     }
     let report = PreprocessReport {
         total_samples: samples.len(),
@@ -339,6 +360,18 @@ mod tests {
         let macs = layout.macs();
         assert_eq!(macs.len(), 2);
         assert!(macs[0] < macs[1], "sorted by MAC bytes");
+    }
+
+    #[test]
+    fn serial_and_parallel_preprocessing_agree_exactly() {
+        let set = set_with(&[(1, 40), (2, 25), (3, 17), (4, 3)]);
+        let cfg = PreprocessConfig::paper();
+        let (ds, ls, rs) = preprocess_with(&set, &cfg, ExecPolicy::Serial).unwrap();
+        let (dp, lp, rp) = preprocess_with(&set, &cfg, ExecPolicy::Parallel).unwrap();
+        assert_eq!(ds.x, dp.x);
+        assert_eq!(ds.y, dp.y);
+        assert_eq!(ls, lp);
+        assert_eq!(rs, rp);
     }
 
     #[test]

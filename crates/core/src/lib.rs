@@ -20,6 +20,13 @@
 //!                              [`adaptive`] — uncertainty-driven resurvey
 //! ```
 //!
+//! Two cross-cutting concerns thread through every stage: [`exec`] selects
+//! serial or parallel execution at runtime (identical outputs either way),
+//! and [`instrument`] records per-stage wall-clock timings and data-flow
+//! counters into [`pipeline::PipelineResult::instrumentation`]. See
+//! `ARCHITECTURE.md` at the repository root for the full paper-to-crate
+//! map.
+//!
 //! # Examples
 //!
 //! Train the paper's best model on a (small) campaign and predict RSS at an
@@ -45,12 +52,16 @@
 
 pub mod adaptive;
 pub mod coverage;
+pub mod exec;
 pub mod features;
+pub mod instrument;
 pub mod models;
 pub mod pipeline;
 pub mod rem;
 
+pub use exec::ExecPolicy;
 pub use features::{FeatureLayout, PreprocessConfig, PreprocessReport};
+pub use instrument::Instrumentation;
 pub use models::ModelKind;
 pub use pipeline::{PipelineConfig, PipelineResult, RemPipeline};
 pub use rem::RemGrid;

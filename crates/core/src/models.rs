@@ -16,6 +16,7 @@ use aerorem_ml::mlp::{Mlp, MlpConfig};
 use aerorem_ml::{MlError, Regressor};
 use aerorem_numerics::stats;
 
+use crate::exec::{self, ExecPolicy};
 use crate::features::FeatureLayout;
 
 /// Every estimator in the comparison.
@@ -120,8 +121,9 @@ pub struct ModelScore {
 }
 
 /// Fits and scores the given models on a 75/25 split of the dataset —
-/// exactly the paper's Figure-8 protocol. The split is shared across
-/// models so the comparison is paired.
+/// exactly the paper's Figure-8 protocol, under the default
+/// [`ExecPolicy`]. The split is shared across models so the comparison is
+/// paired.
 ///
 /// # Errors
 ///
@@ -132,18 +134,37 @@ pub fn evaluate_all<R: Rng>(
     layout: &FeatureLayout,
     rng: &mut R,
 ) -> Result<Vec<ModelScore>, MlError> {
+    evaluate_all_with(kinds, data, layout, rng, ExecPolicy::default())
+}
+
+/// [`evaluate_all`] with an explicit execution policy.
+///
+/// The random 75/25 split is drawn *once* before any model runs; fitting
+/// and scoring consume no randomness, so each model is an independent work
+/// item and [`ExecPolicy::Parallel`] evaluates the zoo across worker
+/// threads with results identical to the serial path (scores come back in
+/// `kinds` order either way).
+///
+/// # Errors
+///
+/// Propagates estimator and split errors.
+pub fn evaluate_all_with<R: Rng>(
+    kinds: &[ModelKind],
+    data: &Dataset,
+    layout: &FeatureLayout,
+    rng: &mut R,
+    policy: ExecPolicy,
+) -> Result<Vec<ModelScore>, MlError> {
     let (train, test) = data.train_test_split(0.75, rng)?;
-    let mut out = Vec::with_capacity(kinds.len());
-    for &kind in kinds {
+    exec::try_map_vec(policy, kinds.to_vec(), |kind| {
         let mut model = kind.build(layout)?;
         model.fit(&train.x, &train.y)?;
         let preds = model.predict(&test.x)?;
-        out.push(ModelScore {
+        Ok(ModelScore {
             kind,
             rmse_dbm: stats::rmse(&preds, &test.y),
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 #[cfg(test)]
@@ -232,6 +253,28 @@ mod tests {
         assert_eq!(labels.len(), ModelKind::ALL.len());
         assert_eq!(ModelKind::PAPER_FIGURE8.len(), 5);
         assert!(format!("{}", ModelKind::Knn3).contains("k=3"));
+    }
+
+    #[test]
+    fn serial_and_parallel_evaluation_agree_exactly() {
+        let (data, layout) = world();
+        let serial = evaluate_all_with(
+            &ModelKind::ALL,
+            &data,
+            &layout,
+            &mut StdRng::seed_from_u64(9),
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        let parallel = evaluate_all_with(
+            &ModelKind::ALL,
+            &data,
+            &layout,
+            &mut StdRng::seed_from_u64(9),
+            ExecPolicy::Parallel,
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

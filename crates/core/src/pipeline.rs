@@ -8,8 +8,10 @@ use aerorem_ml::{MlError, Regressor};
 use aerorem_propagation::ap::MacAddress;
 use aerorem_spatial::Vec3;
 
-use crate::features::{preprocess, FeatureLayout, PreprocessConfig, PreprocessReport};
-use crate::models::{evaluate_all, ModelKind, ModelScore};
+use crate::exec::ExecPolicy;
+use crate::features::{preprocess_with, FeatureLayout, PreprocessConfig, PreprocessReport};
+use crate::instrument::Instrumentation;
+use crate::models::{evaluate_all_with, ModelKind, ModelScore};
 use crate::rem::RemGrid;
 
 /// Pipeline configuration.
@@ -30,6 +32,20 @@ pub struct PipelineConfig {
 impl PipelineConfig {
     /// The paper's full demo: 2 UAVs × 36 waypoints, Figure-8 model lineup,
     /// the best kNN for the final map at 25 cm resolution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aerorem_core::models::ModelKind;
+    /// use aerorem_core::pipeline::PipelineConfig;
+    ///
+    /// let config = PipelineConfig::paper_demo();
+    /// assert_eq!(config.eval_models, ModelKind::PAPER_FIGURE8.to_vec());
+    /// assert_eq!(config.rem_model, ModelKind::KnnScaled16);
+    /// assert_eq!(config.rem_resolution_m, 0.25);
+    /// // The paper's "MACs with less than 16 samples were dropped".
+    /// assert_eq!(config.preprocess.min_samples_per_mac, 16);
+    /// ```
     pub fn paper_demo() -> Self {
         PipelineConfig {
             campaign: CampaignConfig::paper_demo(),
@@ -61,10 +77,14 @@ pub struct PipelineResult {
     pub scores: Vec<ModelScore>,
     /// Which model the final REM uses.
     pub rem_model_kind: ModelKind,
+    /// Per-stage wall-clock timings and data-flow counters for this run.
+    pub instrumentation: Instrumentation,
     /// The REM model fitted on the full dataset.
     model: Box<dyn Regressor>,
     /// REM resolution for [`PipelineResult::generate_rem`].
     rem_resolution_m: f64,
+    /// Execution policy for downstream REM generation.
+    exec_policy: ExecPolicy,
 }
 
 impl std::fmt::Debug for PipelineResult {
@@ -121,12 +141,13 @@ impl PipelineResult {
     ///
     /// Propagates estimator errors.
     pub fn generate_rem(&self, mac: MacAddress) -> Result<RemGrid, MlError> {
-        RemGrid::generate(
+        RemGrid::generate_with(
             self.model.as_ref(),
             &self.layout,
             self.campaign.plan.volume,
             self.rem_resolution_m,
             mac,
+            self.exec_policy,
         )
     }
 
@@ -181,28 +202,56 @@ impl PipelineResult {
 #[derive(Debug, Clone)]
 pub struct RemPipeline {
     config: PipelineConfig,
+    policy: ExecPolicy,
 }
 
 impl RemPipeline {
-    /// Creates a pipeline for the given configuration.
+    /// Creates a pipeline for the given configuration under the default
+    /// execution policy (parallel when the `parallel` feature is on).
     pub fn new(config: PipelineConfig) -> Self {
-        RemPipeline { config }
+        Self::with_policy(config, ExecPolicy::default())
+    }
+
+    /// Creates a pipeline with an explicit serial/parallel policy — both
+    /// produce identical results for the same seed; only the stage timings
+    /// in [`PipelineResult::instrumentation`] differ.
+    pub fn with_policy(config: PipelineConfig, policy: ExecPolicy) -> Self {
+        RemPipeline { config, policy }
     }
 
     /// Runs everything: fly the campaign, preprocess, evaluate the model
     /// zoo on a 75/25 split, then fit the REM model on the full dataset.
+    /// Each stage's wall-clock time and the data-flow counters land in
+    /// [`PipelineResult::instrumentation`].
     ///
     /// # Errors
     ///
     /// Returns [`MlError`] when preprocessing leaves no data or a model
     /// fails to fit.
     pub fn run<R: Rng>(&self, rng: &mut R) -> Result<PipelineResult, MlError> {
-        let campaign = Campaign::new(self.config.campaign.clone()).run(rng);
-        let (dataset, layout, preprocess_report) =
-            preprocess(&campaign.samples, &self.config.preprocess)?;
-        let scores = evaluate_all(&self.config.eval_models, &dataset, &layout, rng)?;
-        let mut model = self.config.rem_model.build(&layout)?;
-        model.fit(&dataset.x, &dataset.y)?;
+        let mut inst = Instrumentation::new();
+        inst.label("exec", self.policy.label());
+        inst.label("threads", self.policy.threads().to_string());
+        let campaign = inst.time("campaign", || {
+            Campaign::new(self.config.campaign.clone()).run(rng)
+        });
+        let (dataset, layout, preprocess_report) = inst.time("preprocess", || {
+            preprocess_with(&campaign.samples, &self.config.preprocess, self.policy)
+        })?;
+        let scores = inst.time("evaluate_models", || {
+            evaluate_all_with(&self.config.eval_models, &dataset, &layout, rng, self.policy)
+        })?;
+        let model = inst.time("fit_rem_model", || {
+            let mut model = self.config.rem_model.build(&layout)?;
+            model.fit(&dataset.x, &dataset.y)?;
+            Ok::<_, MlError>(model)
+        })?;
+        inst.count("raw_samples", campaign.samples.len() as u64);
+        inst.count("retained_samples", preprocess_report.retained_samples as u64);
+        inst.count("dropped_samples", preprocess_report.dropped_samples as u64);
+        inst.count("retained_macs", preprocess_report.retained_macs as u64);
+        inst.count("feature_dim", layout.dim() as u64);
+        inst.count("models_evaluated", scores.len() as u64);
         Ok(PipelineResult {
             campaign,
             preprocess_report,
@@ -210,8 +259,10 @@ impl RemPipeline {
             dataset,
             scores,
             rem_model_kind: self.config.rem_model,
+            instrumentation: inst,
             model,
             rem_resolution_m: self.config.rem_resolution_m,
+            exec_policy: self.policy,
         })
     }
 }
@@ -267,6 +318,17 @@ mod tests {
         let table = result.figure8_table();
         assert!(table.contains("RMSE"));
         assert!(table.contains("baseline"));
+        // Instrumentation covers every stage and the data-flow counters.
+        let inst = &result.instrumentation;
+        for stage in ["campaign", "preprocess", "evaluate_models", "fit_rem_model"] {
+            assert!(inst.stage(stage).is_some(), "missing stage {stage}");
+        }
+        assert_eq!(
+            inst.counter("retained_samples"),
+            Some(result.preprocess_report.retained_samples as u64)
+        );
+        assert!(inst.get_label("exec").is_some());
+        assert!(inst.report().contains("total"));
     }
 
     #[test]

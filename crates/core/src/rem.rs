@@ -12,6 +12,7 @@ use aerorem_ml::{MlError, Regressor};
 use aerorem_propagation::ap::MacAddress;
 use aerorem_spatial::{Aabb, Vec3};
 
+use crate::exec::{self, ExecPolicy};
 use crate::features::FeatureLayout;
 
 /// A regular 3D lattice of predicted RSS (dBm) for one transmitter.
@@ -55,6 +56,31 @@ impl RemGrid {
         resolution_m: f64,
         mac: MacAddress,
     ) -> Result<Self, MlError> {
+        Self::generate_with(model, layout, volume, resolution_m, mac, ExecPolicy::default())
+    }
+
+    /// [`RemGrid::generate`] with an explicit execution policy.
+    ///
+    /// Every voxel is an independent encode-and-predict, so
+    /// [`ExecPolicy::Parallel`] fans the lattice out across worker threads;
+    /// values land in the same `[z][y][x]` order as the serial loop, so
+    /// both policies produce identical grids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (e.g. a MAC the layout dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_m` is not positive and finite.
+    pub fn generate_with(
+        model: &dyn Regressor,
+        layout: &FeatureLayout,
+        volume: Aabb,
+        resolution_m: f64,
+        mac: MacAddress,
+        policy: ExecPolicy,
+    ) -> Result<Self, MlError> {
         assert!(
             resolution_m > 0.0 && resolution_m.is_finite(),
             "resolution must be positive"
@@ -63,20 +89,19 @@ impl RemGrid {
         let nx = ((size.x / resolution_m).round() as usize).max(2);
         let ny = ((size.y / resolution_m).round() as usize).max(2);
         let nz = ((size.z / resolution_m).round() as usize).max(2);
-        let mut values = Vec::with_capacity(nx * ny * nz);
-        for iz in 0..nz {
-            for iy in 0..ny {
-                for ix in 0..nx {
-                    let p = volume.lerp_point(
-                        (ix as f64 + 0.5) / nx as f64,
-                        (iy as f64 + 0.5) / ny as f64,
-                        (iz as f64 + 0.5) / nz as f64,
-                    );
-                    let row = layout.encode_query(p, mac)?;
-                    values.push(model.predict_one(&row)?);
-                }
-            }
-        }
+        let indices: Vec<usize> = (0..nx * ny * nz).collect();
+        let values = exec::try_map_vec(policy, indices, |i| {
+            let ix = i % nx;
+            let iy = (i / nx) % ny;
+            let iz = i / (nx * ny);
+            let p = volume.lerp_point(
+                (ix as f64 + 0.5) / nx as f64,
+                (iy as f64 + 0.5) / ny as f64,
+                (iz as f64 + 0.5) / nz as f64,
+            );
+            let row = layout.encode_query(p, mac)?;
+            model.predict_one(&row)
+        })?;
         Ok(RemGrid {
             mac,
             volume,
@@ -360,6 +385,18 @@ mod tests {
         for (p, v) in cells.iter().take(10) {
             assert_eq!(grid.sample(*p), Some(*v));
         }
+    }
+
+    #[test]
+    fn serial_and_parallel_grids_are_identical() {
+        let (model, layout, volume) = fitted_world();
+        let mac = MacAddress::from_index(1);
+        let serial =
+            RemGrid::generate_with(&model, &layout, volume, 0.3, mac, ExecPolicy::Serial).unwrap();
+        let parallel =
+            RemGrid::generate_with(&model, &layout, volume, 0.3, mac, ExecPolicy::Parallel)
+                .unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -109,7 +109,12 @@ impl fmt::Display for MlError {
 impl std::error::Error for MlError {}
 
 /// A regression estimator: fit on rows, predict scalars.
-pub trait Regressor {
+///
+/// `Send + Sync` is a supertrait so fitted models can be shared across
+/// worker threads — the REM generator predicts every lattice voxel in
+/// parallel from one `&dyn Regressor`. All estimators here are plain
+/// value types, so the bound costs implementors nothing.
+pub trait Regressor: Send + Sync {
     /// Fits the estimator to feature rows `x` and targets `y`.
     ///
     /// # Errors

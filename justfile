@@ -1,0 +1,19 @@
+# Mirrors the Makefile; use whichever runner you have installed.
+
+check: build test doc clippy
+
+build:
+    cargo build --release
+
+test:
+    cargo test -q
+
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Serial-vs-parallel pipeline timing table (see EXPERIMENTS.md).
+timing:
+    cargo run --release -p aerorem-bench --bin experiments -- timing

@@ -5,18 +5,25 @@
 //! aerorem evaluate --in samples.csv [--seed N]
 //! aerorem map      --in samples.csv [--mac aa:bb:..] [--resolution 0.25] --out rem.csv
 //! aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]
+//! aerorem demo     [--seed N] [--exec serial|parallel]
 //! ```
 //!
 //! `survey` runs the simulated campaign and writes the collected samples;
 //! the other commands are pure data processing and would work identically
-//! on samples from real hardware.
+//! on samples from real hardware. `demo` runs the paper's full pipeline
+//! end to end and prints per-stage wall-clock instrumentation — run it
+//! once with `--exec serial` and once with `--exec parallel` to measure
+//! the speedup on your machine.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use aerorem::core::coverage::CoverageMap;
+use aerorem::core::exec::ExecPolicy;
 use aerorem::core::features::{preprocess, PreprocessConfig};
+use aerorem::core::instrument::Instrumentation;
 use aerorem::core::models::{evaluate_all, ModelKind};
+use aerorem::core::pipeline::{PipelineConfig, RemPipeline};
 use aerorem::core::rem::RemGrid;
 use aerorem::mission::campaign::{Campaign, CampaignConfig};
 use aerorem::mission::csv;
@@ -39,6 +46,7 @@ fn main() -> ExitCode {
         "evaluate" => evaluate(&flags),
         "map" => map(&flags),
         "coverage" => coverage(&flags),
+        "demo" => demo(&flags),
         other => return usage(&format!("unknown command {other:?}")),
     };
     match result {
@@ -114,24 +122,61 @@ fn evaluate(flags: &Flags) -> Result<(), String> {
     let seed: u64 = flag(flags, "seed", 2206)?;
     let samples = load_samples(flags)?;
     let min_per_mac: usize = flag(flags, "min-samples", 16)?;
-    let (data, layout, prep) = preprocess(
-        &samples,
-        &PreprocessConfig {
-            min_samples_per_mac: min_per_mac,
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let mut inst = Instrumentation::new();
+    let (data, layout, prep) = inst
+        .time("preprocess", || {
+            preprocess(
+                &samples,
+                &PreprocessConfig {
+                    min_samples_per_mac: min_per_mac,
+                },
+            )
+        })
+        .map_err(|e| e.to_string())?;
     println!(
         "{} samples loaded, {} retained over {} APs",
         prep.total_samples, prep.retained_samples, prep.retained_macs
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let scores =
-        evaluate_all(&ModelKind::ALL, &data, &layout, &mut rng).map_err(|e| e.to_string())?;
+    let scores = inst
+        .time("evaluate_models", || {
+            evaluate_all(&ModelKind::ALL, &data, &layout, &mut rng)
+        })
+        .map_err(|e| e.to_string())?;
     println!("{:<32} {:>10}", "model", "RMSE [dBm]");
     for s in &scores {
         println!("{:<32} {:>10.4}", s.kind.label(), s.rmse_dbm);
     }
+    inst.count("retained_samples", prep.retained_samples as u64);
+    inst.count("models_evaluated", scores.len() as u64);
+    eprint!("{}", inst.report());
+    Ok(())
+}
+
+fn demo(flags: &Flags) -> Result<(), String> {
+    let seed: u64 = flag(flags, "seed", 2206)?;
+    let policy: ExecPolicy = flag(flags, "exec", ExecPolicy::default())?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    eprintln!("running the paper demo pipeline (seed {seed}, exec {policy})...");
+    let result = RemPipeline::with_policy(PipelineConfig::paper_demo(), policy)
+        .run(&mut rng)
+        .map_err(|e| e.to_string())?;
+    print!("{}", result.figure8_table());
+    let mac = result
+        .strongest_mac()
+        .ok_or("campaign retained no MACs")?;
+    let mut inst = result.instrumentation.clone();
+    let rem = inst
+        .time("generate_rem", || result.generate_rem(mac))
+        .map_err(|e| e.to_string())?;
+    inst.count("rem_voxels", rem.len() as u64);
+    let (nx, ny, nz) = rem.dims();
+    println!(
+        "REM of {mac}: {nx}x{ny}x{nz} voxels, {:.1}..{:.1} dBm",
+        rem.min_dbm(),
+        rem.max_dbm()
+    );
+    print!("{}", inst.report());
     Ok(())
 }
 
@@ -165,7 +210,8 @@ fn map(flags: &Flags) -> Result<(), String> {
     let samples = load_samples(flags)?;
     let out = required(flags, "out")?;
     let resolution: f64 = flag(flags, "resolution", 0.25)?;
-    let (model, layout) = fit_best_model(&samples)?;
+    let mut inst = Instrumentation::new();
+    let (model, layout) = inst.time("fit_model", || fit_best_model(&samples))?;
     let mac = match flags.get("mac") {
         Some(m) => m
             .parse::<MacAddress>()
@@ -176,14 +222,18 @@ fn map(flags: &Flags) -> Result<(), String> {
             mac
         }
     };
-    let grid = RemGrid::generate(
-        model.as_ref(),
-        &layout,
-        Aabb::paper_volume(),
-        resolution,
-        mac,
-    )
-    .map_err(|e| e.to_string())?;
+    let grid = inst
+        .time("generate_rem", || {
+            RemGrid::generate(
+                model.as_ref(),
+                &layout,
+                Aabb::paper_volume(),
+                resolution,
+                mac,
+            )
+        })
+        .map_err(|e| e.to_string())?;
+    inst.count("rem_voxels", grid.len() as u64);
     std::fs::write(out, grid.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
     let (nx, ny, nz) = grid.dims();
     eprintln!(
@@ -196,6 +246,7 @@ fn map(flags: &Flags) -> Result<(), String> {
     if let Some(art) = grid.render_slice(mid_z) {
         eprintln!("{art}");
     }
+    eprint!("{}", inst.report());
     Ok(())
 }
 
@@ -232,7 +283,8 @@ fn usage(err: &str) -> ExitCode {
         "usage:\n  aerorem survey   [--seed N] [--waypoints 72] [--uavs 2] --out samples.csv\n  \
          aerorem evaluate --in samples.csv [--seed N] [--min-samples 16]\n  \
          aerorem map      --in samples.csv [--mac aa:bb:cc:dd:ee:ff] [--resolution 0.25] --out rem.csv\n  \
-         aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]"
+         aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]\n  \
+         aerorem demo     [--seed N] [--exec serial|parallel]"
     );
     ExitCode::from(2)
 }

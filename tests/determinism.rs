@@ -1,0 +1,93 @@
+//! Serial vs parallel determinism: the same seed must produce *identical*
+//! results under both execution policies.
+//!
+//! The parallel paths (model-zoo evaluation, per-sample feature encoding,
+//! per-MAC grouping, per-voxel REM prediction) are all pure per-item maps
+//! reassembled in input order, and the pipeline draws no randomness inside
+//! a parallel region — so serial and parallel runs must agree bit for bit,
+//! not just approximately. This is the contract that lets the `parallel`
+//! feature stay on by default without threatening reproducibility.
+
+use aerorem::core::exec::ExecPolicy;
+use aerorem::core::models::ModelKind;
+use aerorem::core::pipeline::{PipelineConfig, PipelineResult, RemPipeline};
+use aerorem::core::rem::RemGrid;
+use aerorem::core::PreprocessConfig;
+use aerorem::mission::campaign::CampaignConfig;
+use aerorem::mission::plan::FleetPlan;
+use aerorem::simkit::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reduced campaign so the test stays fast while still exercising every
+/// pipeline stage.
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        campaign: CampaignConfig {
+            fleet_plan: FleetPlan {
+                fleet_size: 2,
+                total_waypoints: 16,
+                travel_time: SimDuration::from_secs(2),
+                scan_time: SimDuration::from_secs(2),
+            },
+            ..CampaignConfig::paper_demo()
+        },
+        preprocess: PreprocessConfig {
+            min_samples_per_mac: 8,
+        },
+        eval_models: vec![ModelKind::MeanPerMac, ModelKind::Knn3, ModelKind::KnnScaled16],
+        rem_model: ModelKind::KnnScaled16,
+        rem_resolution_m: 0.5,
+    }
+}
+
+fn run(policy: ExecPolicy, seed: u64) -> (PipelineResult, RemGrid) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = RemPipeline::with_policy(config(), policy)
+        .run(&mut rng)
+        .expect("pipeline runs");
+    let mac = result.strongest_mac().expect("campaign retained MACs");
+    let rem = result.generate_rem(mac).expect("REM generates");
+    (result, rem)
+}
+
+#[test]
+fn serial_and_parallel_pipelines_are_bit_identical() {
+    for seed in [2206, 0xD1CE] {
+        let (serial, serial_rem) = run(ExecPolicy::Serial, seed);
+        let (parallel, parallel_rem) = run(ExecPolicy::Parallel, seed);
+
+        // Identical model scores — exact f64 equality, not a tolerance.
+        assert_eq!(serial.scores, parallel.scores, "seed {seed}");
+        // Identical preprocessed data and layout.
+        assert_eq!(serial.dataset.x, parallel.dataset.x, "seed {seed}");
+        assert_eq!(serial.dataset.y, parallel.dataset.y, "seed {seed}");
+        assert_eq!(serial.layout, parallel.layout, "seed {seed}");
+        assert_eq!(
+            serial.preprocess_report, parallel.preprocess_report,
+            "seed {seed}"
+        );
+        // Identical REM lattice, voxel for voxel.
+        assert_eq!(serial_rem, parallel_rem, "seed {seed}");
+
+        // The runs really took the two different paths.
+        assert_eq!(
+            serial.instrumentation.get_label("exec"),
+            Some("serial"),
+            "seed {seed}"
+        );
+        assert_eq!(
+            parallel.instrumentation.get_label("exec"),
+            Some("parallel"),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_with_one_policy_are_reproducible() {
+    let (a, rem_a) = run(ExecPolicy::Parallel, 7);
+    let (b, rem_b) = run(ExecPolicy::Parallel, 7);
+    assert_eq!(a.scores, b.scores);
+    assert_eq!(rem_a, rem_b);
+}

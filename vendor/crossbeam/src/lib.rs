@@ -1,0 +1,90 @@
+//! Offline, in-tree subset of the `crossbeam` API used by this workspace:
+//! scoped threads, implemented on top of [`std::thread::scope`].
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::any::Any;
+
+    /// What a scope body or a joined thread returns on panic.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// The spawn surface handed to the closure passed to [`scope`].
+    pub struct Scope<'env, 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope again so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    f(&Scope { inner: inner_scope })
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the scope body itself panics (panics in
+    /// spawned threads surface through their handles' `join`, or here if
+    /// a handle was dropped without joining — matching crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| scope.spawn(move |_| x * 10))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker ok"))
+                .sum::<u64>()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panic_in_body_is_reported() {
+        let r = thread::scope(|_| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

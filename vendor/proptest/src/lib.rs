@@ -1,0 +1,372 @@
+//! Offline, in-tree subset of the `proptest` API used by this workspace.
+//!
+//! Supports the [`proptest!`] macro (`arg in strategy` bindings),
+//! `prop_assert!` / `prop_assert_eq!`, the [`Strategy`] trait with
+//! `prop_map`, integer/float range strategies, tuple strategies,
+//! `prop::collection::vec`, `any::<T>()`, `prop::num::f64::NORMAL`, and
+//! string strategies for the tiny regex subset `.{m,n}`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case reports its seed and inputs via the
+//!   panic message instead;
+//! * deterministic seeding per (test, case index), so failures reproduce
+//!   without a regression file (`proptest-regressions` files are ignored);
+//! * `PROPTEST_CASES` overrides the per-test case count (default 64).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases each `proptest!` test runs.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// The adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String strategy from a pattern: supports `.{m,n}`, bare `.`, and
+/// patterns with no regex metacharacters (taken literally).
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        string_from_pattern(self, rng)
+    }
+}
+
+fn random_char(rng: &mut StdRng) -> char {
+    // `.` matches any char but newline; bias towards printable ASCII with
+    // CSV-hostile characters and a sprinkle of multibyte codepoints.
+    match rng.gen_range(0..10u32) {
+        0 => ',',
+        1 => '"',
+        2 => ['é', 'ß', '→', '中', '𝛼', '\t', '\'', '\\'][rng.gen_range(0..8usize)],
+        _ => char::from(rng.gen_range(0x20u8..0x7F)),
+    }
+}
+
+fn string_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    if let Some(rest) = pattern.strip_prefix(".{") {
+        if let Some(body) = rest.strip_suffix('}') {
+            if let Some((lo, hi)) = body.split_once(',') {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse::<usize>()) {
+                    let len = rng.gen_range(lo..=hi);
+                    return (0..len).map(|_| random_char(rng)).collect();
+                }
+            }
+        }
+    }
+    if pattern == "." {
+        return random_char(rng).to_string();
+    }
+    assert!(
+        !pattern.contains(['*', '+', '?', '[', '(', '|', '{']),
+        "unsupported pattern {pattern:?}: the vendored proptest subset only \
+         understands `.{{m,n}}`, `.`, and literal strings"
+    );
+    pattern.to_string()
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, as in `any::<u8>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// The `prop::` namespace.
+pub mod prop {
+    pub use crate::any;
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Ranges usable as a `vec` length specification.
+        pub trait SizeRange {
+            /// Draws one length.
+            fn pick_len(&self, rng: &mut StdRng) -> usize;
+        }
+
+        impl SizeRange for core::ops::Range<usize> {
+            fn pick_len(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl SizeRange for core::ops::RangeInclusive<usize> {
+            fn pick_len(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl SizeRange for usize {
+            fn pick_len(&self, _rng: &mut StdRng) -> usize {
+                *self
+            }
+        }
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = self.size.pick_len(rng);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+
+        /// A strategy for vectors of `element` values with a length drawn
+        /// from `size`.
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+    }
+
+    pub mod num {
+        //! Numeric strategies.
+
+        pub mod f64 {
+            //! `f64` strategies.
+
+            use crate::Strategy;
+            use rand::rngs::StdRng;
+            use rand::Rng;
+
+            /// Strategy for normal (finite, non-zero-exponent) `f64`s with
+            /// widely varying magnitudes.
+            pub struct NormalF64;
+
+            /// Generates normal `f64` values, as `prop::num::f64::NORMAL`.
+            pub const NORMAL: NormalF64 = NormalF64;
+
+            impl Strategy for NormalF64 {
+                type Value = f64;
+                fn new_value(&self, rng: &mut StdRng) -> f64 {
+                    // Random sign/mantissa with an exponent spread across
+                    // a useful slice of the normal range.
+                    let mantissa: f64 = rng.gen::<f64>() + 1.0; // [1, 2)
+                    let exp = rng.gen_range(-60i32..60);
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    let v = sign * mantissa * (exp as f64).exp2();
+                    debug_assert!(v.is_normal());
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!`-based test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Builds the per-case RNG for a named test. Mixes the test name so
+/// distinct tests see distinct streams.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over [`case_count`] generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $(let $arg = &$strat;)+
+            for case in 0..$crate::case_count() {
+                let mut proptest_case_rng = $crate::case_rng(stringify!($name), case);
+                $(
+                    let $arg = $crate::Strategy::new_value($arg, &mut proptest_case_rng);
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u64..100, pair in (1usize..5, -1.0f64..1.0)) {
+            prop_assert!(x < 100);
+            prop_assert!((1..5).contains(&pair.0));
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn mapped_strategies(v in prop::num::f64::NORMAL.prop_map(|x| x.abs())) {
+            prop_assert!(v > 0.0 && v.is_finite());
+        }
+
+        #[test]
+        fn collections_and_any(bytes in prop::collection::vec(any::<u8>(), 0..=16)) {
+            prop_assert!(bytes.len() <= 16);
+        }
+
+        #[test]
+        fn string_patterns(s in prop::collection::vec(".{0,32}", 1..4)) {
+            prop_assert!(!s.is_empty());
+            for name in &s {
+                prop_assert!(name.chars().count() <= 32);
+                prop_assert!(!name.contains('\n'));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_and_case() {
+        use crate::Strategy;
+        let s = 0u64..1_000_000;
+        let a = s.new_value(&mut crate::case_rng("t", 3));
+        let b = s.new_value(&mut crate::case_rng("t", 3));
+        let c = s.new_value(&mut crate::case_rng("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline, in-tree subset of the `rayon` API used by this workspace.
+//!
+//! Provides `par_iter()` / `into_par_iter()` over slices, vectors and
+//! integer ranges with `map` → `collect` (including collection into
+//! `Result<Vec<_>, E>`), `for_each` and `sum`, executed by chunking the
+//! input across [`std::thread::scope`] threads.
+//!
+//! Two properties the workspace relies on:
+//!
+//! * **Deterministic order** — results are reassembled in input order, so a
+//!   parallel map is observationally identical to the serial map (this
+//!   backs the pipeline's serial-vs-parallel determinism test).
+//! * **No global pool** — threads are scoped per call; there is nothing to
+//!   configure or leak. Thread count is [`std::thread::available_parallelism`],
+//!   capped by the number of items.
+
+use std::num::NonZeroUsize;
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Evaluates `f` over `items` on scoped threads, preserving input order.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+    });
+    out
+}
+
+/// A parallel iterator: a materialized item source plus composed transforms.
+pub trait ParallelIterator: Sized {
+    /// The element type this iterator yields.
+    type Item: Send;
+
+    /// Evaluates the iterator, in parallel where profitable, preserving
+    /// input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the items into `C` (e.g. `Vec<T>` or `Result<Vec<T>, E>`).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.drive())
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).drive();
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+
+    /// Number of items (evaluates the source).
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// A materialized item source.
+pub struct IterBridge<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterBridge<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The adapter returned by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map_vec(self.base.drive(), &self.f)
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection from items already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl<T: Send> FromParallelIterator<Option<T>> for Option<Vec<T>> {
+    fn from_ordered_vec(items: Vec<Option<T>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterBridge<T>;
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = IterBridge<$t>;
+            fn into_par_iter(self) -> IterBridge<$t> {
+                IterBridge { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_into_par!(u32, u64, usize, i32, i64);
+
+/// Types whose references yield a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IterBridge<&'a T>;
+    fn par_iter(&'a self) -> IterBridge<&'a T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IterBridge<&'a T>;
+    fn par_iter(&'a self) -> IterBridge<&'a T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|i| i * 2).collect();
+        let expected: Vec<u64> = (0..10_000u64).map(|i| i * 2).collect();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn par_iter_over_slice_and_vec() {
+        let data = vec![1.0f64, 2.0, 3.0, 4.0];
+        let doubled: Vec<f64> = data.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0, 8.0]);
+        let s: f64 = data.as_slice().par_iter().map(|&x| x).sum();
+        assert_eq!(s, 10.0);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let ok: Result<Vec<u32>, String> =
+            (0..50u32).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 50);
+        let err: Result<Vec<u32>, String> = (0..50u32)
+            .into_par_iter()
+            .map(|i| if i == 17 { Err(format!("bad {i}")) } else { Ok(i) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "bad 17");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn for_each_and_count() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!((0..42usize).into_par_iter().count(), 42);
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline, in-tree subset of the `serde` API used by this workspace.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types and
+//! asserts the bounds in tests, but never actually serializes (there is no
+//! format crate in the dependency tree). So the traits here are *markers*,
+//! blanket-implemented for every type, and the `derive` macros are no-ops.
+//! Swapping in the real `serde` later only requires restoring the
+//! crates.io dependency.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Namespace stand-in for `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace stand-in for `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounds_are_satisfied_for_arbitrary_types() {
+        fn assert_serde<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+        struct Custom {
+            _x: u8,
+        }
+        assert_serde::<Custom>();
+        assert_serde::<Vec<String>>();
+    }
+}

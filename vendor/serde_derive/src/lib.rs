@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the in-tree serde subset.
+//!
+//! The subset's traits are blanket-implemented for all types, so the derive
+//! only needs to *exist* (and accept `#[serde(...)]` helper attributes);
+//! it emits no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
