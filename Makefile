@@ -1,9 +1,9 @@
 # Developer entry points. `make check` is the full gate run in CI and
 # before every commit; the individual targets exist for quicker loops.
 
-.PHONY: check build test doc clippy timing
+.PHONY: check build test doc clippy bench-build bench timing
 
-check: build test doc clippy
+check: build test doc clippy bench-build
 
 build:
 	cargo build --release
@@ -16,6 +16,14 @@ doc:
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# Benches must always compile, even when nobody runs them.
+bench-build:
+	cargo bench --no-run
+
+# Regenerates BENCH_2.json: per-voxel vs batched REM lattice throughput.
+bench:
+	cargo bench -p aerorem-bench --bench rem_lattice
 
 # Serial-vs-parallel pipeline timing table (see EXPERIMENTS.md).
 timing:

@@ -109,26 +109,44 @@ impl FeatureLayout {
     /// Returns [`MlError::InvalidHyperparameter`] for a MAC that was dropped
     /// or never seen.
     pub fn encode_query(&self, position: Vec3, mac: MacAddress) -> Result<Vec<f64>, MlError> {
-        let mac_oh = self
-            .mac_encoder
-            .encode(&mac)
-            .ok_or(MlError::InvalidHyperparameter {
+        let mut row = Vec::with_capacity(self.dim());
+        self.encode_query_into(position, mac, &mut row)?;
+        Ok(row)
+    }
+
+    /// Appends the encoded query row onto `out` without allocating — the
+    /// building block for batch-encoding lattices into a
+    /// [`aerorem_ml::FeatureMatrix`] via `push_row_with`. Appends exactly
+    /// [`FeatureLayout::dim`] values on success and nothing on error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for a MAC that was dropped
+    /// or never seen.
+    pub fn encode_query_into(
+        &self,
+        position: Vec3,
+        mac: MacAddress,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MlError> {
+        if !self.contains_mac(mac) {
+            return Err(MlError::InvalidHyperparameter {
                 name: "mac",
                 reason: "MAC was dropped in preprocessing or never observed",
-            })?;
+            });
+        }
         let ch = *self
             .mac_channels
             .get(&mac)
             .expect("every encoded MAC has a channel");
-        let ch_oh = self
-            .channel_encoder
-            .encode(&ch)
+        out.extend([position.x, position.y, position.z]);
+        self.mac_encoder
+            .encode_into(&mac, out)
+            .expect("presence checked above");
+        self.channel_encoder
+            .encode_into(&ch, out)
             .expect("channel encoder covers observed channels");
-        let mut row = Vec::with_capacity(self.dim());
-        row.extend([position.x, position.y, position.z]);
-        row.extend(mac_oh);
-        row.extend(ch_oh);
-        Ok(row)
+        Ok(())
     }
 
     /// Encodes a row with an explicit channel — used when rebuilding

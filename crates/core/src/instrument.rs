@@ -97,6 +97,19 @@ impl Instrumentation {
         self.stages.iter().map(|(_, d)| *d).sum()
     }
 
+    /// Items per second through a stage: `counter / stage duration`.
+    ///
+    /// Returns `None` when either the stage or the counter is missing, or
+    /// when the stage took no measurable time.
+    pub fn throughput(&self, stage: &str, counter: &str) -> Option<f64> {
+        let took = self.stage(stage)?.as_secs_f64();
+        let items = self.counter(counter)?;
+        if took <= 0.0 {
+            return None;
+        }
+        Some(items as f64 / took)
+    }
+
     /// Renders the stage table, counters, and labels as plain text.
     pub fn report(&self) -> String {
         let mut out = String::new();
@@ -161,6 +174,20 @@ mod tests {
         inst.label("exec", "serial");
         inst.label("exec", "parallel");
         assert_eq!(inst.get_label("exec"), Some("parallel"));
+    }
+
+    #[test]
+    fn throughput_is_counter_over_stage_time() {
+        let mut inst = Instrumentation::new();
+        inst.record("predict", Duration::from_millis(500));
+        inst.count("rows", 1000);
+        let rate = inst.throughput("predict", "rows").unwrap();
+        assert!((rate - 2000.0).abs() < 1e-9, "got {rate}");
+        assert_eq!(inst.throughput("missing", "rows"), None);
+        assert_eq!(inst.throughput("predict", "missing"), None);
+        inst.record("instant", Duration::ZERO);
+        inst.count("n", 5);
+        assert_eq!(inst.throughput("instant", "n"), None);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use aerorem_ml::idw::IdwInterpolator;
 use aerorem_ml::knn::{KnnRegressor, Weighting};
 use aerorem_ml::kriging::{KrigingConfig, OrdinaryKriging};
 use aerorem_ml::mlp::{Mlp, MlpConfig};
-use aerorem_ml::{MlError, Regressor};
+use aerorem_ml::{FeatureMatrix, MlError, Regressor};
 use aerorem_numerics::stats;
 
 use crate::exec::{self, ExecPolicy};
@@ -145,6 +145,11 @@ pub fn evaluate_all<R: Rng>(
 /// threads with results identical to the serial path (scores come back in
 /// `kinds` order either way).
 ///
+/// The test rows are packed into one contiguous [`FeatureMatrix`] shared by
+/// every model, which then scores through [`Regressor::predict_batch`] —
+/// the same batched hot path the REM lattice fill uses, and bit-identical
+/// to per-row prediction by the trait contract.
+///
 /// # Errors
 ///
 /// Propagates estimator and split errors.
@@ -156,10 +161,11 @@ pub fn evaluate_all_with<R: Rng>(
     policy: ExecPolicy,
 ) -> Result<Vec<ModelScore>, MlError> {
     let (train, test) = data.train_test_split(0.75, rng)?;
+    let test_x = FeatureMatrix::from_rows(&test.x).map_err(|_| MlError::EmptyTrainingSet)?;
     exec::try_map_vec(policy, kinds.to_vec(), |kind| {
         let mut model = kind.build(layout)?;
         model.fit(&train.x, &train.y)?;
-        let preds = model.predict(&test.x)?;
+        let preds = model.predict_batch(&test_x)?;
         Ok(ModelScore {
             kind,
             rmse_dbm: stats::rmse(&preds, &test.y),

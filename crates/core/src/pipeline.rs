@@ -151,6 +151,29 @@ impl PipelineResult {
         )
     }
 
+    /// [`PipelineResult::generate_rem`] recording the `rem_encode` /
+    /// `rem_predict` stage timings and row counters on `inst` — the CLI
+    /// uses this to report lattice voxels per second per stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    pub fn generate_rem_instrumented(
+        &self,
+        mac: MacAddress,
+        inst: &mut Instrumentation,
+    ) -> Result<RemGrid, MlError> {
+        RemGrid::generate_instrumented(
+            self.model.as_ref(),
+            &self.layout,
+            self.campaign.plan.volume,
+            self.rem_resolution_m,
+            mac,
+            self.exec_policy,
+            inst,
+        )
+    }
+
     /// Simulation-only validation: RMSE between the model's predictions and
     /// the *ground-truth* mean RSS surface at `n_points` random unvisited
     /// positions (per retained MAC, pooled).

@@ -8,12 +8,19 @@
 
 use serde::{Deserialize, Serialize};
 
-use aerorem_ml::{MlError, Regressor};
+use aerorem_ml::{FeatureMatrix, MlError, Regressor};
 use aerorem_propagation::ap::MacAddress;
 use aerorem_spatial::{Aabb, Vec3};
 
 use crate::exec::{self, ExecPolicy};
 use crate::features::FeatureLayout;
+use crate::instrument::Instrumentation;
+
+/// Voxels per chunk in the batched lattice fill. Chunks are the unit of
+/// parallelism *and* of batch prediction: large enough to amortize
+/// per-batch setup (buffer reuse, matrix-level kernels), small enough to
+/// keep every worker thread busy on paper-scale lattices.
+const BATCH_CHUNK: usize = 1024;
 
 /// A regular 3D lattice of predicted RSS (dBm) for one transmitter.
 ///
@@ -61,10 +68,15 @@ impl RemGrid {
 
     /// [`RemGrid::generate`] with an explicit execution policy.
     ///
-    /// Every voxel is an independent encode-and-predict, so
-    /// [`ExecPolicy::Parallel`] fans the lattice out across worker threads;
-    /// values land in the same `[z][y][x]` order as the serial loop, so
-    /// both policies produce identical grids.
+    /// This is the **batched** hot path: the lattice is split into
+    /// fixed-size voxel chunks, each chunk is encoded into one contiguous
+    /// [`FeatureMatrix`] and predicted through
+    /// [`Regressor::predict_batch`], and [`ExecPolicy::Parallel`] fans the
+    /// chunks out across worker threads. Chunks are reassembled in `[z][y][x]`
+    /// order and `predict_batch` is contractually bit-identical to mapped
+    /// `predict_one`, so all four combinations (serial/parallel ×
+    /// per-voxel/batched) produce identical grids — the determinism test
+    /// checks exactly that against [`RemGrid::generate_per_voxel_with`].
     ///
     /// # Errors
     ///
@@ -81,24 +93,41 @@ impl RemGrid {
         mac: MacAddress,
         policy: ExecPolicy,
     ) -> Result<Self, MlError> {
-        assert!(
-            resolution_m > 0.0 && resolution_m.is_finite(),
-            "resolution must be positive"
-        );
-        let size = volume.size();
-        let nx = ((size.x / resolution_m).round() as usize).max(2);
-        let ny = ((size.y / resolution_m).round() as usize).max(2);
-        let nz = ((size.z / resolution_m).round() as usize).max(2);
+        let dims = Self::lattice_dims(volume, resolution_m);
+        let chunks = Self::encode_chunks(layout, volume, mac, dims, policy)?;
+        let values = Self::predict_chunks(model, chunks, policy)?;
+        Ok(RemGrid {
+            mac,
+            volume,
+            dims,
+            values,
+        })
+    }
+
+    /// The pre-batching reference path: every voxel is encoded and
+    /// predicted one at a time through [`Regressor::predict_one`]. Kept as
+    /// the baseline the batched path must match bit-for-bit, and as the
+    /// comparison arm of the `rem_lattice` bench.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (e.g. a MAC the layout dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_m` is not positive and finite.
+    pub fn generate_per_voxel_with(
+        model: &dyn Regressor,
+        layout: &FeatureLayout,
+        volume: Aabb,
+        resolution_m: f64,
+        mac: MacAddress,
+        policy: ExecPolicy,
+    ) -> Result<Self, MlError> {
+        let (nx, ny, nz) = Self::lattice_dims(volume, resolution_m);
         let indices: Vec<usize> = (0..nx * ny * nz).collect();
         let values = exec::try_map_vec(policy, indices, |i| {
-            let ix = i % nx;
-            let iy = (i / nx) % ny;
-            let iz = i / (nx * ny);
-            let p = volume.lerp_point(
-                (ix as f64 + 0.5) / nx as f64,
-                (iy as f64 + 0.5) / ny as f64,
-                (iz as f64 + 0.5) / nz as f64,
-            );
+            let p = Self::voxel_center(volume, (nx, ny, nz), i);
             let row = layout.encode_query(p, mac)?;
             model.predict_one(&row)
         })?;
@@ -108,6 +137,102 @@ impl RemGrid {
             dims: (nx, ny, nz),
             values,
         })
+    }
+
+    /// [`RemGrid::generate_with`] with per-stage instrumentation: records
+    /// `rem_encode` / `rem_predict` wall time and `rem_encode_rows` /
+    /// `rem_predict_rows` counters on `inst`, so callers can report
+    /// rows-per-second per stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (e.g. a MAC the layout dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_m` is not positive and finite.
+    pub fn generate_instrumented(
+        model: &dyn Regressor,
+        layout: &FeatureLayout,
+        volume: Aabb,
+        resolution_m: f64,
+        mac: MacAddress,
+        policy: ExecPolicy,
+        inst: &mut Instrumentation,
+    ) -> Result<Self, MlError> {
+        let dims = Self::lattice_dims(volume, resolution_m);
+        let rows = (dims.0 * dims.1 * dims.2) as u64;
+        let chunks =
+            inst.time("rem_encode", || Self::encode_chunks(layout, volume, mac, dims, policy))?;
+        inst.count("rem_encode_rows", rows);
+        let values = inst.time("rem_predict", || Self::predict_chunks(model, chunks, policy))?;
+        inst.count("rem_predict_rows", rows);
+        Ok(RemGrid {
+            mac,
+            volume,
+            dims,
+            values,
+        })
+    }
+
+    /// Lattice dimensions for a volume at a target cell edge length; each
+    /// axis gets at least 2 cells.
+    fn lattice_dims(volume: Aabb, resolution_m: f64) -> (usize, usize, usize) {
+        assert!(
+            resolution_m > 0.0 && resolution_m.is_finite(),
+            "resolution must be positive"
+        );
+        let size = volume.size();
+        let nx = ((size.x / resolution_m).round() as usize).max(2);
+        let ny = ((size.y / resolution_m).round() as usize).max(2);
+        let nz = ((size.z / resolution_m).round() as usize).max(2);
+        (nx, ny, nz)
+    }
+
+    /// Center position of flat voxel `i` in `[z][y][x]` order.
+    fn voxel_center(volume: Aabb, (nx, ny, nz): (usize, usize, usize), i: usize) -> Vec3 {
+        let ix = i % nx;
+        let iy = (i / nx) % ny;
+        let iz = i / (nx * ny);
+        volume.lerp_point(
+            (ix as f64 + 0.5) / nx as f64,
+            (iy as f64 + 0.5) / ny as f64,
+            (iz as f64 + 0.5) / nz as f64,
+        )
+    }
+
+    /// Stage 1 of the batched fill: encodes the lattice into per-chunk
+    /// contiguous feature matrices (chunks are independent, so they encode
+    /// in parallel and reassemble in voxel order).
+    fn encode_chunks(
+        layout: &FeatureLayout,
+        volume: Aabb,
+        mac: MacAddress,
+        dims: (usize, usize, usize),
+        policy: ExecPolicy,
+    ) -> Result<Vec<FeatureMatrix>, MlError> {
+        let total = dims.0 * dims.1 * dims.2;
+        let starts: Vec<usize> = (0..total).step_by(BATCH_CHUNK).collect();
+        exec::try_map_vec(policy, starts, |start| {
+            let len = BATCH_CHUNK.min(total - start);
+            let mut fm = FeatureMatrix::with_capacity(layout.dim(), len);
+            for i in start..start + len {
+                let p = Self::voxel_center(volume, dims, i);
+                fm.push_row_with(|out| layout.encode_query_into(p, mac, out))?;
+            }
+            Ok(fm)
+        })
+    }
+
+    /// Stage 2 of the batched fill: predicts each chunk through
+    /// [`Regressor::predict_batch`] and flattens back into voxel order.
+    fn predict_chunks(
+        model: &dyn Regressor,
+        chunks: Vec<FeatureMatrix>,
+        policy: ExecPolicy,
+    ) -> Result<Vec<f64>, MlError> {
+        let predicted = exec::try_map_vec(policy, chunks, |fm| model.predict_batch(&fm))?;
+        Ok(predicted.into_iter().flatten().collect())
     }
 
     /// The transmitter this map describes.
@@ -397,6 +522,45 @@ mod tests {
             RemGrid::generate_with(&model, &layout, volume, 0.3, mac, ExecPolicy::Parallel)
                 .unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn batched_and_per_voxel_grids_are_identical() {
+        let (model, layout, volume) = fitted_world();
+        let mac = MacAddress::from_index(1);
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+            let batched =
+                RemGrid::generate_with(&model, &layout, volume, 0.3, mac, policy).unwrap();
+            let per_voxel =
+                RemGrid::generate_per_voxel_with(&model, &layout, volume, 0.3, mac, policy)
+                    .unwrap();
+            assert_eq!(batched, per_voxel, "{policy}");
+        }
+    }
+
+    #[test]
+    fn instrumented_generation_records_stage_throughput() {
+        let (model, layout, volume) = fitted_world();
+        let mac = MacAddress::from_index(1);
+        let mut inst = crate::instrument::Instrumentation::new();
+        let grid = RemGrid::generate_instrumented(
+            &model,
+            &layout,
+            volume,
+            0.4,
+            mac,
+            ExecPolicy::Serial,
+            &mut inst,
+        )
+        .unwrap();
+        let plain =
+            RemGrid::generate_with(&model, &layout, volume, 0.4, mac, ExecPolicy::Serial).unwrap();
+        assert_eq!(grid, plain, "instrumentation must not change the map");
+        assert!(inst.stage("rem_encode").is_some());
+        assert!(inst.stage("rem_predict").is_some());
+        assert_eq!(inst.counter("rem_encode_rows"), Some(grid.len() as u64));
+        assert_eq!(inst.counter("rem_predict_rows"), Some(grid.len() as u64));
+        assert!(inst.throughput("rem_predict", "rem_predict_rows").is_some());
     }
 
     #[test]

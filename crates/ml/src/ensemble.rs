@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use crate::knn::{KnnRegressor, Weighting};
-use crate::{validate_xy, MlError, Regressor};
+use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
 
 /// One kNN model per group (per MAC), trained on the non-group features
 /// only. Groups never seen in training fall back to the global mean.
@@ -162,6 +162,39 @@ impl Regressor for PerGroupKnn {
             None => Ok(global),
         }
     }
+
+    fn predict_batch(&self, xs: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
+        let global = self.global_mean.ok_or(MlError::NotFitted)?;
+        if xs.dim() != self.dim {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dim,
+                found: xs.dim(),
+            });
+        }
+        let stripped_dim = self.dim - self.group_range.len();
+        // Bucket row indices by group, then delegate each group's stripped
+        // rows to its submodel in one batched call and scatter the results
+        // back into input order.
+        let mut buckets: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (ri, row) in xs.iter().enumerate() {
+            buckets.entry(self.group_of(row)).or_default().push(ri);
+        }
+        let mut out = vec![global; xs.rows()];
+        for (g, rows) in buckets {
+            let Some(model) = self.models.get(&g) else {
+                continue; // unseen group: rows keep the global mean
+            };
+            let mut sub = FeatureMatrix::with_capacity(stripped_dim, rows.len());
+            for &ri in &rows {
+                sub.push_row(&self.strip_group(xs.row(ri)));
+            }
+            let preds = model.predict_batch(&sub)?;
+            for (&ri, p) in rows.iter().zip(preds) {
+                out[ri] = p;
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +266,31 @@ mod tests {
             m.predict_one(&[1.0]),
             Err(MlError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_one_bits() {
+        let (x, y) = two_group_data();
+        // Add a third, never-trained group column so the batch path also
+        // exercises the global-mean fallback.
+        let x3: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0], r[1], r[2], 0.0]).collect();
+        let mut m = PerGroupKnn::new(1..4, 2, Weighting::Distance, 2.0).unwrap();
+        m.fit(&x3, &y).unwrap();
+        let queries: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                let c = i as f64 * 0.27;
+                match i % 3 {
+                    0 => vec![c, 1.0, 0.0, 0.0],
+                    1 => vec![c, 0.0, 1.0, 0.0],
+                    _ => vec![c, 0.0, 0.0, 1.0], // unseen group
+                }
+            })
+            .collect();
+        let fm = FeatureMatrix::from_rows(&queries).unwrap();
+        let batch = m.predict_batch(&fm).unwrap();
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(m.predict_one(q).unwrap(), *b);
+        }
     }
 
     #[test]

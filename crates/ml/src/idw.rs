@@ -4,10 +4,15 @@
 //! interpolator the REM literature uses — included as an extension and as
 //! an ablation baseline for the Figure-8 bench (see `DESIGN.md` §6).
 
-use crate::{validate_xy, MlError, Regressor};
+use crate::kdtree::top_k_from_candidates;
+use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
+use aerorem_numerics::kernels::sq_euclidean;
 
 /// Shepard interpolation: `ŷ(q) = Σ wᵢ yᵢ / Σ wᵢ` with `wᵢ = 1/dᵢᵖ`,
 /// optionally restricted to the `max_neighbors` nearest samples.
+///
+/// The fitted samples are stored in one flat [`FeatureMatrix`]; the batched
+/// prediction path reuses its distance and neighbour buffers across queries.
 ///
 /// # Examples
 ///
@@ -28,9 +33,8 @@ use crate::{validate_xy, MlError, Regressor};
 pub struct IdwInterpolator {
     power: f64,
     max_neighbors: Option<usize>,
-    x: Vec<Vec<f64>>,
+    x: Option<FeatureMatrix>,
     y: Vec<f64>,
-    dim: Option<usize>,
 }
 
 impl IdwInterpolator {
@@ -57,60 +61,80 @@ impl IdwInterpolator {
         Ok(IdwInterpolator {
             power,
             max_neighbors,
-            x: Vec::new(),
+            x: None,
             y: Vec::new(),
-            dim: None,
         })
     }
-}
 
-impl Regressor for IdwInterpolator {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
-        let dim = validate_xy(x, y)?;
-        self.x = x.to_vec();
-        self.y = y.to_vec();
-        self.dim = Some(dim);
-        Ok(())
-    }
-
-    fn predict_one(&self, q: &[f64]) -> Result<f64, MlError> {
-        let dim = self.dim.ok_or(MlError::NotFitted)?;
-        if q.len() != dim {
+    /// Shared prediction core: both the per-item and batched paths run this
+    /// exact code, so they agree bit-for-bit. `dists` and `nn` are reusable
+    /// scratch buffers.
+    fn predict_with_scratch(
+        &self,
+        q: &[f64],
+        dists: &mut Vec<(usize, f64)>,
+        nn: &mut Vec<(usize, f64)>,
+    ) -> Result<f64, MlError> {
+        let x = self.x.as_ref().ok_or(MlError::NotFitted)?;
+        if q.len() != x.dim() {
             return Err(MlError::DimensionMismatch {
-                expected: dim,
+                expected: x.dim(),
                 found: q.len(),
             });
         }
-        let mut dists: Vec<(usize, f64)> = self
-            .x
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let d2: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
-                (i, d2.sqrt())
-            })
-            .collect();
-        if let Some(cap) = self.max_neighbors {
-            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
-            dists.truncate(cap);
-        }
+        dists.clear();
+        dists.extend(
+            x.iter()
+                .enumerate()
+                .map(|(i, p)| (i, sq_euclidean(p, q).sqrt())),
+        );
+        let active: &[(usize, f64)] = if let Some(cap) = self.max_neighbors {
+            top_k_from_candidates(dists, cap, nn);
+            nn
+        } else {
+            dists
+        };
         // Exact hits dominate.
-        let exact: Vec<usize> = dists
-            .iter()
-            .filter(|&&(_, d)| d == 0.0)
-            .map(|&(i, _)| i)
-            .collect();
-        if !exact.is_empty() {
-            return Ok(exact.iter().map(|&i| self.y[i]).sum::<f64>() / exact.len() as f64);
+        let mut exact_sum = 0.0;
+        let mut exact_n = 0usize;
+        for &(i, d) in active {
+            if d == 0.0 {
+                exact_sum += self.y[i];
+                exact_n += 1;
+            }
+        }
+        if exact_n > 0 {
+            return Ok(exact_sum / exact_n as f64);
         }
         let mut num = 0.0;
         let mut den = 0.0;
-        for &(i, d) in &dists {
+        for &(i, d) in active {
             let w = d.powf(-self.power);
             num += w * self.y[i];
             den += w;
         }
         Ok(num / den)
+    }
+}
+
+impl Regressor for IdwInterpolator {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        validate_xy(x, y)?;
+        self.x = Some(FeatureMatrix::from_rows(x).expect("validated rows"));
+        self.y = y.to_vec();
+        Ok(())
+    }
+
+    fn predict_one(&self, q: &[f64]) -> Result<f64, MlError> {
+        self.predict_with_scratch(q, &mut Vec::new(), &mut Vec::new())
+    }
+
+    fn predict_batch(&self, xs: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
+        let mut dists = Vec::new();
+        let mut nn = Vec::new();
+        xs.iter()
+            .map(|q| self.predict_with_scratch(q, &mut dists, &mut nn))
+            .collect()
     }
 }
 
@@ -163,6 +187,26 @@ mod tests {
         // The far outlier is excluded entirely.
         let p = capped.predict_one(&[0.5]).unwrap();
         assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_one_bits() {
+        for cap in [None, Some(3)] {
+            let mut idw = IdwInterpolator::new(2.0, cap).unwrap();
+            let x: Vec<Vec<f64>> = (0..25)
+                .map(|i| vec![(i % 5) as f64 * 0.8, (i / 5) as f64 * 1.1])
+                .collect();
+            let y: Vec<f64> = (0..25).map(|i| -60.0 - (i % 9) as f64).collect();
+            idw.fit(&x, &y).unwrap();
+            let queries: Vec<Vec<f64>> = (0..15)
+                .map(|i| vec![i as f64 * 0.37, 4.0 - i as f64 * 0.21])
+                .collect();
+            let fm = FeatureMatrix::from_rows(&queries).unwrap();
+            let batch = idw.predict_batch(&fm).unwrap();
+            for (q, b) in queries.iter().zip(&batch) {
+                assert_eq!(idw.predict_one(q).unwrap(), *b, "cap {cap:?}");
+            }
+        }
     }
 
     #[test]

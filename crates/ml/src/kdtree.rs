@@ -1,13 +1,28 @@
-//! A KD-tree for k-nearest-neighbour queries in low dimensions.
+//! A flattened arena KD-tree for k-nearest-neighbour queries in low
+//! dimensions.
 //!
 //! The paper's kNN feature space mixes 3 spatial coordinates with ~80
 //! one-hot dimensions, where KD-trees degrade to brute force — so
 //! [`crate::knn::KnnRegressor`] picks its backend by dimensionality, and the
 //! `knn_backends` bench quantifies the crossover. This tree is exact: it
 //! returns the same neighbours as brute force.
+//!
+//! # Layout
+//!
+//! Points live in one flat row-major `Vec<f64>` and nodes in one pre-order
+//! `Vec` of 16-byte [`ArenaNode`]s addressed by `u32` index (no `Box`
+//! pointer chasing): a node's near subtree is adjacent in memory, so a
+//! descent touches a contiguous prefix of the arena. All distances go
+//! through the shared [`aerorem_numerics::kernels::sq_euclidean`] kernel so
+//! tree, brute-force, per-item, and batched paths agree bit-for-bit.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+use aerorem_numerics::kernels::sq_euclidean;
+
+/// Sentinel child index meaning "no child".
+const NO_NODE: u32 = u32::MAX;
 
 /// A (squared-distance, index) candidate in the bounded max-heap.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,16 +48,25 @@ impl Ord for Candidate {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Node {
-    /// Index into the point set.
-    point: usize,
-    axis: usize,
-    left: Option<Box<Node>>,
-    right: Option<Box<Node>>,
+/// One implicit-array tree node: a point index, a split axis, and two child
+/// slots ([`NO_NODE`] when absent).
+#[derive(Debug, Clone, Copy)]
+struct ArenaNode {
+    point: u32,
+    axis: u32,
+    left: u32,
+    right: u32,
 }
 
-/// An exact KD-tree over owned points.
+/// Reusable per-query search state for [`KdTree::nearest_into`], letting the
+/// batched prediction path run thousands of queries without reallocating the
+/// candidate heap.
+#[derive(Debug, Default, Clone)]
+pub struct NeighborScratch {
+    heap: BinaryHeap<Candidate>,
+}
+
+/// An exact KD-tree over owned points in a flat arena.
 ///
 /// # Examples
 ///
@@ -56,8 +80,10 @@ struct Node {
 /// ```
 #[derive(Debug, Clone)]
 pub struct KdTree {
-    points: Vec<Vec<f64>>,
-    root: Option<Box<Node>>,
+    /// Flat row-major point storage, `len() * dim` values, original order.
+    data: Vec<f64>,
+    nodes: Vec<ArenaNode>,
+    root: u32,
     dim: usize,
 }
 
@@ -69,24 +95,63 @@ impl KdTree {
         if dim == 0 || points.iter().any(|p| p.len() != dim) {
             return None;
         }
-        let mut indices: Vec<usize> = (0..points.len()).collect();
-        let root = build_node(&points, &mut indices, 0, dim);
-        Some(KdTree { points, root, dim })
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in &points {
+            data.extend_from_slice(p);
+        }
+        Self::build_flat(data, dim)
+    }
+
+    /// Builds a tree directly from flat row-major storage, which the tree
+    /// then owns (the single copy of the training set for the kNN tree
+    /// backend). Returns `None` for empty data, `dim == 0`, a length that is
+    /// not a multiple of `dim`, or more than `u32::MAX - 1` points.
+    pub fn build_flat(data: Vec<f64>, dim: usize) -> Option<Self> {
+        if dim == 0 || data.is_empty() || !data.len().is_multiple_of(dim) {
+            return None;
+        }
+        let n = data.len() / dim;
+        if n >= NO_NODE as usize {
+            return None;
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut nodes = Vec::with_capacity(n);
+        let root = build_arena(&data, dim, &mut indices, 0, &mut nodes);
+        Some(KdTree {
+            data,
+            nodes,
+            root,
+            dim,
+        })
     }
 
     /// Number of points in the tree.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.data.len() / self.dim
     }
 
     /// Whether the tree is empty (never true for built trees).
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.data.is_empty()
     }
 
     /// The point dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Zero-copy view of point `i` (original insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat row-major point storage, in original insertion order.
+    pub fn points_flat(&self) -> &[f64] {
+        &self.data
     }
 
     /// Returns the `k` nearest points to `query` as `(index, distance)`
@@ -96,51 +161,65 @@ impl KdTree {
     ///
     /// Panics if `query.len() != self.dim()`.
     pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
-        assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        if k == 0 {
-            return Vec::new();
-        }
-        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-        self.search(self.root.as_deref(), query, k, &mut heap);
-        let mut out: Vec<(usize, f64)> = heap
-            .into_sorted_vec()
-            .into_iter()
-            .map(|c| (c.index, c.dist2.sqrt()))
-            .collect();
-        // into_sorted_vec is ascending by our Ord (nearest first).
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        let mut scratch = NeighborScratch::default();
+        let mut out = Vec::new();
+        self.nearest_into(query, k, &mut scratch, &mut out);
         out
     }
 
-    fn search(
+    /// Allocation-free variant of [`KdTree::nearest`]: the candidate heap
+    /// lives in `scratch` and results replace the contents of `out`, so a
+    /// batched caller reuses both across queries. Produces exactly the same
+    /// results as [`KdTree::nearest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.dim()`.
+    pub fn nearest_into(
         &self,
-        node: Option<&Node>,
         query: &[f64],
         k: usize,
-        heap: &mut BinaryHeap<Candidate>,
+        scratch: &mut NeighborScratch,
+        out: &mut Vec<(usize, f64)>,
     ) {
-        let Some(node) = node else { return };
-        let p = &self.points[node.point];
-        let dist2 = sq_dist(p, query);
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        scratch.heap.clear();
+        self.search(self.root, query, k, &mut scratch.heap);
+        out.extend(
+            scratch
+                .heap
+                .drain()
+                .map(|c| (c.index, c.dist2.sqrt())),
+        );
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    }
+
+    fn search(&self, node: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<Candidate>) {
+        if node == NO_NODE {
+            return;
+        }
+        let n = self.nodes[node as usize];
+        let point = n.point as usize;
+        let p = self.point(point);
+        let dist2 = sq_euclidean(p, query);
         if heap.len() < k {
-            heap.push(Candidate {
-                dist2,
-                index: node.point,
-            });
+            heap.push(Candidate { dist2, index: point });
         } else if let Some(worst) = heap.peek() {
             if dist2 < worst.dist2 {
                 heap.pop();
-                heap.push(Candidate {
-                    dist2,
-                    index: node.point,
-                });
+                heap.push(Candidate { dist2, index: point });
             }
         }
-        let delta = query[node.axis] - p[node.axis];
+        let axis = n.axis as usize;
+        let delta = query[axis] - p[axis];
         let (near, far) = if delta < 0.0 {
-            (node.left.as_deref(), node.right.as_deref())
+            (n.left, n.right)
         } else {
-            (node.right.as_deref(), node.left.as_deref())
+            (n.right, n.left)
         };
         self.search(near, query, k, heap);
         // Prune the far side unless the splitting plane is within the
@@ -152,48 +231,122 @@ impl KdTree {
     }
 }
 
-fn build_node(
-    points: &[Vec<f64>],
+/// Recursive arena build: stable-sorts the index slice along the depth's
+/// axis, takes the upper median as the node, and recurses. Identical
+/// structure to the old pointer-based build (same stable sort, same median),
+/// just stored pre-order in a flat `Vec`.
+fn build_arena(
+    data: &[f64],
+    dim: usize,
     indices: &mut [usize],
     depth: usize,
-    dim: usize,
-) -> Option<Box<Node>> {
+    nodes: &mut Vec<ArenaNode>,
+) -> u32 {
     if indices.is_empty() {
-        return None;
+        return NO_NODE;
     }
     let axis = depth % dim;
     indices.sort_by(|&a, &b| {
-        points[a][axis]
-            .partial_cmp(&points[b][axis])
+        data[a * dim + axis]
+            .partial_cmp(&data[b * dim + axis])
             .expect("finite coordinates")
     });
     let mid = indices.len() / 2;
     let point = indices[mid];
-    let (left, rest) = indices.split_at_mut(mid);
-    let right = &mut rest[1..];
-    Some(Box::new(Node {
-        point,
-        axis,
-        left: build_node(points, left, depth + 1, dim),
-        right: build_node(points, right, depth + 1, dim),
-    }))
+    let id = nodes.len();
+    nodes.push(ArenaNode {
+        point: point as u32,
+        axis: axis as u32,
+        left: NO_NODE,
+        right: NO_NODE,
+    });
+    let (left_slice, rest) = indices.split_at_mut(mid);
+    let left = build_arena(data, dim, left_slice, depth + 1, nodes);
+    let right = build_arena(data, dim, &mut rest[1..], depth + 1, nodes);
+    nodes[id].left = left;
+    nodes[id].right = right;
+    id as u32
 }
 
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-}
-
-/// Brute-force exact k-nearest-neighbour reference, used as the fallback
-/// backend in high dimensions and as the test oracle.
+/// Brute-force exact k-nearest-neighbour reference, used as the test oracle.
 pub fn brute_force_nearest(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<(usize, f64)> {
     let mut all: Vec<(usize, f64)> = points
         .iter()
         .enumerate()
-        .map(|(i, p)| (i, sq_dist(p, query).sqrt()))
+        .map(|(i, p)| (i, sq_euclidean(p, query).sqrt()))
         .collect();
     all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
     all.truncate(k);
     all
+}
+
+/// Brute-force exact k-nearest-neighbour over flat row-major points: full
+/// sort of all `(index, distance)` pairs by `(distance, index)`, truncated to
+/// `k`. The per-item brute-force backend.
+pub fn brute_force_nearest_flat(
+    data: &[f64],
+    dim: usize,
+    query: &[f64],
+    k: usize,
+) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = data
+        .chunks_exact(dim)
+        .enumerate()
+        .map(|(i, p)| (i, sq_euclidean(p, query).sqrt()))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Allocation-free top-`k` selection over flat row-major points, replacing
+/// the contents of `out` with the `k` nearest `(index, distance)` pairs,
+/// nearest first. `cand` is a reusable scratch buffer.
+///
+/// Uses `select_nth_unstable_by` (O(n)) instead of a full sort, then sorts
+/// only the `k`-prefix. Because `(distance, index)` is a total order, the set
+/// of `k` smallest pairs is unique, so this returns **exactly** the same
+/// pairs as [`brute_force_nearest_flat`] — the batched fast path is
+/// bit-identical to the per-item reference.
+pub fn brute_force_topk_into(
+    data: &[f64],
+    dim: usize,
+    query: &[f64],
+    k: usize,
+    cand: &mut Vec<(usize, f64)>,
+    out: &mut Vec<(usize, f64)>,
+) {
+    cand.clear();
+    cand.extend(
+        data.chunks_exact(dim)
+            .enumerate()
+            .map(|(i, p)| (i, sq_euclidean(p, query).sqrt())),
+    );
+    top_k_from_candidates(cand, k, out);
+}
+
+/// Shared tail of the top-`k` selection: partition `cand` so its first `k`
+/// entries are the smallest under `(distance, index)`, then sort that prefix
+/// into `out`.
+pub(crate) fn top_k_from_candidates(
+    cand: &mut [(usize, f64)],
+    k: usize,
+    out: &mut Vec<(usize, f64)>,
+) {
+    out.clear();
+    let k = k.min(cand.len());
+    if k == 0 {
+        return;
+    }
+    let cmp = |a: &(usize, f64), b: &(usize, f64)| {
+        a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0))
+    };
+    if k < cand.len() {
+        cand.select_nth_unstable_by(k - 1, cmp);
+    }
+    let head = &mut cand[..k];
+    head.sort_by(cmp);
+    out.extend_from_slice(head);
 }
 
 #[cfg(test)]
@@ -207,6 +360,9 @@ mod tests {
         assert!(KdTree::build(vec![]).is_none());
         assert!(KdTree::build(vec![vec![]]).is_none());
         assert!(KdTree::build(vec![vec![1.0], vec![1.0, 2.0]]).is_none());
+        assert!(KdTree::build_flat(vec![], 2).is_none());
+        assert!(KdTree::build_flat(vec![1.0, 2.0, 3.0], 2).is_none());
+        assert!(KdTree::build_flat(vec![1.0], 0).is_none());
     }
 
     #[test]
@@ -215,6 +371,7 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
         assert_eq!(t.dim(), 3);
+        assert_eq!(t.point(0), &[1.0, 2.0, 3.0]);
         let nn = t.nearest(&[0.0, 0.0, 0.0], 5);
         assert_eq!(nn.len(), 1);
         assert_eq!(nn[0].0, 0);
@@ -245,6 +402,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn arena_tree_identical_to_brute_force() {
+        // Stronger than distance tolerance: the arena tree must return the
+        // exact same (index, distance) pairs, bit for bit.
+        let mut rng = StdRng::seed_from_u64(0xA7E4A);
+        for dim in [1, 2, 3, 5, 8] {
+            let points: Vec<Vec<f64>> = (0..300)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let tree = KdTree::build(points.clone()).unwrap();
+            for _ in 0..20 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
+                for k in [1, 4, 16, 300] {
+                    assert_eq!(
+                        tree.nearest(&q, k),
+                        brute_force_nearest(&points, &q, k),
+                        "dim={dim} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_select_identical_to_full_sort() {
+        let mut rng = StdRng::seed_from_u64(0x0709);
+        let dim = 5;
+        let data: Vec<f64> = (0..250 * dim).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let mut cand = Vec::new();
+        let mut out = Vec::new();
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            for k in [0, 1, 7, 16, 249, 250, 400] {
+                brute_force_topk_into(&data, dim, &q, k, &mut cand, &mut out);
+                assert_eq!(out, brute_force_nearest_flat(&data, dim, &q, k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_into_reuses_buffers() {
+        let t = KdTree::build(vec![vec![0.0], vec![5.0], vec![2.0]]).unwrap();
+        let mut scratch = NeighborScratch::default();
+        let mut out = Vec::new();
+        t.nearest_into(&[4.9], 2, &mut scratch, &mut out);
+        assert_eq!(out, t.nearest(&[4.9], 2));
+        t.nearest_into(&[0.1], 1, &mut scratch, &mut out);
+        assert_eq!(out, t.nearest(&[0.1], 1));
     }
 
     #[test]

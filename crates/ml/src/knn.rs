@@ -7,9 +7,18 @@
 //! setting the `n_neighbors` parameter to 16" performed best overall. All
 //! of those knobs exist here; the ×3 trick is the
 //! [`KnnRegressor::with_feature_scaling`] hook.
+//!
+//! The fitted training set is stored exactly once, as flat row-major
+//! storage: the arena [`KdTree`] owns it on the tree backend, and the
+//! brute-force backend keeps the same flat layout directly — there is no
+//! `Vec<Vec<f64>>` copy alongside the tree.
 
-use crate::kdtree::{brute_force_nearest, KdTree};
-use crate::{validate_xy, MlError, Regressor};
+use crate::kdtree::{
+    brute_force_nearest_flat, brute_force_topk_into, top_k_from_candidates, KdTree,
+    NeighborScratch,
+};
+use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
+use aerorem_numerics::kernels::sq_euclidean;
 
 /// Neighbour weighting scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,6 +33,19 @@ pub enum Weighting {
 /// Above this dimensionality the KD-tree backend loses to brute force and
 /// the regressor switches automatically (see the `knn_backends` bench).
 const KDTREE_MAX_DIM: usize = 8;
+
+/// Fitted neighbour-search backend. Either variant is the sole owner of the
+/// (scaled) training features, in flat row-major form.
+#[derive(Debug, Clone)]
+enum Fitted {
+    /// Arena KD-tree for low-dimensional Euclidean search; owns the points.
+    Tree(KdTree),
+    /// Flat row-major training rows scanned exhaustively.
+    Brute {
+        /// `rows × dim` scaled feature values.
+        data: Vec<f64>,
+    },
+}
 
 /// A kNN regressor with Minkowski metric.
 ///
@@ -49,9 +71,8 @@ pub struct KnnRegressor {
     minkowski_p: f64,
     feature_scale: Option<Vec<f64>>,
     // Fitted state.
-    x: Vec<Vec<f64>>,
     y: Vec<f64>,
-    tree: Option<KdTree>,
+    fitted: Option<Fitted>,
     dim: Option<usize>,
 }
 
@@ -80,9 +101,8 @@ impl KnnRegressor {
             weighting,
             minkowski_p,
             feature_scale: None,
-            x: Vec::new(),
             y: Vec::new(),
-            tree: None,
+            fitted: None,
             dim: None,
         })
     }
@@ -119,25 +139,27 @@ impl KnnRegressor {
 
     /// Whether the fitted model is using the KD-tree backend.
     pub fn uses_kdtree(&self) -> bool {
-        self.tree.is_some()
+        matches!(self.fitted, Some(Fitted::Tree(_)))
     }
 
-    fn scaled(&self, row: &[f64]) -> Vec<f64> {
+    fn is_euclidean(&self) -> bool {
+        (self.minkowski_p - 2.0).abs() < 1e-12
+    }
+
+    /// Applies the optional per-feature scale, writing into a reusable
+    /// buffer.
+    fn scale_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
         match &self.feature_scale {
-            Some(s) => row.iter().zip(s).map(|(v, w)| v * w).collect(),
-            None => row.to_vec(),
+            Some(s) => out.extend(row.iter().zip(s).map(|(v, w)| v * w)),
+            None => out.extend_from_slice(row),
         }
     }
 
     fn minkowski(&self, a: &[f64], b: &[f64]) -> f64 {
         let p = self.minkowski_p;
         if (p - 2.0).abs() < 1e-12 {
-            return a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt();
+            return sq_euclidean(a, b).sqrt();
         }
         a.iter()
             .zip(b)
@@ -148,21 +170,67 @@ impl KnnRegressor {
 
     /// Finds the k nearest fitted rows to the (already scaled) query.
     fn neighbours(&self, query: &[f64]) -> Vec<(usize, f64)> {
-        if let Some(tree) = &self.tree {
-            tree.nearest(query, self.k)
-        } else if (self.minkowski_p - 2.0).abs() < 1e-12 {
-            brute_force_nearest(&self.x, query, self.k)
-        } else {
-            let mut all: Vec<(usize, f64)> = self
-                .x
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (i, self.minkowski(p, query)))
-                .collect();
-            all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
-            all.truncate(self.k);
-            all
+        match self.fitted.as_ref().expect("checked by callers") {
+            Fitted::Tree(tree) => tree.nearest(query, self.k),
+            Fitted::Brute { data } => {
+                if self.is_euclidean() {
+                    brute_force_nearest_flat(data, query.len(), query, self.k)
+                } else {
+                    let mut all: Vec<(usize, f64)> = data
+                        .chunks_exact(query.len())
+                        .enumerate()
+                        .map(|(i, p)| (i, self.minkowski(p, query)))
+                        .collect();
+                    all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+                    all.truncate(self.k);
+                    all
+                }
+            }
         }
+    }
+
+    /// Combines the neighbour targets under the configured weighting. Shared
+    /// by the per-item and batched paths so both aggregate in the same order.
+    fn aggregate(&self, nn: &[(usize, f64)]) -> f64 {
+        debug_assert!(!nn.is_empty(), "fitted set is non-empty");
+        match self.weighting {
+            Weighting::Uniform => {
+                nn.iter().map(|&(i, _)| self.y[i]).sum::<f64>() / nn.len() as f64
+            }
+            Weighting::Distance => {
+                // Exact matches dominate (scikit-learn semantics).
+                let mut exact_sum = 0.0;
+                let mut exact_n = 0usize;
+                for &(i, d) in nn {
+                    if d == 0.0 {
+                        exact_sum += self.y[i];
+                        exact_n += 1;
+                    }
+                }
+                if exact_n > 0 {
+                    return exact_sum / exact_n as f64;
+                }
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &(i, d) in nn {
+                    let w = 1.0 / d;
+                    num += w * self.y[i];
+                    den += w;
+                }
+                num / den
+            }
+        }
+    }
+
+    fn check_dim(&self, found: usize) -> Result<usize, MlError> {
+        let dim = self.dim.ok_or(MlError::NotFitted)?;
+        if found != dim {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                found,
+            });
+        }
+        Ok(dim)
     }
 }
 
@@ -177,56 +245,71 @@ impl Regressor for KnnRegressor {
                 });
             }
         }
-        self.x = x.iter().map(|r| self.scaled(r)).collect();
+        // Single flat copy of the (scaled) training set; whichever backend
+        // is chosen takes ownership of it.
+        let mut flat = Vec::with_capacity(x.len() * dim);
+        match &self.feature_scale {
+            Some(s) => {
+                for row in x {
+                    flat.extend(row.iter().zip(s).map(|(v, w)| v * w));
+                }
+            }
+            None => {
+                for row in x {
+                    flat.extend_from_slice(row);
+                }
+            }
+        }
         self.y = y.to_vec();
         self.dim = Some(dim);
         // The KD-tree only accelerates the Euclidean metric in low
         // dimensions; otherwise stick to brute force.
-        self.tree = if dim <= KDTREE_MAX_DIM && (self.minkowski_p - 2.0).abs() < 1e-12 {
-            KdTree::build(self.x.clone())
+        self.fitted = Some(if dim <= KDTREE_MAX_DIM && self.is_euclidean() {
+            Fitted::Tree(KdTree::build_flat(flat, dim).expect("validated non-empty training set"))
         } else {
-            None
-        };
+            Fitted::Brute { data: flat }
+        });
         Ok(())
     }
 
     fn predict_one(&self, x: &[f64]) -> Result<f64, MlError> {
-        let dim = self.dim.ok_or(MlError::NotFitted)?;
-        if x.len() != dim {
-            return Err(MlError::DimensionMismatch {
-                expected: dim,
-                found: x.len(),
-            });
-        }
-        let query = self.scaled(x);
+        self.check_dim(x.len())?;
+        let mut query = Vec::with_capacity(x.len());
+        self.scale_into(x, &mut query);
         let nn = self.neighbours(&query);
-        debug_assert!(!nn.is_empty(), "fitted set is non-empty");
-        match self.weighting {
-            Weighting::Uniform => {
-                Ok(nn.iter().map(|&(i, _)| self.y[i]).sum::<f64>() / nn.len() as f64)
-            }
-            Weighting::Distance => {
-                // Exact matches dominate (scikit-learn semantics).
-                let exact: Vec<usize> = nn
-                    .iter()
-                    .filter(|&&(_, d)| d == 0.0)
-                    .map(|&(i, _)| i)
-                    .collect();
-                if !exact.is_empty() {
-                    return Ok(
-                        exact.iter().map(|&i| self.y[i]).sum::<f64>() / exact.len() as f64
-                    );
+        Ok(self.aggregate(&nn))
+    }
+
+    fn predict_batch(&self, xs: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
+        let dim = self.check_dim(xs.dim())?;
+        let fitted = self.fitted.as_ref().ok_or(MlError::NotFitted)?;
+        let mut out = Vec::with_capacity(xs.rows());
+        // All per-query state is hoisted out of the loop and reused.
+        let mut query: Vec<f64> = Vec::with_capacity(dim);
+        let mut scratch = NeighborScratch::default();
+        let mut cand: Vec<(usize, f64)> = Vec::new();
+        let mut nn: Vec<(usize, f64)> = Vec::new();
+        for row in xs.iter() {
+            self.scale_into(row, &mut query);
+            match fitted {
+                Fitted::Tree(tree) => tree.nearest_into(&query, self.k, &mut scratch, &mut nn),
+                Fitted::Brute { data } => {
+                    if self.is_euclidean() {
+                        brute_force_topk_into(data, dim, &query, self.k, &mut cand, &mut nn);
+                    } else {
+                        cand.clear();
+                        cand.extend(
+                            data.chunks_exact(dim)
+                                .enumerate()
+                                .map(|(i, p)| (i, self.minkowski(p, &query))),
+                        );
+                        top_k_from_candidates(&mut cand, self.k, &mut nn);
+                    }
                 }
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for &(i, d) in &nn {
-                    let w = 1.0 / d;
-                    num += w * self.y[i];
-                    den += w;
-                }
-                Ok(num / den)
             }
+            out.push(self.aggregate(&nn));
         }
+        Ok(out)
     }
 }
 
@@ -419,6 +502,40 @@ mod tests {
         // weighting.
         for (p, t) in preds.iter().zip(&y) {
             assert!((p - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_one_bits() {
+        // Both backends: 1-D (tree) and a scaled 10-D (brute force).
+        let (x, y) = line_data();
+        let mut tree = KnnRegressor::paper_tuned();
+        tree.fit(&x, &y).unwrap();
+        assert!(tree.uses_kdtree());
+        let queries: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.31 - 2.0]).collect();
+        let fm = FeatureMatrix::from_rows(&queries).unwrap();
+        let batch = tree.predict_batch(&fm).unwrap();
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(tree.predict_one(q).unwrap(), *b);
+        }
+
+        let x10: Vec<Vec<f64>> = (0..60)
+            .map(|i| (0..10).map(|j| ((i * 7 + j * 3) % 11) as f64 * 0.4).collect())
+            .collect();
+        let y10: Vec<f64> = (0..60).map(|i| -50.0 - i as f64).collect();
+        let mut brute = KnnRegressor::new(5, Weighting::Distance, 2.0)
+            .unwrap()
+            .with_feature_scaling((0..10).map(|j| 1.0 + j as f64 * 0.1).collect())
+            .unwrap();
+        brute.fit(&x10, &y10).unwrap();
+        assert!(!brute.uses_kdtree());
+        let queries: Vec<Vec<f64>> = (0..25)
+            .map(|i| (0..10).map(|j| ((i + j) % 9) as f64 * 0.7).collect())
+            .collect();
+        let fm = FeatureMatrix::from_rows(&queries).unwrap();
+        let batch = brute.predict_batch(&fm).unwrap();
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(brute.predict_one(q).unwrap(), *b);
         }
     }
 }

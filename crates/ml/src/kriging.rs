@@ -12,10 +12,11 @@
 //! kriging system over the nearest neighbours with the Lagrange multiplier
 //! enforcing unbiasedness.
 
+use aerorem_numerics::kernels::sq_euclidean;
 use aerorem_numerics::Matrix;
 
-use crate::kdtree::brute_force_nearest;
-use crate::{validate_xy, MlError, Regressor};
+use crate::kdtree::brute_force_topk_into;
+use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
 
 /// Parametric semivariogram families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -224,9 +225,20 @@ impl Default for KrigingConfig {
 pub struct OrdinaryKriging {
     config: KrigingConfig,
     variogram: Option<Variogram>,
-    x: Vec<Vec<f64>>,
+    x: Option<FeatureMatrix>,
     y: Vec<f64>,
-    dim: Option<usize>,
+}
+
+/// Reusable per-query buffers for the kriging solve: neighbour candidates,
+/// the selected neighbours, the `(n+1)×(n+1)` system matrix, and its RHS.
+/// The batched prediction path keeps one of these across all queries, so the
+/// system matrix is allocated once instead of once per voxel.
+#[derive(Debug, Default, Clone)]
+struct KrigingScratch {
+    cand: Vec<(usize, f64)>,
+    nn: Vec<(usize, f64)>,
+    a: Option<Matrix>,
+    b: Vec<f64>,
 }
 
 impl OrdinaryKriging {
@@ -235,9 +247,8 @@ impl OrdinaryKriging {
         OrdinaryKriging {
             config,
             variogram: None,
-            x: Vec::new(),
+            x: None,
             y: Vec::new(),
-            dim: None,
         }
     }
 
@@ -258,31 +269,50 @@ impl OrdinaryKriging {
     ///
     /// Same error conditions as [`Regressor::predict_one`].
     pub fn predict_with_variance(&self, q: &[f64]) -> Result<(f64, f64), MlError> {
-        let dim = self.dim.ok_or(MlError::NotFitted)?;
+        self.predict_with_variance_scratch(q, &mut KrigingScratch::default())
+    }
+
+    /// Shared prediction core: both the per-item and batched paths run this
+    /// exact code, so they agree bit-for-bit. The scratch carries the
+    /// neighbour buffers, the `(n+1)×(n+1)` system matrix, and its RHS.
+    fn predict_with_variance_scratch(
+        &self,
+        q: &[f64],
+        scratch: &mut KrigingScratch,
+    ) -> Result<(f64, f64), MlError> {
+        let x = self.x.as_ref().ok_or(MlError::NotFitted)?;
         let vgram = self.variogram.ok_or(MlError::NotFitted)?;
-        if q.len() != dim {
+        if q.len() != x.dim() {
             return Err(MlError::DimensionMismatch {
-                expected: dim,
+                expected: x.dim(),
                 found: q.len(),
             });
         }
-        let nn = brute_force_nearest(&self.x, q, self.config.max_neighbors);
+        let KrigingScratch { cand, nn, a, b } = scratch;
+        brute_force_topk_into(
+            x.as_slice(),
+            x.dim(),
+            q,
+            self.config.max_neighbors,
+            cand,
+            nn,
+        );
         if let Some(&(i, d)) = nn.first() {
             if d < 1e-12 {
                 return Ok((self.y[i], 0.0));
             }
         }
         let n = nn.len();
-        let mut a = Matrix::zeros(n + 1, n + 1);
-        let mut b = vec![0.0; n + 1];
+        match a.as_mut() {
+            Some(m) if m.rows() == n + 1 => m.fill(0.0),
+            _ => *a = Some(Matrix::zeros(n + 1, n + 1)),
+        }
+        let a = a.as_mut().expect("system matrix initialized above");
+        b.clear();
+        b.resize(n + 1, 0.0);
         for (ri, &(i, _)) in nn.iter().enumerate() {
             for (rj, &(j, _)) in nn.iter().enumerate() {
-                let h: f64 = self.x[i]
-                    .iter()
-                    .zip(&self.x[j])
-                    .map(|(p, r)| (p - r) * (p - r))
-                    .sum::<f64>()
-                    .sqrt();
+                let h = sq_euclidean(x.row(i), x.row(j)).sqrt();
                 a[(ri, rj)] = vgram.gamma(h);
             }
             a[(ri, n)] = 1.0;
@@ -294,7 +324,7 @@ impl OrdinaryKriging {
             a[(ri, ri)] += 1e-10;
         }
         let sol = a
-            .solve(&b)
+            .solve(b)
             .map_err(|e| MlError::Numerical(format!("kriging system: {e}")))?;
         let pred: f64 = nn
             .iter()
@@ -309,7 +339,7 @@ impl OrdinaryKriging {
 
 impl Regressor for OrdinaryKriging {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
-        let dim = validate_xy(x, y)?;
+        validate_xy(x, y)?;
         if x.len() < 2 {
             return Err(MlError::EmptyTrainingSet);
         }
@@ -333,14 +363,23 @@ impl Regressor for OrdinaryKriging {
             bins = empirical_variogram(x, y, self.config.n_bins, max_lag * 1.01)?;
         }
         self.variogram = Some(fit_variogram(&bins, self.config.variogram)?);
-        self.x = x.to_vec();
+        self.x = Some(FeatureMatrix::from_rows(x).expect("validated rows"));
         self.y = y.to_vec();
-        self.dim = Some(dim);
         Ok(())
     }
 
     fn predict_one(&self, q: &[f64]) -> Result<f64, MlError> {
         self.predict_with_variance(q).map(|(pred, _)| pred)
+    }
+
+    fn predict_batch(&self, xs: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
+        let mut scratch = KrigingScratch::default();
+        xs.iter()
+            .map(|q| {
+                self.predict_with_variance_scratch(q, &mut scratch)
+                    .map(|(pred, _)| pred)
+            })
+            .collect()
     }
 }
 
@@ -513,6 +552,29 @@ mod tests {
         let p = ok.predict_one(&[1.5]).unwrap();
         assert!(p.is_finite());
         assert!((5.0..=7.5).contains(&p));
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_one_bits() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..9 {
+            for j in 0..9 {
+                x.push(vec![i as f64 * 0.45, j as f64 * 0.4]);
+                y.push(-60.0 - (i as f64) * 1.3 - 0.7 * (j as f64));
+            }
+        }
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&x, &y).unwrap();
+        let queries: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.19, 3.2 - i as f64 * 0.13])
+            .collect();
+        let fm = FeatureMatrix::from_rows(&queries).unwrap();
+        let batch = ok.predict_batch(&fm).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(ok.predict_one(q).unwrap(), *b);
+        }
     }
 
     #[test]

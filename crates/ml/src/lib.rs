@@ -55,6 +55,8 @@ pub mod preprocess;
 
 use std::fmt;
 
+pub use aerorem_numerics::FeatureMatrix;
+
 /// Error type shared by all estimators.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MlError {
@@ -136,6 +138,23 @@ pub trait Regressor: Send + Sync {
     ///
     /// Propagates the first row error.
     fn predict(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Predicts every row of a contiguous [`FeatureMatrix`] — the batched
+    /// inference hot path.
+    ///
+    /// The contract is strict: implementations must return **exactly** the
+    /// bits that mapping [`Regressor::predict_one`] over the rows would
+    /// produce. Batching is a performance optimization (buffer reuse, flat
+    /// scans, matrix-level kernels), never a numerical one; tests/properties.rs
+    /// enforces this for every estimator in the zoo. The default
+    /// implementation simply maps `predict_one`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first row error (in row order).
+    fn predict_batch(&self, xs: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
         xs.iter().map(|x| self.predict_one(x)).collect()
     }
 }

@@ -12,8 +12,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use aerorem_numerics::dist;
+use aerorem_numerics::kernels::matmul_ikj_into;
 
-use crate::{validate_xy, MlError, Regressor};
+use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
 
 /// Neuron activation function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,15 +161,93 @@ impl Layer {
         }
     }
 
-    fn forward(&self, input: &[f64]) -> Vec<f64> {
-        self.w
-            .iter()
-            .zip(&self.b)
-            .map(|(row, b)| {
-                let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + b;
-                self.activation.apply(z)
-            })
-            .collect()
+    /// Per-sample forward pass into a reusable buffer. This accumulation
+    /// order (`w * x` summed in ascending input index, then `+ b`, then the
+    /// activation) is the reference the batched forward must reproduce
+    /// bit-for-bit.
+    fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.w.iter().zip(&self.b).map(|(row, b)| {
+            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + b;
+            self.activation.apply(z)
+        }));
+    }
+
+    /// Matrix-level forward pass over `n` rows of flat row-major `input`
+    /// (`n × in_w`), writing `n × out_w` activations to `out`. The weight
+    /// matrix is transposed once per call into `wt` so the cache-blocked
+    /// i-k-j kernel streams contiguously; since every `out[i][j]` is
+    /// accumulated in ascending `k` from `0.0` — the same order as
+    /// [`Layer::forward_into`]'s dot product, with IEEE multiplication
+    /// commuting `x * w` — the batch is bit-identical to per-sample forward.
+    fn forward_batch_into(
+        &self,
+        input: &[f64],
+        n: usize,
+        in_w: usize,
+        wt: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        let out_w = self.b.len();
+        wt.clear();
+        wt.resize(in_w * out_w, 0.0);
+        for (o, row) in self.w.iter().enumerate() {
+            for (k, &w) in row.iter().enumerate() {
+                wt[k * out_w + o] = w;
+            }
+        }
+        out.clear();
+        out.resize(n * out_w, 0.0);
+        matmul_ikj_into(input, n, in_w, wt, out_w, out);
+        for row in out.chunks_exact_mut(out_w) {
+            for (v, &b) in row.iter_mut().zip(&self.b) {
+                *v = self.activation.apply(*v + b);
+            }
+        }
+    }
+}
+
+/// Reusable training buffers: per-layer activations, backprop deltas, and
+/// gradient accumulators. Allocated once per `fit` so the epoch inner loop
+/// performs no heap allocation at all.
+#[derive(Debug, Clone)]
+struct TrainScratch {
+    /// `acts[0]` is the input copy; `acts[i + 1]` is layer `i`'s output.
+    acts: Vec<Vec<f64>>,
+    delta: Vec<f64>,
+    next_delta: Vec<f64>,
+    grad_w: Vec<Vec<Vec<f64>>>,
+    grad_b: Vec<Vec<f64>>,
+}
+
+impl TrainScratch {
+    fn new(layers: &[Layer], dim: usize) -> Self {
+        let mut acts = Vec::with_capacity(layers.len() + 1);
+        acts.push(vec![0.0; dim]);
+        for l in layers {
+            acts.push(vec![0.0; l.b.len()]);
+        }
+        TrainScratch {
+            acts,
+            delta: Vec::new(),
+            next_delta: Vec::new(),
+            grad_w: layers
+                .iter()
+                .map(|l| vec![vec![0.0; l.w[0].len()]; l.w.len()])
+                .collect(),
+            grad_b: layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        for gw in &mut self.grad_w {
+            for row in gw {
+                row.fill(0.0);
+            }
+        }
+        for gb in &mut self.grad_b {
+            gb.fill(0.0);
+        }
     }
 }
 
@@ -239,57 +318,62 @@ impl Mlp {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(input.to_vec());
         for layer in &self.layers {
-            let next = layer.forward(acts.last().expect("non-empty"));
+            let mut next = Vec::new();
+            layer.forward_into(acts.last().expect("non-empty"), &mut next);
             acts.push(next);
         }
         acts
     }
 
-    /// One gradient step on a mini-batch. Returns the batch loss.
-    fn train_batch(&mut self, xs: &[&Vec<f64>], ys: &[f64]) -> f64 {
-        let n = xs.len() as f64;
-        // Accumulate gradients over the batch.
-        let mut grad_w: Vec<Vec<Vec<f64>>> = self
-            .layers
-            .iter()
-            .map(|l| vec![vec![0.0; l.w[0].len()]; l.w.len()])
-            .collect();
-        let mut grad_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+    /// One gradient step on the mini-batch given by `chunk` (indices into
+    /// `x`/`targets`). Returns the batch loss. All buffers live in `s`, so
+    /// the inner training loop allocates nothing.
+    fn train_batch(
+        &mut self,
+        x: &[Vec<f64>],
+        targets: &[f64],
+        chunk: &[usize],
+        s: &mut TrainScratch,
+    ) -> f64 {
+        let n = chunk.len() as f64;
+        s.zero_grads();
         let mut loss = 0.0;
-        for (x, &t) in xs.iter().zip(ys) {
-            let acts = self.forward_all(x);
-            let out = acts.last().expect("output layer")[0];
-            let err = out - t;
+        for &idx in chunk {
+            s.acts[0].copy_from_slice(&x[idx]);
+            for (li, layer) in self.layers.iter().enumerate() {
+                let (prev, rest) = s.acts.split_at_mut(li + 1);
+                layer.forward_into(&prev[li], &mut rest[0]);
+            }
+            let out = s.acts.last().expect("output layer")[0];
+            let err = out - targets[idx];
             loss += err * err;
             // Backprop: delta at output.
-            let mut delta = vec![
-                err * self
-                    .config
-                    .output_activation
-                    .derivative_from_output(out),
-            ];
+            s.delta.clear();
+            s.delta
+                .push(err * self.config.output_activation.derivative_from_output(out));
             for li in (0..self.layers.len()).rev() {
-                let input = &acts[li];
-                for (o, &d) in delta.iter().enumerate() {
-                    for (gw, &a) in grad_w[li][o].iter_mut().zip(input) {
+                let input = &s.acts[li];
+                for (o, &d) in s.delta.iter().enumerate() {
+                    for (gw, &a) in s.grad_w[li][o].iter_mut().zip(input) {
                         *gw += d * a;
                     }
-                    grad_b[li][o] += d;
+                    s.grad_b[li][o] += d;
                 }
                 if li > 0 {
                     let layer = &self.layers[li];
-                    let below = &acts[li]; // activated output of layer li-1
-                    let mut next_delta = vec![0.0; below.len()];
-                    for (o, &d) in delta.iter().enumerate() {
-                        for (i, nd) in next_delta.iter_mut().enumerate() {
-                            *nd += d * layer.w[o][i];
+                    let below = &s.acts[li]; // activated output of layer li-1
+                    s.next_delta.clear();
+                    s.next_delta.resize(below.len(), 0.0);
+                    for (o, &d) in s.delta.iter().enumerate() {
+                        for (nd, &w) in s.next_delta.iter_mut().zip(&layer.w[o]) {
+                            *nd += d * w;
                         }
                     }
                     let act_below = self.layers[li - 1].activation;
-                    for (nd, &a) in next_delta.iter_mut().zip(below) {
+                    for (nd, &a) in s.next_delta.iter_mut().zip(below) {
                         *nd *= act_below.derivative_from_output(a);
                     }
-                    delta = next_delta;
+                    std::mem::swap(&mut s.delta, &mut s.next_delta);
                 }
             }
         }
@@ -298,7 +382,7 @@ impl Mlp {
         let t = self.adam_t as f64;
         for (li, layer) in self.layers.iter_mut().enumerate() {
             for o in 0..layer.w.len() {
-                for (i, gw) in grad_w[li][o].iter().enumerate() {
+                for (i, gw) in s.grad_w[li][o].iter().enumerate() {
                     let g = gw / n;
                     layer.w[o][i] -= step(
                         self.config.optimizer,
@@ -308,7 +392,7 @@ impl Mlp {
                         t,
                     );
                 }
-                let g = grad_b[li][o] / n;
+                let g = s.grad_b[li][o] / n;
                 layer.b[o] -= step(
                     self.config.optimizer,
                     g,
@@ -385,14 +469,14 @@ impl Regressor for Mlp {
             .push(Layer::new(prev, 1, self.config.output_activation, &mut rng));
         self.dim = Some(dim);
 
-        // Mini-batch training.
+        // Mini-batch training. All per-sample and per-batch buffers are
+        // allocated once here and reused for every epoch.
+        let mut scratch = TrainScratch::new(&self.layers, dim);
         let mut order: Vec<usize> = (0..x.len()).collect();
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.config.batch_size) {
-                let xs: Vec<&Vec<f64>> = chunk.iter().map(|&i| &x[i]).collect();
-                let ys: Vec<f64> = chunk.iter().map(|&i| targets[i]).collect();
-                let loss = self.train_batch(&xs, &ys);
+                let loss = self.train_batch(x, &targets, chunk, &mut scratch);
                 if !loss.is_finite() {
                     return Err(MlError::Numerical("training loss diverged".into()));
                 }
@@ -411,6 +495,39 @@ impl Regressor for Mlp {
         }
         let out = self.forward_all(x).last().expect("output layer")[0];
         Ok(out * self.target_std + self.target_mean)
+    }
+
+    fn predict_batch(&self, xs: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
+        let dim = self.dim.ok_or(MlError::NotFitted)?;
+        if xs.dim() != dim {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                found: xs.dim(),
+            });
+        }
+        let n = xs.rows();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Whole-batch forward: one cache-blocked matmul per layer, two
+        // ping-pong activation buffers, one transposed-weight scratch — no
+        // per-sample allocation.
+        let (first, rest) = self.layers.split_first().expect("fitted net has layers");
+        let mut wt = Vec::new();
+        let mut cur = Vec::new();
+        let mut next = Vec::new();
+        first.forward_batch_into(xs.as_slice(), n, dim, &mut wt, &mut cur);
+        let mut in_w = first.b.len();
+        for layer in rest {
+            layer.forward_batch_into(&cur, n, in_w, &mut wt, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+            in_w = layer.b.len();
+        }
+        debug_assert_eq!(in_w, 1, "output layer has a single node");
+        Ok(cur
+            .iter()
+            .map(|&o| o * self.target_std + self.target_mean)
+            .collect())
     }
 }
 
@@ -539,6 +656,28 @@ mod tests {
         assert_eq!(Activation::Identity.derivative_from_output(5.0), 1.0);
         assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
         assert!((Activation::Tanh.derivative_from_output(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_one_bits() {
+        // Multi-dim input plus a deep net so the matmul path crosses layer
+        // boundaries; exact equality, not tolerance.
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64 / 60.0, (i % 7) as f64 * 0.1, if i % 2 == 0 { 1.0 } else { 0.0 }])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| -70.0 + 5.0 * r[0] - 2.0 * r[1]).collect();
+        let mut net = Mlp::new(MlpConfig {
+            hidden: vec![(16, Activation::Sigmoid), (8, Activation::Tanh)],
+            epochs: 15,
+            ..MlpConfig::paper_tuned()
+        });
+        net.fit(&x, &y).unwrap();
+        let fm = crate::FeatureMatrix::from_rows(&x).unwrap();
+        let batch = net.predict_batch(&fm).unwrap();
+        assert_eq!(batch.len(), x.len());
+        for (row, b) in x.iter().zip(&batch) {
+            assert_eq!(net.predict_one(row).unwrap(), *b);
+        }
     }
 
     #[test]

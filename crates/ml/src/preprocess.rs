@@ -59,6 +59,17 @@ impl<K: Ord + Clone> OneHotEncoder<K> {
         Some(v)
     }
 
+    /// Appends the one-hot encoding of `key` onto `out` without allocating.
+    /// Appends exactly [`OneHotEncoder::width`] values on success and
+    /// nothing for unknown keys.
+    pub fn encode_into(&self, key: &K, out: &mut Vec<f64>) -> Option<()> {
+        let col = self.column(key)?;
+        let start = out.len();
+        out.resize(start + self.width(), 0.0);
+        out[start + col] = 1.0;
+        Some(())
+    }
+
     /// The known categories in column order.
     pub fn categories(&self) -> Vec<&K> {
         let mut pairs: Vec<(&K, usize)> = self.columns.iter().map(|(k, &c)| (k, c)).collect();

@@ -1,0 +1,269 @@
+//! Contiguous row-major feature storage for batched inference.
+//!
+//! [`FeatureMatrix`] is the interchange type for the batched prediction path:
+//! a fixed row width (`dim`) plus one flat `Vec<f64>`, so consumers get
+//! zero-copy `&[f64]` row views, cache-friendly sequential scans, and a single
+//! allocation per batch instead of one per row. It deliberately carries no
+//! linear-algebra operations — it is a data layout, not a matrix algebra type
+//! (that is [`crate::Matrix`]'s job).
+
+use crate::matrix::NumericsError;
+
+/// A dense row-major batch of feature rows with a fixed width.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_numerics::FeatureMatrix;
+///
+/// let mut m = FeatureMatrix::new(3);
+/// m.push_row(&[1.0, 2.0, 3.0]);
+/// m.push_row(&[4.0, 5.0, 6.0]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+/// assert_eq!(m.iter().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Creates an empty matrix whose rows will have `dim` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be non-zero");
+        FeatureMatrix { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty matrix with storage preallocated for `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn with_capacity(dim: usize, rows: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be non-zero");
+        FeatureMatrix {
+            dim,
+            data: Vec::with_capacity(dim * rows),
+        }
+    }
+
+    /// Builds a matrix by copying a slice of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::MalformedInput`] if `rows` is empty, the first
+    /// row is empty, or any row differs in length from the first.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, NumericsError> {
+        let dim = rows.first().map_or(0, Vec::len);
+        if dim == 0 {
+            return Err(NumericsError::MalformedInput {
+                reason: "feature matrix needs at least one non-empty row",
+            });
+        }
+        let mut m = FeatureMatrix::with_capacity(dim, rows.len());
+        for row in rows {
+            if row.len() != dim {
+                return Err(NumericsError::MalformedInput {
+                    reason: "feature rows must all have the same length",
+                });
+            }
+            m.data.extend_from_slice(row);
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix directly from flat row-major storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::MalformedInput`] if `dim == 0` or `data`'s
+    /// length is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f64>) -> Result<Self, NumericsError> {
+        if dim == 0 {
+            return Err(NumericsError::MalformedInput {
+                reason: "feature dimension must be non-zero",
+            });
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(NumericsError::MalformedInput {
+                reason: "flat feature data length must be a multiple of dim",
+            });
+        }
+        Ok(FeatureMatrix { dim, data })
+    }
+
+    /// Appends one row, copying from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "row length must equal feature dim");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends one row produced in place by `fill`, avoiding a temporary
+    /// per-row allocation: the closure appends exactly [`Self::dim`] values
+    /// directly to the backing storage.
+    ///
+    /// If `fill` returns an error, any partially appended values are rolled
+    /// back and the matrix is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever error `fill` returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` succeeds but appended a number of values other than
+    /// [`Self::dim`], or removed existing values.
+    pub fn push_row_with<E>(
+        &mut self,
+        fill: impl FnOnce(&mut Vec<f64>) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let before = self.data.len();
+        match fill(&mut self.data) {
+            Ok(()) => {
+                assert_eq!(
+                    self.data.len(),
+                    before + self.dim,
+                    "row filler must append exactly dim values"
+                );
+                Ok(())
+            }
+            Err(e) => {
+                self.data.truncate(before);
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of columns in every row.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows currently stored.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Returns `true` if no rows have been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Zero-copy view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over zero-copy row views in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The flat row-major backing storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl<'a> IntoIterator for &'a FeatureMatrix {
+    type Item = &'a [f64];
+    type IntoIter = std::slice::ChunksExact<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.chunks_exact(self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_view_rows() {
+        let mut m = FeatureMatrix::new(2);
+        assert!(m.is_empty());
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let collected: Vec<&[f64]> = m.iter().collect();
+        assert_eq!(collected, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(FeatureMatrix::from_rows(&[]).is_err());
+        assert!(FeatureMatrix::from_rows(&[vec![]]).is_err());
+        assert!(FeatureMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = FeatureMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+    }
+
+    #[test]
+    fn from_flat_validates() {
+        assert!(FeatureMatrix::from_flat(0, vec![]).is_err());
+        assert!(FeatureMatrix::from_flat(3, vec![1.0, 2.0]).is_err());
+        let m = FeatureMatrix::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn push_row_rejects_wrong_width() {
+        let mut m = FeatureMatrix::new(3);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn push_row_with_rolls_back_on_error() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row(&[1.0, 2.0]);
+        let r: Result<(), &str> = m.push_row_with(|buf| {
+            buf.push(9.0);
+            Err("boom")
+        });
+        assert!(r.is_err());
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.as_slice(), &[1.0, 2.0]);
+        m.push_row_with(|buf| {
+            buf.extend([3.0, 4.0]);
+            Ok::<(), &str>(())
+        })
+        .unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly dim values")]
+    fn push_row_with_rejects_short_rows() {
+        let mut m = FeatureMatrix::new(2);
+        let _ = m.push_row_with(|buf| {
+            buf.push(1.0);
+            Ok::<(), std::convert::Infallible>(())
+        });
+    }
+}

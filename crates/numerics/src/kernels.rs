@@ -1,0 +1,154 @@
+//! Shared low-level floating-point kernels for the inference hot path.
+//!
+//! Every distance or matrix-product computation that must agree **bit-for-bit**
+//! between the per-item and batched prediction paths lives here, so there is a
+//! single accumulation order in the whole workspace. The rule that makes this
+//! work: `f64` addition is not associative, so two code paths only produce
+//! identical bits if they add the same terms in the same order. Both the
+//! per-item estimators (`predict_one`) and the batched ones (`predict_batch`)
+//! call these kernels, which makes the bit-identity contract of
+//! `aerorem-ml`'s `Regressor::predict_batch` hold by construction.
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// The loop is unrolled four-wide with independent accumulators (combined as
+/// `(s0 + s1) + (s2 + s3) + tail`), which lets the compiler keep four FMA
+/// chains in flight instead of serializing on a single accumulator. The
+/// accumulation order is fixed and deterministic, so every caller sees the
+/// same bits for the same inputs.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length; in release builds a
+/// longer `b` is silently truncated to `a`'s length.
+#[must_use]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let tail: f64 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum();
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        let d0 = ca[0] - cb[0];
+        let d1 = ca[1] - cb[1];
+        let d2 = ca[2] - cb[2];
+        let d3 = ca[3] - cb[3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Cache-blocked matrix multiply on flat row-major slices: `out = a · b`.
+///
+/// `a` is `m × k`, `b` is `k × n`, `out` is `m × n`; all row-major. The loop
+/// order is i-k-j with the `k` dimension tiled, so each `b` panel is reused
+/// across all rows of `a` while it is hot in cache and the innermost loop
+/// streams contiguously over a `b` row and an `out` row.
+///
+/// Each `out[i][j]` is accumulated from `0.0` in strictly ascending `k` —
+/// exactly the order of the textbook dot product
+/// `a_row.iter().zip(b_col).map(|(x, y)| x * y).sum()` — so results are
+/// bit-identical to a naive row-times-column product. This is what lets the
+/// MLP's batched forward pass (`aerorem-ml`) match its per-sample forward
+/// pass exactly.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m × k`, `k × n`, and `m × n`.
+pub fn matmul_ikj_into(a: &[f64], m: usize, k_dim: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    assert_eq!(a.len(), m * k_dim, "lhs length must be m * k");
+    assert_eq!(b.len(), k_dim * n, "rhs length must be k * n");
+    assert_eq!(out.len(), m * n, "out length must be m * n");
+    // Tile size chosen so a KB×n panel of `b` (n up to a few hundred) stays
+    // resident in L1/L2 while every row of `a` streams over it.
+    const KB: usize = 64;
+    out.fill(0.0);
+    let mut k0 = 0;
+    while k0 < k_dim {
+        let k1 = (k0 + KB).min(k_dim);
+        for (a_row, out_row) in a.chunks_exact(k_dim).zip(out.chunks_exact_mut(n)) {
+            for (kk, &aik) in a_row[k0..k1].iter().enumerate() {
+                let b_row = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        k0 = k1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sq(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+
+    #[test]
+    fn sq_euclidean_matches_naive_within_tolerance() {
+        for len in 0..20 {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64).cos() - 0.5).collect();
+            let got = sq_euclidean(&a, &b);
+            let want = naive_sq(&a, &b);
+            assert!((got - want).abs() < 1e-12 * (1.0 + want), "len {len}");
+        }
+    }
+
+    #[test]
+    fn sq_euclidean_exact_for_small_integers() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_euclidean(&[], &[]), 0.0);
+        assert_eq!(sq_euclidean(&[1.0; 8], &[1.0; 8]), 0.0);
+    }
+
+    #[test]
+    fn sq_euclidean_is_deterministic() {
+        let a: Vec<f64> = (0..13).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i as f64).sqrt()).collect();
+        assert_eq!(sq_euclidean(&a, &b), sq_euclidean(&a, &b));
+    }
+
+    #[test]
+    fn matmul_ikj_matches_dot_product_bits() {
+        // Sizes straddling the k-tile boundary.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 4), (7, 64, 3), (2, 65, 130)] {
+            let a: Vec<f64> = (0..m * k).map(|i| 0.5 + (i as f64).sin()).collect();
+            let b: Vec<f64> = (0..k * n).map(|i| 0.5 + (i as f64).cos()).collect();
+            let mut out = vec![0.0; m * n];
+            matmul_ikj_into(&a, m, k, &b, n, &mut out);
+            for i in 0..m {
+                for j in 0..n {
+                    let want: f64 = (0..k).map(|kk| a[i * k + kk] * b[kk * n + j]).sum();
+                    assert_eq!(out[i * n + j], want, "({i},{j}) of {m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs length")]
+    fn matmul_ikj_rejects_bad_lengths() {
+        let mut out = vec![0.0; 4];
+        matmul_ikj_into(&[1.0; 3], 2, 2, &[1.0; 4], 2, &mut out);
+    }
+}

@@ -8,6 +8,12 @@
 //! * [`Matrix`] — a heap-allocated, row-major dense matrix with the
 //!   factorizations required by the EKF ([`Matrix::cholesky`]) and by
 //!   ordinary kriging ([`Matrix::solve`] via partially-pivoted LU).
+//! * [`FeatureMatrix`] — contiguous row-major feature storage, the
+//!   interchange type for batched inference (`Regressor::predict_batch` in
+//!   `aerorem-ml`).
+//! * [`kernels`] — the shared unrolled distance / cache-blocked matmul
+//!   kernels whose fixed accumulation order keeps the per-item and batched
+//!   prediction paths bit-identical.
 //! * [`dist`] — seeded random distributions (standard normal via Box–Muller,
 //!   log-normal, Rayleigh, Rician) on top of any [`rand::Rng`].
 //! * [`stats`] — summary statistics (mean, variance, quantiles, RMSE) and
@@ -32,7 +38,10 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod features;
+pub mod kernels;
 pub mod matrix;
 pub mod stats;
 
+pub use features::FeatureMatrix;
 pub use matrix::{Matrix, NumericsError};

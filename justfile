@@ -1,6 +1,6 @@
 # Mirrors the Makefile; use whichever runner you have installed.
 
-check: build test doc clippy
+check: build test doc clippy bench-build
 
 build:
     cargo build --release
@@ -13,6 +13,14 @@ doc:
 
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Benches must always compile, even when nobody runs them.
+bench-build:
+    cargo bench --no-run
+
+# Regenerates BENCH_2.json: per-voxel vs batched REM lattice throughput.
+bench:
+    cargo bench -p aerorem-bench --bench rem_lattice
 
 # Serial-vs-parallel pipeline timing table (see EXPERIMENTS.md).
 timing:

@@ -166,8 +166,8 @@ fn demo(flags: &Flags) -> Result<(), String> {
         .strongest_mac()
         .ok_or("campaign retained no MACs")?;
     let mut inst = result.instrumentation.clone();
-    let rem = inst
-        .time("generate_rem", || result.generate_rem(mac))
+    let rem = result
+        .generate_rem_instrumented(mac, &mut inst)
         .map_err(|e| e.to_string())?;
     inst.count("rem_voxels", rem.len() as u64);
     let (nx, ny, nz) = rem.dims();
@@ -177,7 +177,21 @@ fn demo(flags: &Flags) -> Result<(), String> {
         rem.max_dbm()
     );
     print!("{}", inst.report());
+    report_lattice_throughput(&inst);
     Ok(())
+}
+
+/// Prints rows-per-second for the batched REM stages when both the stage
+/// timing and the row counter are present.
+fn report_lattice_throughput(inst: &Instrumentation) {
+    for (stage, counter) in [
+        ("rem_encode", "rem_encode_rows"),
+        ("rem_predict", "rem_predict_rows"),
+    ] {
+        if let Some(rate) = inst.throughput(stage, counter) {
+            println!("{stage}: {rate:.0} voxels/s");
+        }
+    }
 }
 
 fn fit_best_model(
@@ -222,17 +236,16 @@ fn map(flags: &Flags) -> Result<(), String> {
             mac
         }
     };
-    let grid = inst
-        .time("generate_rem", || {
-            RemGrid::generate(
-                model.as_ref(),
-                &layout,
-                Aabb::paper_volume(),
-                resolution,
-                mac,
-            )
-        })
-        .map_err(|e| e.to_string())?;
+    let grid = RemGrid::generate_instrumented(
+        model.as_ref(),
+        &layout,
+        Aabb::paper_volume(),
+        resolution,
+        mac,
+        ExecPolicy::default(),
+        &mut inst,
+    )
+    .map_err(|e| e.to_string())?;
     inst.count("rem_voxels", grid.len() as u64);
     std::fs::write(out, grid.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
     let (nx, ny, nz) = grid.dims();
@@ -247,6 +260,7 @@ fn map(flags: &Flags) -> Result<(), String> {
         eprintln!("{art}");
     }
     eprint!("{}", inst.report());
+    report_lattice_throughput(&inst);
     Ok(())
 }
 

@@ -84,6 +84,43 @@ fn serial_and_parallel_pipelines_are_bit_identical() {
     }
 }
 
+/// The batched lattice fill (contiguous `FeatureMatrix` chunks through
+/// `predict_batch`) must reproduce the per-voxel reference path bit for
+/// bit, under both execution policies — batching is an optimization of the
+/// hot path, never a numerical change.
+#[test]
+fn batched_rem_is_bit_identical_to_per_voxel() {
+    for seed in [2206, 0xD1CE] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = RemPipeline::with_policy(config(), ExecPolicy::Serial)
+            .run(&mut rng)
+            .expect("pipeline runs");
+        let mac = result.strongest_mac().expect("campaign retained MACs");
+        let volume = result.campaign.plan.volume;
+        let mut model = ModelKind::KnnScaled16
+            .build(&result.layout)
+            .expect("model builds");
+        model
+            .fit(&result.dataset.x, &result.dataset.y)
+            .expect("model fits");
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+            let batched =
+                RemGrid::generate_with(model.as_ref(), &result.layout, volume, 0.3, mac, policy)
+                    .expect("batched REM generates");
+            let per_voxel = RemGrid::generate_per_voxel_with(
+                model.as_ref(),
+                &result.layout,
+                volume,
+                0.3,
+                mac,
+                policy,
+            )
+            .expect("per-voxel REM generates");
+            assert_eq!(batched, per_voxel, "seed {seed}, {policy}");
+        }
+    }
+}
+
 #[test]
 fn repeated_runs_with_one_policy_are_reproducible() {
     let (a, rem_a) = run(ExecPolicy::Parallel, 7);

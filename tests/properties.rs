@@ -220,6 +220,84 @@ proptest! {
         prop_assert!((lo - 1e-9..=hi + 1e-9).contains(&p));
     }
 
+    /// `predict_batch` must reproduce mapped `predict_one` **bit for bit**
+    /// for every estimator in the zoo — batching is a performance
+    /// optimization, never a numerical change. Covers the kNN arena-tree
+    /// backend (Euclidean, dim ≤ 8), the generic Minkowski brute path, the
+    /// per-group ensemble (including its global-mean fallback), the MLP
+    /// matrix-level forward, IDW, kriging, and the baseline.
+    #[test]
+    fn predict_batch_matches_predict_one_across_the_zoo(
+        seed in 0u64..25,
+        n_queries in 1usize..10,
+    ) {
+        use aerorem::ml::baseline::GroupMeanBaseline;
+        use aerorem::ml::ensemble::PerGroupKnn;
+        use aerorem::ml::idw::IdwInterpolator;
+        use aerorem::ml::kriging::{KrigingConfig, OrdinaryKriging};
+        use aerorem::ml::mlp::{Activation, Mlp, MlpConfig};
+        use aerorem::ml::FeatureMatrix;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Rows: [x, y, z, one-hot group of width 2], like the paper's
+        // feature layout in miniature.
+        let row = |rng: &mut rand::rngs::StdRng, g: usize| {
+            vec![
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..3.0),
+                rng.gen_range(0.0..2.0),
+                if g == 0 { 1.0 } else { 0.0 },
+                if g == 1 { 1.0 } else { 0.0 },
+            ]
+        };
+        let x: Vec<Vec<f64>> = (0..40).map(|i| row(&mut rng, i % 2)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| -60.0 - 2.0 * r[0] - r[1] + 0.5 * r[2] - 5.0 * r[4])
+            .collect();
+        let queries: Vec<Vec<f64>> = (0..n_queries).map(|i| row(&mut rng, i % 2)).collect();
+        let fm = FeatureMatrix::from_rows(&queries).unwrap();
+        let mlp_config = MlpConfig {
+            hidden: vec![(8, Activation::Sigmoid)],
+            epochs: 5,
+            ..MlpConfig::paper_tuned()
+        };
+        let scale = {
+            let mut s = vec![1.0; 5];
+            s[3] = 3.0;
+            s[4] = 3.0;
+            s
+        };
+        let mut zoo: Vec<Box<dyn Regressor>> = vec![
+            Box::new(GroupMeanBaseline::new(3..5).unwrap()),
+            // Euclidean, dim ≤ 8 → arena KD-tree backend.
+            Box::new(KnnRegressor::new(3, Weighting::Distance, 2.0).unwrap()),
+            // Non-Euclidean Minkowski → generic brute-force backend.
+            Box::new(KnnRegressor::new(4, Weighting::Uniform, 1.0).unwrap()),
+            // Scaled one-hot block, as in the paper's best model.
+            Box::new(
+                KnnRegressor::new(8, Weighting::Distance, 2.0)
+                    .unwrap()
+                    .with_feature_scaling(scale)
+                    .unwrap(),
+            ),
+            Box::new(PerGroupKnn::new(3..5, 2, Weighting::Distance, 2.0).unwrap()),
+            Box::new(Mlp::new(mlp_config)),
+            Box::new(IdwInterpolator::new(2.0, Some(8)).unwrap()),
+            Box::new(OrdinaryKriging::new(KrigingConfig::default())),
+        ];
+        for model in &mut zoo {
+            model.fit(&x, &y).unwrap();
+        }
+        for model in &zoo {
+            let batch = model.predict_batch(&fm).unwrap();
+            prop_assert_eq!(batch.len(), queries.len());
+            for (q, b) in queries.iter().zip(&batch) {
+                prop_assert_eq!(model.predict_one(q).unwrap(), *b);
+            }
+        }
+    }
+
     #[test]
     fn variogram_monotone_nondecreasing(
         nugget in finite_f64(0.0..2.0),
