@@ -1,9 +1,9 @@
 # Developer entry points. `make check` is the full gate run in CI and
 # before every commit; the individual targets exist for quicker loops.
 
-.PHONY: check build test doc clippy bench-build bench timing
+.PHONY: check build test doc clippy bench-build bench-check bench bench-diff timing
 
-check: build test doc clippy bench-build
+check: build test doc clippy bench-build bench-check
 
 build:
 	cargo build --release
@@ -21,9 +21,23 @@ clippy:
 bench-build:
 	cargo bench --no-run
 
-# Regenerates BENCH_2.json: per-voxel vs batched REM lattice throughput.
+# Smoke-sized run of the PR-3 bench pair: every bit-identity assertion
+# executes, but the workloads are small and BENCH_3.json is left alone.
+bench-check:
+	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench train_select
+	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench sim_campaign
+
+# Regenerates the committed bench artifacts at full size:
+# BENCH_2.json (lattice fill) and BENCH_3.json (training + campaign).
 bench:
 	cargo bench -p aerorem-bench --bench rem_lattice
+	cargo bench -p aerorem-bench --bench train_select
+	cargo bench -p aerorem-bench --bench sim_campaign
+
+# Gates fresh BENCH_3.json stage times against the committed baseline
+# (>25 % wall-time regressions fail; see scripts/bench_diff).
+bench-diff:
+	./scripts/bench_diff
 
 # Serial-vs-parallel pipeline timing table (see EXPERIMENTS.md).
 timing:

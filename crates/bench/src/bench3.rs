@@ -1,0 +1,228 @@
+//! Section-merging writer for `BENCH_3.json`.
+//!
+//! PR 3 ships two custom-harness benches — `train_select` and
+//! `sim_campaign` — that report into a single JSON artifact at the
+//! repository root. Each bench owns one entry under `"sections"`; the
+//! writer re-reads the file and splices the fresh section in, so the
+//! benches can run in any order without clobbering each other's numbers.
+//!
+//! The artifact is only ever produced by this writer, so the parser can
+//! rely on its exact shape: a top-level object with a `"bench"` string and
+//! a `"sections"` object whose values are balanced JSON objects containing
+//! no string escapes. Timing rows are rendered one per line (see [`row`])
+//! so line-oriented tooling — `scripts/bench_diff` — can extract them with
+//! `awk` instead of a JSON parser.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+/// True when `AEROREM_BENCH_SMOKE` is set: benches shrink their workloads,
+/// run a single repetition, keep every bit-identity assertion, and skip the
+/// JSON write so a smoke run never overwrites committed full-size numbers.
+pub fn smoke() -> bool {
+    std::env::var_os("AEROREM_BENCH_SMOKE").is_some()
+}
+
+/// Asserts `s` needs no JSON escaping (it is a plain ASCII identifier) and
+/// passes it through.
+pub fn json_escape_free(s: &str) -> &str {
+    assert!(
+        s.chars().all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'),
+        "bench identifiers must be escape-free: {s:?}"
+    );
+    s
+}
+
+/// Best-of-`reps` wall time of `f` after one untimed warm-up call.
+/// Returns the best time and the last repetition's output for identity
+/// checks.
+pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = f(); // warm-up: page in data, prime thread pools
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Renders one single-line timing row:
+/// `{"stage": ..., "variant": ..., "seconds": ..., "items": ...,
+/// "items_per_s": ...}`. One row per line is a format contract with
+/// `scripts/bench_diff`.
+pub fn row(stage: &str, variant: &str, seconds: f64, items: usize) -> String {
+    format!(
+        "{{\"stage\": \"{}\", \"variant\": \"{}\", \"seconds\": {:.6}, \
+         \"items\": {}, \"items_per_s\": {:.1}}}",
+        json_escape_free(stage),
+        json_escape_free(variant),
+        seconds,
+        items,
+        items as f64 / seconds
+    )
+}
+
+/// Splits the `"sections"` object of a previously written report into
+/// `(name, raw JSON object)` pairs, in file order. Returns an empty list
+/// for missing files or content this writer did not produce.
+fn split_sections(text: &str) -> Vec<(String, String)> {
+    let Some(key) = text.find("\"sections\"") else {
+        return Vec::new();
+    };
+    let bytes = text.as_bytes();
+    let mut i = match text[key..].find('{') {
+        Some(off) => key + off + 1,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    loop {
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'"' {
+            // End of the sections object (or a shape we did not write).
+            return out;
+        }
+        i += 1;
+        let name_start = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return out;
+        }
+        let name = text[name_start..i].to_string();
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b':') {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'{' {
+            return out;
+        }
+        let body_start = i;
+        let mut depth = 0usize;
+        let mut in_string = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => in_string = !in_string,
+                b'{' if !in_string => depth += 1,
+                b'}' if !in_string => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return out;
+        }
+        out.push((name, text[body_start..=i].to_string()));
+        i += 1;
+    }
+}
+
+/// Merges `body` — a balanced, escape-free JSON object literal — into the
+/// report at `path` under `sections.<name>`, preserving every other
+/// section already present, and rewrites the artifact.
+///
+/// # Panics
+///
+/// Panics when `body` is not an object literal, contains escapes, or the
+/// file cannot be written.
+pub fn write_section(path: &Path, name: &str, body: &str) {
+    let trimmed = body.trim();
+    assert!(
+        trimmed.starts_with('{') && trimmed.ends_with('}'),
+        "section body must be a JSON object literal"
+    );
+    assert!(!body.contains('\\'), "section body must be escape-free");
+    json_escape_free(name);
+    let mut sections = fs::read_to_string(path)
+        .map(|t| split_sections(&t))
+        .unwrap_or_default();
+    match sections.iter_mut().find(|(n, _)| n == name) {
+        Some(slot) => slot.1 = trimmed.to_string(),
+        None => sections.push((name.to_string(), trimmed.to_string())),
+    }
+    let mut out = String::from(
+        "{\n  \"bench\": \"aerorem training & simulation hot paths (PR 3)\",\n  \"sections\": {\n",
+    );
+    for (i, (n, b)) in sections.iter().enumerate() {
+        out.push_str(&format!("    \"{n}\": {b}"));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    fs::write(path, out).expect("write bench report");
+    eprintln!("wrote section \"{name}\" to {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("aerorem_bench3_{name}.json"))
+    }
+
+    #[test]
+    fn writes_a_fresh_report() {
+        let path = tmp("fresh");
+        let _ = fs::remove_file(&path);
+        write_section(&path, "alpha", "{\"rows\": [\n{\"stage\": \"s\"}\n]}");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"alpha\""));
+        assert!(text.starts_with("{\n  \"bench\""));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merging_preserves_the_other_section() {
+        let path = tmp("merge");
+        let _ = fs::remove_file(&path);
+        write_section(&path, "alpha", "{\"v\": 1}");
+        write_section(&path, "beta", "{\"v\": 2}");
+        write_section(&path, "alpha", "{\"v\": 3}");
+        let text = fs::read_to_string(&path).unwrap();
+        let sections = split_sections(&text);
+        assert_eq!(
+            sections,
+            vec![
+                ("alpha".to_string(), "{\"v\": 3}".to_string()),
+                ("beta".to_string(), "{\"v\": 2}".to_string()),
+            ]
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nested_objects_and_strings_survive_the_scan() {
+        let body = "{\"meta\": {\"label\": \"k=3 {w}\", \"n\": 7},\n\"rows\": [\n{\"a\": 1}\n]}";
+        let path = tmp("nested");
+        let _ = fs::remove_file(&path);
+        write_section(&path, "deep", body);
+        let text = fs::read_to_string(&path).unwrap();
+        let sections = split_sections(&text);
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].1, body);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_or_missing_content_yields_no_sections() {
+        assert!(split_sections("").is_empty());
+        assert!(split_sections("{\"other\": 1}").is_empty());
+        assert!(split_sections("\"sections\" nonsense").is_empty());
+    }
+
+    #[test]
+    fn rows_are_single_line() {
+        let r = row("grid_search", "parallel", 0.5, 32);
+        assert!(!r.contains('\n'));
+        assert!(r.contains("\"items_per_s\": 64.0"));
+    }
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench3;
 pub mod experiments;
 
 pub use experiments::*;

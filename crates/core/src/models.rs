@@ -13,7 +13,9 @@ use aerorem_ml::idw::IdwInterpolator;
 use aerorem_ml::knn::{KnnRegressor, Weighting};
 use aerorem_ml::kriging::{KrigingConfig, OrdinaryKriging};
 use aerorem_ml::mlp::{Mlp, MlpConfig};
-use aerorem_ml::{FeatureMatrix, MlError, Regressor};
+use aerorem_ml::{MlError, Regressor};
+#[cfg(doc)]
+use aerorem_ml::FeatureMatrix;
 use aerorem_numerics::stats;
 
 use crate::exec::{self, ExecPolicy};
@@ -145,10 +147,12 @@ pub fn evaluate_all<R: Rng>(
 /// threads with results identical to the serial path (scores come back in
 /// `kinds` order either way).
 ///
-/// The test rows are packed into one contiguous [`FeatureMatrix`] shared by
-/// every model, which then scores through [`Regressor::predict_batch`] —
-/// the same batched hot path the REM lattice fill uses, and bit-identical
-/// to per-row prediction by the trait contract.
+/// The split is taken as borrowed [`aerorem_ml::dataset::DatasetView`]s and
+/// materialised once into contiguous train/test [`FeatureMatrix`] pairs
+/// shared by every model — no per-model deep copies. Models train through
+/// [`Regressor::fit_batch`] and score through [`Regressor::predict_batch`],
+/// the same batched hot path the REM lattice fill uses; both are
+/// contractually bit-identical to the row-at-a-time forms.
 ///
 /// # Errors
 ///
@@ -160,15 +164,16 @@ pub fn evaluate_all_with<R: Rng>(
     rng: &mut R,
     policy: ExecPolicy,
 ) -> Result<Vec<ModelScore>, MlError> {
-    let (train, test) = data.train_test_split(0.75, rng)?;
-    let test_x = FeatureMatrix::from_rows(&test.x).map_err(|_| MlError::EmptyTrainingSet)?;
+    let (train_view, test_view) = data.split_views(0.75, rng)?;
+    let (train_x, train_y) = train_view.to_matrix();
+    let (test_x, test_y) = test_view.to_matrix();
     exec::try_map_vec(policy, kinds.to_vec(), |kind| {
         let mut model = kind.build(layout)?;
-        model.fit(&train.x, &train.y)?;
+        model.fit_batch(&train_x, &train_y)?;
         let preds = model.predict_batch(&test_x)?;
         Ok(ModelScore {
             kind,
-            rmse_dbm: stats::rmse(&preds, &test.y),
+            rmse_dbm: stats::rmse(&preds, &test_y),
         })
     })
 }

@@ -266,9 +266,14 @@ impl RemPipeline {
         })?;
         let model = inst.time("fit_rem_model", || {
             let mut model = self.config.rem_model.build(&layout)?;
-            model.fit(&dataset.x, &dataset.y)?;
+            let xm = aerorem_ml::FeatureMatrix::from_rows(&dataset.x)
+                .map_err(|_| MlError::EmptyTrainingSet)?;
+            model.fit_batch(&xm, &dataset.y)?;
             Ok::<_, MlError>(model)
         })?;
+        let (lc_hits, lc_misses) = campaign.environment.link_cache_stats();
+        inst.count("link_cache_hits", lc_hits);
+        inst.count("link_cache_misses", lc_misses);
         inst.count("raw_samples", campaign.samples.len() as u64);
         inst.count("retained_samples", preprocess_report.retained_samples as u64);
         inst.count("dropped_samples", preprocess_report.dropped_samples as u64);

@@ -16,11 +16,12 @@ use crate::exec::{self, ExecPolicy};
 use crate::features::FeatureLayout;
 use crate::instrument::Instrumentation;
 
-/// Voxels per chunk in the batched lattice fill. Chunks are the unit of
-/// parallelism *and* of batch prediction: large enough to amortize
+/// Minimum voxels per chunk in the batched lattice fill. Chunks are the
+/// unit of parallelism *and* of batch prediction: large enough to amortize
 /// per-batch setup (buffer reuse, matrix-level kernels), small enough to
-/// keep every worker thread busy on paper-scale lattices.
-const BATCH_CHUNK: usize = 1024;
+/// keep every worker thread busy on paper-scale lattices. The actual chunk
+/// length is policy-aware — see [`RemGrid::chunk_len`].
+const MIN_BATCH_CHUNK: usize = 1024;
 
 /// A regular 3D lattice of predicted RSS (dBm) for one transmitter.
 ///
@@ -201,6 +202,29 @@ impl RemGrid {
         )
     }
 
+    /// Voxels per chunk for a lattice of `total` voxels under `policy`.
+    ///
+    /// Serial fills (and parallel fills on a single-threaded pool, where
+    /// chunking is pure overhead) use one chunk: one contiguous encode, one
+    /// `predict_batch` call — the fastest shape for estimators with
+    /// per-batch setup such as kNN's shared scratch buffers. Parallel fills
+    /// split into roughly four chunks per worker so the pool stays busy,
+    /// but never below [`MIN_BATCH_CHUNK`] voxels per chunk. Chunking only
+    /// groups `predict_batch` calls — results reassemble in voxel order and
+    /// `predict_batch` is contractually bit-identical per row — so every
+    /// chunk length yields the identical grid.
+    fn chunk_len(total: usize, policy: ExecPolicy) -> usize {
+        let workers = match policy {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel => policy.threads(),
+        };
+        if workers <= 1 {
+            total.max(1)
+        } else {
+            MIN_BATCH_CHUNK.max(total.div_ceil(workers * 4))
+        }
+    }
+
     /// Stage 1 of the batched fill: encodes the lattice into per-chunk
     /// contiguous feature matrices (chunks are independent, so they encode
     /// in parallel and reassemble in voxel order).
@@ -212,9 +236,10 @@ impl RemGrid {
         policy: ExecPolicy,
     ) -> Result<Vec<FeatureMatrix>, MlError> {
         let total = dims.0 * dims.1 * dims.2;
-        let starts: Vec<usize> = (0..total).step_by(BATCH_CHUNK).collect();
-        exec::try_map_vec(policy, starts, |start| {
-            let len = BATCH_CHUNK.min(total - start);
+        let chunk = Self::chunk_len(total, policy);
+        let starts: Vec<usize> = (0..total).step_by(chunk).collect();
+        exec::try_map_vec(policy, starts, move |start| {
+            let len = chunk.min(total - start);
             let mut fm = FeatureMatrix::with_capacity(layout.dim(), len);
             for i in start..start + len {
                 let p = Self::voxel_center(volume, dims, i);
@@ -561,6 +586,16 @@ mod tests {
         assert_eq!(inst.counter("rem_encode_rows"), Some(grid.len() as u64));
         assert_eq!(inst.counter("rem_predict_rows"), Some(grid.len() as u64));
         assert!(inst.throughput("rem_predict", "rem_predict_rows").is_some());
+    }
+
+    #[test]
+    fn chunk_len_is_policy_aware() {
+        // Serial fills take one contiguous chunk regardless of size.
+        assert_eq!(RemGrid::chunk_len(50_000, ExecPolicy::Serial), 50_000);
+        assert_eq!(RemGrid::chunk_len(0, ExecPolicy::Serial), 1);
+        // Parallel fills never go below the amortization floor.
+        let par = RemGrid::chunk_len(1_000_000, ExecPolicy::Parallel);
+        assert!((MIN_BATCH_CHUNK..=1_000_000).contains(&par));
     }
 
     #[test]

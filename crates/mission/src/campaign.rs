@@ -38,6 +38,11 @@ pub struct CampaignConfig {
     pub radio_position: Vec3,
     /// Pause between legs (swapping UAVs at the base station).
     pub inter_leg_gap: SimDuration,
+    /// Memoize the deterministic per-`(AP, position)` link budget while
+    /// flying. Scans revisit each waypoint once per beacon per AP, so this
+    /// removes the repeated wall-intersection walks; the cached value is
+    /// bit-exact, so reports are identical either way.
+    pub link_cache: bool,
 }
 
 impl CampaignConfig {
@@ -52,6 +57,7 @@ impl CampaignConfig {
             radio_freq_mhz: 2450.0,
             radio_position: Vec3::new(-1.5, 1.6, 0.8),
             inter_leg_gap: SimDuration::from_secs(30),
+            link_cache: true,
         }
     }
 }
@@ -133,6 +139,7 @@ impl Campaign {
     pub fn run<R: Rng>(&self, rng: &mut R) -> CampaignReport {
         let cfg = &self.config;
         let environment = cfg.building.generate(cfg.volume, rng);
+        environment.set_link_cache_enabled(cfg.link_cache);
         let anchors = AnchorConstellation::volume_corners(cfg.volume);
         let plan = cfg
             .fleet_plan
@@ -217,6 +224,28 @@ mod tests {
         assert_eq!(a.total_time, b.total_time);
         let c = Campaign::new(small_config()).run(&mut StdRng::seed_from_u64(8));
         assert_ne!(a.samples, c.samples, "different seed, different world");
+    }
+
+    #[test]
+    fn link_cache_does_not_change_the_report() {
+        for seed in [3u64, 19, 0xCAFE] {
+            let cached = Campaign::new(CampaignConfig {
+                link_cache: true,
+                ..small_config()
+            })
+            .run(&mut StdRng::seed_from_u64(seed));
+            let uncached = Campaign::new(CampaignConfig {
+                link_cache: false,
+                ..small_config()
+            })
+            .run(&mut StdRng::seed_from_u64(seed));
+            assert_eq!(cached.samples, uncached.samples, "seed {seed}");
+            assert_eq!(cached.total_time, uncached.total_time, "seed {seed}");
+            let (hits, misses) = cached.environment.link_cache_stats();
+            assert!(hits > 0, "the scan loop must revisit cached links");
+            assert_eq!(uncached.environment.link_cache_stats(), (0, 0));
+            assert!(misses > 0);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use crate::{validate_xy, MlError, Regressor};
+use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
 
 /// Predicts the global training mean for every input.
 #[derive(Debug, Clone, Default)]
@@ -26,6 +26,12 @@ impl GlobalMean {
 impl Regressor for GlobalMean {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
         self.dim = validate_xy(x, y)?;
+        self.mean = Some(y.iter().sum::<f64>() / y.len() as f64);
+        Ok(())
+    }
+
+    fn fit_batch(&mut self, xs: &FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        self.dim = validate_matrix_y(xs, y)?;
         self.mean = Some(y.iter().sum::<f64>() / y.len() as f64);
         Ok(())
     }
@@ -113,11 +119,16 @@ impl GroupMeanBaseline {
     pub fn group_count(&self) -> usize {
         self.group_means.len()
     }
-}
 
-impl Regressor for GroupMeanBaseline {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
-        let dim = validate_xy(x, y)?;
+    /// Shared fitting core: both [`Regressor::fit`] and
+    /// [`Regressor::fit_batch`] run this exact accumulation (same row
+    /// order), so the two entry points leave identical state behind.
+    fn fit_rows<'r>(
+        &mut self,
+        rows: impl Iterator<Item = &'r [f64]>,
+        y: &[f64],
+        dim: usize,
+    ) -> Result<(), MlError> {
         if self.group_range.end > dim {
             return Err(MlError::DimensionMismatch {
                 expected: self.group_range.end,
@@ -126,7 +137,7 @@ impl Regressor for GroupMeanBaseline {
         }
         self.dim = dim;
         let mut sums: HashMap<usize, (f64, usize)> = HashMap::new();
-        for (row, &t) in x.iter().zip(y) {
+        for (row, &t) in rows.zip(y) {
             let e = sums.entry(self.group_of(row)).or_insert((0.0, 0));
             e.0 += t;
             e.1 += 1;
@@ -137,6 +148,18 @@ impl Regressor for GroupMeanBaseline {
             .collect();
         self.global_mean = Some(y.iter().sum::<f64>() / y.len() as f64);
         Ok(())
+    }
+}
+
+impl Regressor for GroupMeanBaseline {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        self.fit_rows(x.iter().map(Vec::as_slice), y, dim)
+    }
+
+    fn fit_batch(&mut self, xs: &FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_matrix_y(xs, y)?;
+        self.fit_rows(xs.iter(), y, dim)
     }
 
     fn predict_one(&self, x: &[f64]) -> Result<f64, MlError> {

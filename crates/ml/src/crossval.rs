@@ -1,8 +1,17 @@
 //! k-fold cross-validation.
+//!
+//! [`cross_validate_with`] evaluates folds under an [`ExecPolicy`]: the fold
+//! assignment is drawn from the caller's RNG before any training starts, each
+//! fold gathers its train/test rows through a borrowed
+//! [`crate::dataset::DatasetView`] (one flat copy per fold, no nested-`Vec`
+//! deep copies), and models train through [`Regressor::fit_batch`]. Fold
+//! results are collected in fold order, so both policies return bit-identical
+//! RMSE vectors.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use aerorem_numerics::exec::{self, ExecPolicy};
 use aerorem_numerics::stats;
 
 use crate::dataset::Dataset;
@@ -66,26 +75,53 @@ pub fn cross_validate<M, F, R>(
 ) -> Result<Vec<f64>, MlError>
 where
     M: Regressor,
-    F: Fn() -> M,
+    F: Fn() -> M + Sync,
+    R: Rng,
+{
+    cross_validate_with(data, k, rng, make, ExecPolicy::default())
+}
+
+/// [`cross_validate`] with an explicit [`ExecPolicy`].
+///
+/// Folds are independent once the seeded fold assignment is fixed, so they
+/// can run concurrently; results come back in fold order either way, and
+/// every fold trains on the exact rows (in the exact order) the serial loop
+/// would use — the returned RMSEs are bit-identical across policies.
+///
+/// # Errors
+///
+/// Propagates fold-index and estimator errors; with several failing folds
+/// the error for the lowest fold index is returned.
+pub fn cross_validate_with<M, F, R>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut R,
+    make: F,
+    policy: ExecPolicy,
+) -> Result<Vec<f64>, MlError>
+where
+    M: Regressor,
+    F: Fn() -> M + Sync,
     R: Rng,
 {
     let folds = kfold_indices(data.len(), k, rng)?;
-    let mut rmses = Vec::with_capacity(k);
-    for held_out in 0..k {
-        let test = data.subset(&folds[held_out]);
+    let folds = &folds;
+    let make = &make;
+    exec::try_map_vec(policy, (0..k).collect::<Vec<usize>>(), |held_out| {
+        let test = data.view(folds[held_out].clone());
         let train_idx: Vec<usize> = folds
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != held_out)
             .flat_map(|(_, f)| f.iter().copied())
             .collect();
-        let train = data.subset(&train_idx);
+        let (train_x, train_y) = data.view(train_idx).to_matrix();
+        let (test_x, test_y) = test.to_matrix();
         let mut model = make();
-        model.fit(&train.x, &train.y)?;
-        let preds = model.predict(&test.x)?;
-        rmses.push(stats::rmse(&preds, &test.y));
-    }
-    Ok(rmses)
+        model.fit_batch(&train_x, &train_y)?;
+        let preds = model.predict_batch(&test_x)?;
+        Ok(stats::rmse(&preds, &test_y))
+    })
 }
 
 #[cfg(test)]
@@ -128,6 +164,33 @@ mod tests {
         for r in rmses {
             assert!(r < 1e-12);
         }
+    }
+
+    #[test]
+    fn cv_policies_agree_bit_for_bit() {
+        let data = Dataset::new(
+            (0..40).map(|i| vec![i as f64, (i % 5) as f64]).collect(),
+            (0..40).map(|i| -60.0 - (i % 9) as f64 * 1.3).collect(),
+        )
+        .unwrap();
+        let make = crate::knn::KnnRegressor::paper_tuned;
+        let serial = cross_validate_with(
+            &data,
+            4,
+            &mut StdRng::seed_from_u64(11),
+            make,
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        let parallel = cross_validate_with(
+            &data,
+            4,
+            &mut StdRng::seed_from_u64(11),
+            make,
+            ExecPolicy::Parallel,
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::{validate_xy, MlError};
+use crate::{validate_xy, FeatureMatrix, MlError};
 
 /// A feature matrix with aligned targets.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -95,6 +95,57 @@ impl Dataset {
         }
     }
 
+    /// A borrowed view over the rows selected by `indices` — no feature or
+    /// target data is copied until the view is gathered into flat storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn view(&self, indices: Vec<usize>) -> DatasetView<'_> {
+        assert!(
+            indices.iter().all(|&i| i < self.len()),
+            "view index out of bounds"
+        );
+        DatasetView { data: self, indices }
+    }
+
+    /// Splits into borrowed `(train, test)` views with the given training
+    /// fraction. Consumes the RNG **exactly** like
+    /// [`Dataset::train_test_split`] (same shuffle, same rounding), so the
+    /// two are interchangeable: the views select the identical rows the
+    /// deep-copying split would have copied.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dataset::train_test_split`].
+    pub fn split_views<R: Rng>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> Result<(DatasetView<'_>, DatasetView<'_>), MlError> {
+        if !(0.0 < train_fraction && train_fraction < 1.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "train_fraction",
+                reason: "must be strictly between 0 and 1",
+            });
+        }
+        if self.len() < 2 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "train_fraction",
+                reason: "need at least 2 rows to split",
+            });
+        }
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let n_train = ((self.len() as f64 * train_fraction).round() as usize)
+            .clamp(1, self.len() - 1);
+        let test = idx.split_off(n_train);
+        Ok((
+            DatasetView { data: self, indices: idx },
+            DatasetView { data: self, indices: test },
+        ))
+    }
+
     /// Appends another dataset's rows.
     ///
     /// # Errors
@@ -110,6 +161,110 @@ impl Dataset {
         self.x.extend(other.x.iter().cloned());
         self.y.extend(other.y.iter().copied());
         Ok(())
+    }
+}
+
+/// A borrowed index-slice over a [`Dataset`]: the zero-copy split/fold
+/// currency of grid search and cross-validation.
+///
+/// Where the deep-copying [`Dataset::subset`] clones every selected row,
+/// a view holds only `&Dataset` plus the row indices; the rows are copied
+/// exactly once, straight into the flat [`FeatureMatrix`] an estimator's
+/// `fit_batch` consumes ([`DatasetView::gather_into`]).
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_ml::dataset::Dataset;
+///
+/// # fn main() -> Result<(), aerorem_ml::MlError> {
+/// let data = Dataset::new(
+///     (0..10).map(|i| vec![i as f64]).collect(),
+///     (0..10).map(|i| i as f64).collect(),
+/// )?;
+/// let view = data.view(vec![1, 3, 5]);
+/// assert_eq!(view.len(), 3);
+/// let (x, y) = view.to_matrix();
+/// assert_eq!(x.row(2), &[5.0]);
+/// assert_eq!(y, vec![1.0, 3.0, 5.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetView<'a> {
+    data: &'a Dataset,
+    indices: Vec<usize>,
+}
+
+impl<'a> DatasetView<'a> {
+    /// Number of rows selected by the view.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Feature dimension of the underlying dataset.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// The selected row indices, in view order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Zero-copy access to the `i`-th selected feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        &self.data.x[self.indices[i]]
+    }
+
+    /// The `i`-th selected target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.data.y[self.indices[i]]
+    }
+
+    /// Gathers the selected rows into reusable flat buffers: `x` is cleared
+    /// and refilled row by row (keeping its allocation), `y` likewise. This
+    /// is the single copy a fold makes — straight from the parent dataset
+    /// into the storage `fit_batch`/`predict_batch` consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` was created with a different feature dimension.
+    pub fn gather_into(&self, x: &mut FeatureMatrix, y: &mut Vec<f64>) {
+        assert_eq!(x.dim(), self.dim(), "gather buffer dim mismatch");
+        x.clear();
+        y.clear();
+        for &i in &self.indices {
+            x.push_row(&self.data.x[i]);
+            y.push(self.data.y[i]);
+        }
+    }
+
+    /// Materializes the view as a fresh `(features, targets)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is empty (a view from [`Dataset::split_views`] or
+    /// a non-empty fold never is).
+    pub fn to_matrix(&self) -> (FeatureMatrix, Vec<f64>) {
+        assert!(!self.is_empty(), "cannot materialize an empty view");
+        let mut x = FeatureMatrix::with_capacity(self.dim(), self.len());
+        let mut y = Vec::with_capacity(self.len());
+        self.gather_into(&mut x, &mut y);
+        (x, y)
     }
 }
 
@@ -190,6 +345,62 @@ mod tests {
     fn construction_validates() {
         assert!(Dataset::new(vec![vec![1.0]], vec![1.0, 2.0]).is_err());
         assert!(Dataset::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn split_views_select_exactly_what_the_copying_split_copies() {
+        let d = toy(37);
+        for seed in [0u64, 1, 7, 42] {
+            let (train, test) = d
+                .train_test_split(0.75, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let (tv, sv) = d
+                .split_views(0.75, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(tv.len(), train.len());
+            assert_eq!(sv.len(), test.len());
+            let (tx, ty) = tv.to_matrix();
+            assert_eq!(ty, train.y);
+            for (i, row) in train.x.iter().enumerate() {
+                assert_eq!(tx.row(i), row.as_slice());
+                assert_eq!(tv.row(i), row.as_slice());
+                assert_eq!(tv.target(i), train.y[i]);
+            }
+            let (_, sy) = sv.to_matrix();
+            assert_eq!(sy, test.y);
+        }
+    }
+
+    #[test]
+    fn split_views_validate_like_the_copying_split() {
+        let d = toy(10);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(d.split_views(0.0, &mut rng).is_err());
+        assert!(d.split_views(1.0, &mut rng).is_err());
+        assert!(toy(1).split_views(0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn view_gathers_into_reused_buffers() {
+        let d = toy(12);
+        let mut x = FeatureMatrix::new(2);
+        let mut y = Vec::new();
+        d.view(vec![0, 4]).gather_into(&mut x, &mut y);
+        assert_eq!(x.rows(), 2);
+        d.view(vec![11, 2, 7]).gather_into(&mut x, &mut y);
+        assert_eq!(x.rows(), 3);
+        assert_eq!(y, vec![11.0, 2.0, 7.0]);
+        assert_eq!(x.row(0), &[11.0, 22.0]);
+        assert_eq!(d.view(vec![3]).indices(), &[3]);
+        assert!(!d.view(vec![3]).is_empty());
+        assert_eq!(d.view(vec![3]).dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_rejects_bad_indices() {
+        let d = toy(3);
+        let _ = d.view(vec![0, 3]);
     }
 
     #[test]

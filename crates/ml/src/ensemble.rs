@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use crate::knn::{KnnRegressor, Weighting};
-use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
+use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
 
 /// One kNN model per group (per MAC), trained on the non-group features
 /// only. Groups never seen in training fall back to the global mean.
@@ -113,11 +113,17 @@ impl PerGroupKnn {
             .map(|(_, &v)| v)
             .collect()
     }
-}
 
-impl Regressor for PerGroupKnn {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
-        let dim = validate_xy(x, y)?;
+    /// Shared fitting core behind [`Regressor::fit`] and
+    /// [`Regressor::fit_batch`]: rows are bucketed in input order and each
+    /// submodel trains through the same `KnnRegressor::fit`, so the two
+    /// entry points produce identical models.
+    fn fit_rows<'r>(
+        &mut self,
+        rows: impl Iterator<Item = &'r [f64]>,
+        y: &[f64],
+        dim: usize,
+    ) -> Result<(), MlError> {
         if self.group_range.end > dim {
             return Err(MlError::DimensionMismatch {
                 expected: self.group_range.end,
@@ -134,7 +140,7 @@ impl Regressor for PerGroupKnn {
         self.global_mean = Some(y.iter().sum::<f64>() / y.len() as f64);
         // Bucket rows by group.
         let mut buckets: HashMap<usize, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
-        for (row, &t) in x.iter().zip(y) {
+        for (row, &t) in rows.zip(y) {
             let g = self.group_of(row);
             let e = buckets.entry(g).or_default();
             e.0.push(self.strip_group(row));
@@ -147,6 +153,18 @@ impl Regressor for PerGroupKnn {
             self.models.insert(g, model);
         }
         Ok(())
+    }
+}
+
+impl Regressor for PerGroupKnn {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        self.fit_rows(x.iter().map(Vec::as_slice), y, dim)
+    }
+
+    fn fit_batch(&mut self, xs: &FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_matrix_y(xs, y)?;
+        self.fit_rows(xs.iter(), y, dim)
     }
 
     fn predict_one(&self, x: &[f64]) -> Result<f64, MlError> {

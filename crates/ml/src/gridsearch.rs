@@ -3,13 +3,21 @@
 //! §III-B tunes every estimator "using a grid search considering an
 //! exhaustive set of hyperparameters", with "the validation set … taken out
 //! of the training set". [`grid_search`] does exactly that over any list of
-//! named candidate builders; `crossbeam` scoped threads evaluate candidates
-//! in parallel since each candidate is independent.
+//! named candidate builders. Candidates are independent, so
+//! [`grid_search_with`] evaluates them under an [`ExecPolicy`]: the split is
+//! materialised **once** into flat [`FeatureMatrix`] fit/validation sets
+//! (via [`Dataset::split_views`], no per-candidate deep copies) and each
+//! candidate trains through [`Regressor::fit_batch`] and scores through
+//! [`Regressor::predict_batch`]. Both policies produce bit-identical
+//! rankings because candidate evaluation never communicates and the final
+//! sort is a stable serial pass.
 
-use crossbeam::thread;
 use rand::Rng;
 
+use aerorem_numerics::exec::{self, ExecPolicy};
 use aerorem_numerics::stats;
+#[cfg(doc)]
+use aerorem_numerics::FeatureMatrix;
 
 use crate::dataset::Dataset;
 use crate::{MlError, Regressor};
@@ -44,7 +52,7 @@ impl GridSearchResult {
 pub type Candidate<M> = (String, Box<dyn Fn() -> M + Sync>);
 
 /// Evaluates every candidate on a validation split carved out of the
-/// training data, in parallel.
+/// training data, under the default execution policy.
 ///
 /// `val_fraction` of `train` becomes the validation set (the paper's
 /// protocol); each candidate is fitted on the remainder and scored by
@@ -66,39 +74,55 @@ where
     M: Regressor + Send,
     R: Rng,
 {
+    grid_search_with(candidates, train, val_fraction, rng, ExecPolicy::default())
+}
+
+/// [`grid_search`] with an explicit [`ExecPolicy`].
+///
+/// The ranking is bit-identical across policies: the validation split is
+/// drawn from `rng` before any candidate work starts, every candidate sees
+/// the same flat fit/validation matrices, and scores are sorted by a stable
+/// serial pass.
+///
+/// # Errors
+///
+/// Same contract as [`grid_search`].
+pub fn grid_search_with<M, R>(
+    candidates: Vec<Candidate<M>>,
+    train: &Dataset,
+    val_fraction: f64,
+    rng: &mut R,
+    policy: ExecPolicy,
+) -> Result<GridSearchResult, MlError>
+where
+    M: Regressor,
+    R: Rng,
+{
     if candidates.is_empty() {
         return Err(MlError::InvalidHyperparameter {
             name: "candidates",
             reason: "grid must contain at least one candidate",
         });
     }
-    let (fit_set, val_set) = train.train_test_split(1.0 - val_fraction, rng)?;
+    let (fit_view, val_view) = train.split_views(1.0 - val_fraction, rng)?;
+    let (fit_x, fit_y) = fit_view.to_matrix();
+    let (val_x, val_y) = val_view.to_matrix();
 
-    let results: Vec<Option<CandidateScore>> = thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .iter()
-            .map(|(name, make)| {
-                let fit_set = &fit_set;
-                let val_set = &val_set;
-                scope.spawn(move |_| {
-                    let mut model = make();
-                    if model.fit(&fit_set.x, &fit_set.y).is_err() {
-                        return None;
-                    }
-                    let preds = model.predict(&val_set.x).ok()?;
-                    Some(CandidateScore {
-                        name: name.clone(),
-                        rmse: stats::rmse(&preds, &val_set.y),
-                    })
-                })
+    let candidates = &candidates;
+    let results: Vec<Option<CandidateScore>> = exec::map_vec(
+        policy,
+        (0..candidates.len()).collect::<Vec<usize>>(),
+        |i| {
+            let (name, make) = &candidates[i];
+            let mut model = make();
+            model.fit_batch(&fit_x, &fit_y).ok()?;
+            let preds = model.predict_batch(&val_x).ok()?;
+            Some(CandidateScore {
+                name: name.clone(),
+                rmse: stats::rmse(&preds, &val_y),
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("grid-search worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
+        },
+    );
 
     let mut scores: Vec<CandidateScore> = results.into_iter().flatten().collect();
     if scores.is_empty() {
@@ -210,6 +234,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn policies_agree_bit_for_bit() {
+        let data = noisy_line(70);
+        let serial = grid_search_with(
+            knn_grid(&[1, 3, 8]),
+            &data,
+            0.25,
+            &mut StdRng::seed_from_u64(9),
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        let parallel = grid_search_with(
+            knn_grid(&[1, 3, 8]),
+            &data,
+            0.25,
+            &mut StdRng::seed_from_u64(9),
+            ExecPolicy::Parallel,
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! an ablation baseline for the Figure-8 bench (see `DESIGN.md` §6).
 
 use crate::kdtree::top_k_from_candidates;
-use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
+use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
 use aerorem_numerics::kernels::sq_euclidean;
 
 /// Shepard interpolation: `ŷ(q) = Σ wᵢ yᵢ / Σ wᵢ` with `wᵢ = 1/dᵢᵖ`,
@@ -121,6 +121,13 @@ impl Regressor for IdwInterpolator {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
         validate_xy(x, y)?;
         self.x = Some(FeatureMatrix::from_rows(x).expect("validated rows"));
+        self.y = y.to_vec();
+        Ok(())
+    }
+
+    fn fit_batch(&mut self, xs: &FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        validate_matrix_y(xs, y)?;
+        self.x = Some(xs.clone());
         self.y = y.to_vec();
         Ok(())
     }

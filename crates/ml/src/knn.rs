@@ -17,7 +17,7 @@ use crate::kdtree::{
     brute_force_nearest_flat, brute_force_topk_into, top_k_from_candidates, KdTree,
     NeighborScratch,
 };
-use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
+use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
 use aerorem_numerics::kernels::sq_euclidean;
 
 /// Neighbour weighting scheme.
@@ -161,6 +161,12 @@ impl KnnRegressor {
         if (p - 2.0).abs() < 1e-12 {
             return sq_euclidean(a, b).sqrt();
         }
+        if (p - 1.0).abs() < 1e-12 {
+            // Taxicab fast path: IEEE 754 `pow(x, 1)` returns `x` exactly,
+            // so dropping both `powf` calls is bit-identical to the general
+            // formula below while removing its dominant cost.
+            return a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+        }
         a.iter()
             .zip(b)
             .map(|(x, y)| (x - y).abs().powf(p))
@@ -234,30 +240,17 @@ impl KnnRegressor {
     }
 }
 
-impl Regressor for KnnRegressor {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
-        let dim = validate_xy(x, y)?;
+impl KnnRegressor {
+    /// Shared fit core: installs the already-flattened (scaled) training
+    /// set. Both `fit` and `fit_batch` end here, so the two are
+    /// bit-identical by construction.
+    fn fit_flat(&mut self, flat: Vec<f64>, y: &[f64], dim: usize) -> Result<(), MlError> {
         if let Some(scale) = &self.feature_scale {
             if scale.len() != dim {
                 return Err(MlError::DimensionMismatch {
                     expected: dim,
                     found: scale.len(),
                 });
-            }
-        }
-        // Single flat copy of the (scaled) training set; whichever backend
-        // is chosen takes ownership of it.
-        let mut flat = Vec::with_capacity(x.len() * dim);
-        match &self.feature_scale {
-            Some(s) => {
-                for row in x {
-                    flat.extend(row.iter().zip(s).map(|(v, w)| v * w));
-                }
-            }
-            None => {
-                for row in x {
-                    flat.extend_from_slice(row);
-                }
             }
         }
         self.y = y.to_vec();
@@ -270,6 +263,57 @@ impl Regressor for KnnRegressor {
             Fitted::Brute { data: flat }
         });
         Ok(())
+    }
+
+    /// Single flat copy of the (scaled) training set; whichever backend is
+    /// chosen takes ownership of it.
+    fn flatten_scaled<'r>(
+        &self,
+        rows: impl Iterator<Item = &'r [f64]>,
+        n: usize,
+        dim: usize,
+    ) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(n * dim);
+        match &self.feature_scale {
+            Some(s) => {
+                for row in rows {
+                    flat.extend(row.iter().zip(s).map(|(v, w)| v * w));
+                }
+            }
+            None => {
+                for row in rows {
+                    flat.extend_from_slice(row);
+                }
+            }
+        }
+        flat
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        if let Some(scale) = &self.feature_scale {
+            if scale.len() != dim {
+                return Err(MlError::DimensionMismatch {
+                    expected: dim,
+                    found: scale.len(),
+                });
+            }
+        }
+        let flat = self.flatten_scaled(x.iter().map(Vec::as_slice), x.len(), dim);
+        self.fit_flat(flat, y, dim)
+    }
+
+    fn fit_batch(&mut self, xs: &FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_matrix_y(xs, y)?;
+        // Unscaled fits take the flat storage in one memcpy; scaled fits
+        // stream it through the same per-element multiply `fit` uses.
+        let flat = match &self.feature_scale {
+            None => xs.as_slice().to_vec(),
+            Some(_) => self.flatten_scaled(xs.iter(), xs.rows(), dim),
+        };
+        self.fit_flat(flat, y, dim)
     }
 
     fn predict_one(&self, x: &[f64]) -> Result<f64, MlError> {
@@ -316,6 +360,20 @@ impl Regressor for KnnRegressor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn taxicab_fast_path_matches_the_general_formula_bits() {
+        let a: Vec<f64> = (0..14).map(|i| (i as f64 * 0.37).sin() * 9.0).collect();
+        let b: Vec<f64> = (0..14).map(|i| (i as f64 * 0.61).cos() * 7.0).collect();
+        let model = KnnRegressor::new(1, Weighting::Uniform, 1.0).unwrap();
+        let general: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs().powf(1.0))
+            .sum::<f64>()
+            .powf(1.0);
+        assert_eq!(model.minkowski(&a, &b), general);
+    }
 
     fn line_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.5]).collect();

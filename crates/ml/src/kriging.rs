@@ -12,11 +12,12 @@
 //! kriging system over the nearest neighbours with the Lagrange multiplier
 //! enforcing unbiasedness.
 
+use aerorem_numerics::exec::{self, ExecPolicy};
 use aerorem_numerics::kernels::sq_euclidean;
 use aerorem_numerics::Matrix;
 
 use crate::kdtree::brute_force_topk_into;
-use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
+use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
 
 /// Parametric semivariogram families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,18 +81,69 @@ pub struct VariogramBin {
     pub pairs: usize,
 }
 
+/// Rows per accumulation block of the O(n²) pair loop. The block partition
+/// depends only on the row count — never on the worker-thread count — and
+/// the per-block partial sums are reduced in ascending block order, so the
+/// bins are bit-identical under [`ExecPolicy::Serial`] and
+/// [`ExecPolicy::Parallel`] on any machine.
+const VARIOGRAM_BLOCK: usize = 128;
+
+/// Per-bin partial sums accumulated by one row block — the reusable
+/// scratch of the blocked pair loop.
+struct BinPartial {
+    sum_gamma: Vec<f64>,
+    sum_lag: Vec<f64>,
+    count: Vec<usize>,
+}
+
+/// Accumulates all pairs `(i, j)` with `lo <= i < hi`, `i < j` into
+/// per-bin partial sums.
+fn variogram_block(
+    points: &FeatureMatrix,
+    values: &[f64],
+    n_bins: usize,
+    max_lag: f64,
+    width: f64,
+    lo: usize,
+    hi: usize,
+) -> BinPartial {
+    let mut p = BinPartial {
+        sum_gamma: vec![0.0; n_bins],
+        sum_lag: vec![0.0; n_bins],
+        count: vec![0; n_bins],
+    };
+    for i in lo..hi {
+        let xi = points.row(i);
+        let vi = values[i];
+        for (j, &vj) in values.iter().enumerate().skip(i + 1) {
+            let h = sq_euclidean(xi, points.row(j)).sqrt();
+            if h >= max_lag {
+                continue;
+            }
+            let bin = ((h / width) as usize).min(n_bins - 1);
+            p.sum_gamma[bin] += 0.5 * (vi - vj).powi(2);
+            p.sum_lag[bin] += h;
+            p.count[bin] += 1;
+        }
+    }
+    p
+}
+
 /// Estimates the empirical semivariogram with `n_bins` equal-width lag bins
-/// up to `max_lag`.
+/// up to `max_lag`, reading flat row-major points directly and splitting
+/// the O(n²) pair loop into fixed-size row blocks mapped under `policy`.
 ///
 /// # Errors
 ///
 /// Returns [`MlError::InvalidHyperparameter`] for zero bins or non-positive
-/// `max_lag`, [`MlError::EmptyTrainingSet`] for fewer than 2 points.
-pub fn empirical_variogram(
-    points: &[Vec<f64>],
+/// `max_lag`, [`MlError::EmptyTrainingSet`] for fewer than 2 points,
+/// [`MlError::LengthMismatch`] when points and values disagree.
+pub fn empirical_variogram_matrix(
+    points: &FeatureMatrix,
     values: &[f64],
     n_bins: usize,
     max_lag: f64,
+    policy: ExecPolicy,
 ) -> Result<Vec<VariogramBin>, MlError> {
     if n_bins == 0 {
         return Err(MlError::InvalidHyperparameter {
@@ -105,29 +157,26 @@ pub fn empirical_variogram(
             reason: "must be positive",
         });
     }
-    if points.len() < 2 {
+    if points.rows() < 2 {
         return Err(MlError::EmptyTrainingSet);
     }
-    validate_xy(points, values)?;
+    validate_matrix_y(points, values)?;
     let width = max_lag / n_bins as f64;
+    let starts: Vec<usize> = (0..points.rows()).step_by(VARIOGRAM_BLOCK).collect();
+    let partials = exec::map_vec(policy, starts, |lo| {
+        let hi = (lo + VARIOGRAM_BLOCK).min(points.rows());
+        variogram_block(points, values, n_bins, max_lag, width, lo, hi)
+    });
+    // Reduce in block order: the summation order is a pure function of the
+    // input, independent of the execution policy.
     let mut sum_gamma = vec![0.0; n_bins];
     let mut sum_lag = vec![0.0; n_bins];
     let mut count = vec![0usize; n_bins];
-    for i in 0..points.len() {
-        for j in (i + 1)..points.len() {
-            let h: f64 = points[i]
-                .iter()
-                .zip(&points[j])
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
-            if h >= max_lag {
-                continue;
-            }
-            let bin = ((h / width) as usize).min(n_bins - 1);
-            sum_gamma[bin] += 0.5 * (values[i] - values[j]).powi(2);
-            sum_lag[bin] += h;
-            count[bin] += 1;
+    for p in partials {
+        for b in 0..n_bins {
+            sum_gamma[b] += p.sum_gamma[b];
+            sum_lag[b] += p.sum_lag[b];
+            count[b] += p.count[b];
         }
     }
     Ok((0..n_bins)
@@ -140,18 +189,68 @@ pub fn empirical_variogram(
         .collect())
 }
 
+/// Estimates the empirical semivariogram with `n_bins` equal-width lag bins
+/// up to `max_lag`.
+///
+/// Convenience wrapper over [`empirical_variogram_matrix`] for nested-row
+/// input, run under the default execution policy.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidHyperparameter`] for zero bins or non-positive
+/// `max_lag`, [`MlError::EmptyTrainingSet`] for fewer than 2 points.
+pub fn empirical_variogram(
+    points: &[Vec<f64>],
+    values: &[f64],
+    n_bins: usize,
+    max_lag: f64,
+) -> Result<Vec<VariogramBin>, MlError> {
+    if points.len() < 2 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    validate_xy(points, values)?;
+    let xm = FeatureMatrix::from_rows(points).expect("validated rows");
+    empirical_variogram_matrix(&xm, values, n_bins, max_lag, ExecPolicy::default())
+}
+
 /// Fits a variogram model to empirical bins by pair-count-weighted least
-/// squares over a dense parameter grid.
+/// squares over a dense parameter grid, scoring grid candidates under
+/// `policy`. The argmin scan runs serially in grid order with a strict `<`,
+/// so ties resolve to the first candidate no matter the policy.
 ///
 /// # Errors
 ///
 /// Returns [`MlError::EmptyTrainingSet`] when no bins are provided.
-pub fn fit_variogram(bins: &[VariogramBin], kind: VariogramKind) -> Result<Variogram, MlError> {
+pub fn fit_variogram_with(
+    bins: &[VariogramBin],
+    kind: VariogramKind,
+    policy: ExecPolicy,
+) -> Result<Variogram, MlError> {
     if bins.is_empty() {
         return Err(MlError::EmptyTrainingSet);
     }
     let max_gamma = bins.iter().map(|b| b.gamma).fold(0.0f64, f64::max).max(1e-9);
     let max_lag = bins.iter().map(|b| b.lag).fold(0.0f64, f64::max).max(1e-9);
+    let mut grid = Vec::with_capacity(6 * 6 * 8);
+    for nug_frac in [0.0, 0.05, 0.1, 0.2, 0.35, 0.5] {
+        for sill_frac in [0.4, 0.6, 0.8, 1.0, 1.2, 1.5] {
+            for range_frac in [0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0] {
+                grid.push(Variogram {
+                    kind,
+                    nugget: nug_frac * max_gamma,
+                    sill: sill_frac * max_gamma,
+                    range: range_frac * max_lag,
+                });
+            }
+        }
+    }
+    let scored = exec::map_vec(policy, grid, |v| {
+        let err: f64 = bins
+            .iter()
+            .map(|b| b.pairs as f64 * (v.gamma(b.lag) - b.gamma).powi(2))
+            .sum();
+        (v, err)
+    });
     let mut best = Variogram {
         kind,
         nugget: 0.0,
@@ -159,27 +258,23 @@ pub fn fit_variogram(bins: &[VariogramBin], kind: VariogramKind) -> Result<Vario
         range: max_lag,
     };
     let mut best_err = f64::INFINITY;
-    for nug_frac in [0.0, 0.05, 0.1, 0.2, 0.35, 0.5] {
-        for sill_frac in [0.4, 0.6, 0.8, 1.0, 1.2, 1.5] {
-            for range_frac in [0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0] {
-                let v = Variogram {
-                    kind,
-                    nugget: nug_frac * max_gamma,
-                    sill: sill_frac * max_gamma,
-                    range: range_frac * max_lag,
-                };
-                let err: f64 = bins
-                    .iter()
-                    .map(|b| b.pairs as f64 * (v.gamma(b.lag) - b.gamma).powi(2))
-                    .sum();
-                if err < best_err {
-                    best_err = err;
-                    best = v;
-                }
-            }
+    for (v, err) in scored {
+        if err < best_err {
+            best_err = err;
+            best = v;
         }
     }
     Ok(best)
+}
+
+/// Fits a variogram model to empirical bins by pair-count-weighted least
+/// squares over a dense parameter grid, under the default execution policy.
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyTrainingSet`] when no bins are provided.
+pub fn fit_variogram(bins: &[VariogramBin], kind: VariogramKind) -> Result<Variogram, MlError> {
+    fit_variogram_with(bins, kind, ExecPolicy::default())
 }
 
 /// Ordinary kriging configuration.
@@ -337,35 +432,56 @@ impl OrdinaryKriging {
     }
 }
 
+impl OrdinaryKriging {
+    /// Shared fit core over flat storage: both `fit` (after one flatten)
+    /// and `fit_batch` (one clone of the flat matrix) run this exact code,
+    /// so the two produce bit-identical variograms and predictions.
+    fn fit_matrix(&mut self, xm: FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        if xm.rows() < 2 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        // Max lag: half the data diameter (standard practice).
+        let probe = xm.rows().min(200);
+        let mut max_lag = 0.0f64;
+        for i in 0..probe {
+            let xi = xm.row(i);
+            for j in (i + 1)..probe {
+                max_lag = max_lag.max(sq_euclidean(xi, xm.row(j)).sqrt());
+            }
+        }
+        // Half the data diameter is standard; tiny datasets can leave that
+        // window empty, so fall back to the full diameter.
+        let policy = ExecPolicy::default();
+        let mut bins = empirical_variogram_matrix(
+            &xm,
+            y,
+            self.config.n_bins,
+            (max_lag / 2.0).max(1e-6),
+            policy,
+        )?;
+        if bins.is_empty() {
+            bins = empirical_variogram_matrix(&xm, y, self.config.n_bins, max_lag * 1.01, policy)?;
+        }
+        self.variogram = Some(fit_variogram_with(&bins, self.config.variogram, policy)?);
+        self.x = Some(xm);
+        self.y = y.to_vec();
+        Ok(())
+    }
+}
+
 impl Regressor for OrdinaryKriging {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
         validate_xy(x, y)?;
         if x.len() < 2 {
             return Err(MlError::EmptyTrainingSet);
         }
-        // Max lag: half the data diameter (standard practice).
-        let mut max_lag = 0.0f64;
-        for i in 0..x.len().min(200) {
-            for j in (i + 1)..x.len().min(200) {
-                let h: f64 = x[i]
-                    .iter()
-                    .zip(&x[j])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f64>()
-                    .sqrt();
-                max_lag = max_lag.max(h);
-            }
-        }
-        // Half the data diameter is standard; tiny datasets can leave that
-        // window empty, so fall back to the full diameter.
-        let mut bins = empirical_variogram(x, y, self.config.n_bins, (max_lag / 2.0).max(1e-6))?;
-        if bins.is_empty() {
-            bins = empirical_variogram(x, y, self.config.n_bins, max_lag * 1.01)?;
-        }
-        self.variogram = Some(fit_variogram(&bins, self.config.variogram)?);
-        self.x = Some(FeatureMatrix::from_rows(x).expect("validated rows"));
-        self.y = y.to_vec();
-        Ok(())
+        let xm = FeatureMatrix::from_rows(x).expect("validated rows");
+        self.fit_matrix(xm, y)
+    }
+
+    fn fit_batch(&mut self, xs: &FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        validate_matrix_y(xs, y)?;
+        self.fit_matrix(xs.clone(), y)
     }
 
     fn predict_one(&self, q: &[f64]) -> Result<f64, MlError> {
@@ -574,6 +690,41 @@ mod tests {
         assert_eq!(batch.len(), queries.len());
         for (q, b) in queries.iter().zip(&batch) {
             assert_eq!(ok.predict_one(q).unwrap(), *b);
+        }
+    }
+
+    #[test]
+    fn blocked_variogram_is_policy_invariant() {
+        // More rows than one accumulation block so the reduce actually
+        // crosses block boundaries; exact equality, not tolerance.
+        let pts: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 17) as f64 * 0.3, (i % 23) as f64 * 0.2])
+            .collect();
+        let vals: Vec<f64> = (0..300).map(|i| ((i * 13) % 29) as f64 * 0.5).collect();
+        let xm = FeatureMatrix::from_rows(&pts).unwrap();
+        let a = empirical_variogram_matrix(&xm, &vals, 10, 4.0, ExecPolicy::Serial).unwrap();
+        let b = empirical_variogram_matrix(&xm, &vals, 10, 4.0, ExecPolicy::Parallel).unwrap();
+        assert_eq!(a, b);
+        let nested = empirical_variogram(&pts, &vals, 10, 4.0).unwrap();
+        assert_eq!(a, nested, "nested-row wrapper shares the blocked core");
+        let fa = fit_variogram_with(&a, VariogramKind::Exponential, ExecPolicy::Serial).unwrap();
+        let fb = fit_variogram_with(&b, VariogramKind::Exponential, ExecPolicy::Parallel).unwrap();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn fit_batch_matches_fit_bits() {
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64 * 0.5, (i / 8) as f64 * 0.7])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| -65.0 - (i % 11) as f64 * 0.9).collect();
+        let mut a = OrdinaryKriging::new(KrigingConfig::default());
+        a.fit(&x, &y).unwrap();
+        let mut b = OrdinaryKriging::new(KrigingConfig::default());
+        b.fit_batch(&FeatureMatrix::from_rows(&x).unwrap(), &y).unwrap();
+        assert_eq!(a.variogram(), b.variogram());
+        for q in [[0.3, 1.1], [2.7, 0.2], [1.9, 2.4]] {
+            assert_eq!(a.predict_one(&q).unwrap(), b.predict_one(&q).unwrap());
         }
     }
 

@@ -157,6 +157,41 @@ pub trait Regressor: Send + Sync {
     fn predict_batch(&self, xs: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
         xs.iter().map(|x| self.predict_one(x)).collect()
     }
+
+    /// Fits the estimator from a contiguous [`FeatureMatrix`] — the batched
+    /// training hot path, fed directly by `dataset::DatasetView` gathers.
+    ///
+    /// Same strict contract as [`Regressor::predict_batch`], mirrored for
+    /// training: implementations must leave the estimator in **exactly** the
+    /// state that [`Regressor::fit`] on the equivalent row slices would.
+    /// Batching buys flat copies and zero-copy row views, never different
+    /// numerics. The default implementation materializes the rows and
+    /// delegates to `fit`; estimators on the model-selection hot path
+    /// override it to consume the flat storage directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Regressor::fit`].
+    fn fit_batch(&mut self, xs: &FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        let rows: Vec<Vec<f64>> = xs.iter().map(<[f64]>::to_vec).collect();
+        self.fit(&rows, y)
+    }
+}
+
+/// Validates a [`FeatureMatrix`] + target vector pair, returning the
+/// feature dimension. The matrix guarantees rectangular non-ragged rows by
+/// construction, so only emptiness and length alignment need checking.
+pub(crate) fn validate_matrix_y(xs: &FeatureMatrix, y: &[f64]) -> Result<usize, MlError> {
+    if xs.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if xs.rows() != y.len() {
+        return Err(MlError::LengthMismatch {
+            rows: xs.rows(),
+            targets: y.len(),
+        });
+    }
+    Ok(xs.dim())
 }
 
 /// Validates a feature matrix + target vector pair, returning the feature

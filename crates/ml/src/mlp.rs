@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use aerorem_numerics::dist;
 use aerorem_numerics::kernels::matmul_ikj_into;
 
-use crate::{validate_xy, FeatureMatrix, MlError, Regressor};
+use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
 
 /// Neuron activation function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -326,11 +326,12 @@ impl Mlp {
     }
 
     /// One gradient step on the mini-batch given by `chunk` (indices into
-    /// `x`/`targets`). Returns the batch loss. All buffers live in `s`, so
-    /// the inner training loop allocates nothing.
+    /// the flat row-major `x`/`targets`). Returns the batch loss. All
+    /// buffers live in `s`, so the inner training loop allocates nothing.
     fn train_batch(
         &mut self,
-        x: &[Vec<f64>],
+        x: &[f64],
+        dim: usize,
         targets: &[f64],
         chunk: &[usize],
         s: &mut TrainScratch,
@@ -339,7 +340,7 @@ impl Mlp {
         s.zero_grads();
         let mut loss = 0.0;
         for &idx in chunk {
-            s.acts[0].copy_from_slice(&x[idx]);
+            s.acts[0].copy_from_slice(&x[idx * dim..(idx + 1) * dim]);
             for (li, layer) in self.layers.iter().enumerate() {
                 let (prev, rest) = s.acts.split_at_mut(li + 1);
                 layer.forward_into(&prev[li], &mut rest[0]);
@@ -425,9 +426,11 @@ fn step(opt: Optimizer, g: f64, m: &mut f64, v: &mut f64, t: f64) -> f64 {
     }
 }
 
-impl Regressor for Mlp {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
-        let dim = validate_xy(x, y)?;
+impl Mlp {
+    /// Shared training core over flat row-major features: both `fit` (after
+    /// one flatten) and `fit_batch` (zero-copy) run this exact code, so the
+    /// two leave bit-identical network weights.
+    fn fit_flat(&mut self, x: &[f64], n_rows: usize, dim: usize, y: &[f64]) -> Result<(), MlError> {
         if self.config.batch_size == 0 {
             return Err(MlError::InvalidHyperparameter {
                 name: "batch_size",
@@ -472,17 +475,33 @@ impl Regressor for Mlp {
         // Mini-batch training. All per-sample and per-batch buffers are
         // allocated once here and reused for every epoch.
         let mut scratch = TrainScratch::new(&self.layers, dim);
-        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut order: Vec<usize> = (0..n_rows).collect();
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.config.batch_size) {
-                let loss = self.train_batch(x, &targets, chunk, &mut scratch);
+                let loss = self.train_batch(x, dim, &targets, chunk, &mut scratch);
                 if !loss.is_finite() {
                     return Err(MlError::Numerical("training loss diverged".into()));
                 }
             }
         }
         Ok(())
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_xy(x, y)?;
+        let mut flat = Vec::with_capacity(x.len() * dim);
+        for row in x {
+            flat.extend_from_slice(row);
+        }
+        self.fit_flat(&flat, x.len(), dim, y)
+    }
+
+    fn fit_batch(&mut self, xs: &FeatureMatrix, y: &[f64]) -> Result<(), MlError> {
+        let dim = validate_matrix_y(xs, y)?;
+        self.fit_flat(xs.as_slice(), xs.rows(), dim, y)
     }
 
     fn predict_one(&self, x: &[f64]) -> Result<f64, MlError> {

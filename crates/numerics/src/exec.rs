@@ -1,0 +1,150 @@
+//! Serial-vs-parallel execution policy for the toolchain's data-parallel
+//! stages.
+//!
+//! The `parallel` cargo feature compiles the rayon-backed paths;
+//! [`ExecPolicy`] selects between them *at runtime*, so a single default
+//! build can run the same pipeline both ways and verify the outputs are
+//! identical (the determinism tests do exactly that). When the feature is
+//! disabled, [`ExecPolicy::Parallel`] silently falls back to the serial
+//! path — callers never need to gate on the feature.
+//!
+//! Parallelism here is deterministic by construction: work items are
+//! mapped independently and results are reassembled in input order, and no
+//! stage draws random numbers inside a parallel region.
+//!
+//! This module lives in `aerorem-numerics` (the workspace's dependency
+//! root) so that every layer — `aerorem-ml`'s grid search and k-fold CV as
+//! much as `aerorem-core`'s pipeline stages — shares one policy type;
+//! `aerorem-core::exec` re-exports it unchanged.
+
+/// How the toolchain's data-parallel stages execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecPolicy {
+    /// One thread, plain iterators — the reference path for determinism
+    /// checks and single-core targets.
+    Serial,
+    /// Worker threads via rayon, reassembled in input order (the default).
+    /// Identical results to [`ExecPolicy::Serial`]; falls back to it when
+    /// the `parallel` feature is disabled.
+    #[default]
+    Parallel,
+}
+
+impl ExecPolicy {
+    /// Short lowercase name (`"serial"` / `"parallel"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecPolicy::Serial => "serial",
+            ExecPolicy::Parallel => "parallel",
+        }
+    }
+
+    /// Worker threads this policy may use on the current machine.
+    #[must_use]
+    pub fn threads(self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            #[cfg(feature = "parallel")]
+            ExecPolicy::Parallel => rayon::current_num_threads(),
+            #[cfg(not(feature = "parallel"))]
+            ExecPolicy::Parallel => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ExecPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial" => Ok(ExecPolicy::Serial),
+            "parallel" => Ok(ExecPolicy::Parallel),
+            other => Err(format!("unknown exec policy {other:?} (serial|parallel)")),
+        }
+    }
+}
+
+/// Maps `f` over `items` under the given policy, preserving input order.
+pub fn map_vec<T, R, F>(policy: ExecPolicy, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    #[cfg(feature = "parallel")]
+    if policy == ExecPolicy::Parallel {
+        use rayon::prelude::*;
+        return items.into_par_iter().map(f).collect();
+    }
+    let _ = policy;
+    items.into_iter().map(f).collect()
+}
+
+/// Fallible [`map_vec`]: collects into `Result`, returning the first error
+/// in input order.
+///
+/// # Errors
+///
+/// Returns the first `Err` produced by `f`, in input order.
+pub fn try_map_vec<T, R, E, F>(policy: ExecPolicy, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync + Send,
+{
+    #[cfg(feature = "parallel")]
+    if policy == ExecPolicy::Parallel {
+        use rayon::prelude::*;
+        return items.into_par_iter().map(f).collect();
+    }
+    let _ = policy;
+    items.into_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_parse_and_display() {
+        assert_eq!("serial".parse::<ExecPolicy>(), Ok(ExecPolicy::Serial));
+        assert_eq!("parallel".parse::<ExecPolicy>(), Ok(ExecPolicy::Parallel));
+        assert!("threads".parse::<ExecPolicy>().is_err());
+        assert_eq!(ExecPolicy::Serial.to_string(), "serial");
+        assert_eq!(ExecPolicy::default(), ExecPolicy::Parallel);
+        assert_eq!(ExecPolicy::Serial.threads(), 1);
+        assert!(ExecPolicy::Parallel.threads() >= 1);
+    }
+
+    #[test]
+    fn map_vec_matches_serial_map() {
+        let items: Vec<u64> = (0..5000).collect();
+        let serial = map_vec(ExecPolicy::Serial, items.clone(), |i| i * 3 + 1);
+        let parallel = map_vec(ExecPolicy::Parallel, items, |i| i * 3 + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn try_map_vec_reports_first_error_in_input_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let ok: Result<Vec<u32>, String> =
+            try_map_vec(ExecPolicy::Parallel, items.clone(), |i| Ok(i + 1));
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<u32>, String> = try_map_vec(ExecPolicy::Parallel, items, |i| {
+            if i >= 40 {
+                Err(format!("fail {i}"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(err.unwrap_err(), "fail 40");
+    }
+}

@@ -146,6 +146,13 @@ impl FeatureMatrix {
         }
     }
 
+    /// Removes every row, keeping the allocation and the column width —
+    /// lets fold/split loops reuse one gather buffer instead of allocating
+    /// a matrix per fold.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Number of columns in every row.
     #[must_use]
     pub fn dim(&self) -> usize {
@@ -211,6 +218,18 @@ mod tests {
         assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
         let collected: Vec<&[f64]> = m.iter().collect();
         assert_eq!(collected, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn clear_keeps_dim_and_capacity() {
+        let mut m = FeatureMatrix::with_capacity(2, 8);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.dim(), 2);
+        m.push_row(&[5.0, 6.0]);
+        assert_eq!(m.row(0), &[5.0, 6.0]);
     }
 
     #[test]

@@ -38,10 +38,12 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod exec;
 pub mod features;
 pub mod kernels;
 pub mod matrix;
 pub mod stats;
 
+pub use exec::ExecPolicy;
 pub use features::FeatureMatrix;
 pub use matrix::{Matrix, NumericsError};

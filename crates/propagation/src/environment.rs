@@ -1,5 +1,9 @@
 //! The composed radio environment: APs + walls + propagation models.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 
 use aerorem_spatial::Vec3;
@@ -10,6 +14,54 @@ use crate::fading::FadingModel;
 use crate::pathloss::PathLossModel;
 use crate::shadowing::ShadowingField;
 use crate::walls::{total_wall_loss_db, Wall};
+
+/// Cache key: the AP identity plus the exact bit patterns of the query
+/// position. Keying on bits (not approximate values) means a hit can only
+/// ever return the exact `f64` a fresh computation would produce — the
+/// cache is invisible to every downstream consumer.
+type LinkKey = (MacAddress, [u64; 3]);
+
+/// Memoizes the deterministic large-scale link budget
+/// (pathloss + wall losses + shadowing) per `(AP, position)`.
+///
+/// Campaign scans revisit the same waypoint for every beacon of every AP,
+/// so the same wall-intersection walk is otherwise recomputed dozens of
+/// times per waypoint. The environment is immutable after
+/// [`RadioEnvironmentBuilder::build`], so entries never need invalidation.
+///
+/// Disabled by default; cloning or deserializing an environment yields a
+/// fresh, cold, disabled cache (the cache is transparent state, not data).
+#[derive(Debug, Default)]
+struct LinkCache {
+    enabled: AtomicBool,
+    map: Mutex<HashMap<LinkKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LinkCache {
+    fn lookup(&self, key: &LinkKey) -> Option<f64> {
+        let hit = self.map.lock().expect("link cache lock").get(key).copied();
+        match hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, key: LinkKey, value: f64) {
+        self.map.lock().expect("link cache lock").insert(key, value);
+    }
+}
+
+impl Clone for LinkCache {
+    fn clone(&self) -> Self {
+        // A clone starts cold and disabled: cached values are a pure
+        // function of the (immutable) environment, so nothing is lost, and
+        // counters describe one environment's usage only.
+        LinkCache::default()
+    }
+}
 
 /// A static indoor radio environment: the ground truth the UAVs sample and
 /// the ML layer tries to reconstruct.
@@ -47,6 +99,8 @@ pub struct RadioEnvironment {
     shadowing: ShadowingField,
     fading: FadingModel,
     noise_floor_dbm: f64,
+    #[serde(skip)]
+    link_cache: LinkCache,
 }
 
 impl RadioEnvironment {
@@ -92,12 +146,56 @@ impl RadioEnvironment {
 
     /// Deterministic large-scale RSS of `ap` at `pos`, in dBm:
     /// `tx − pathloss(d) − Σ wall losses + shadowing(ap, pos)`.
+    ///
+    /// With the link cache enabled (see
+    /// [`RadioEnvironment::set_link_cache_enabled`]) the value is memoized
+    /// per `(AP, position)`; a cached result is the bit-exact `f64` a fresh
+    /// computation would return, because the environment is immutable and
+    /// the key is the position's exact bit pattern.
     pub fn mean_rss(&self, ap: &AccessPoint, pos: Vec3) -> f64 {
+        if !self.link_cache.enabled.load(Ordering::Relaxed) {
+            return self.compute_mean_rss(ap, pos);
+        }
+        let key = (ap.mac, [pos.x.to_bits(), pos.y.to_bits(), pos.z.to_bits()]);
+        if let Some(v) = self.link_cache.lookup(&key) {
+            return v;
+        }
+        let v = self.compute_mean_rss(ap, pos);
+        self.link_cache.insert(key, v);
+        v
+    }
+
+    /// The uncached link-budget computation behind [`RadioEnvironment::mean_rss`].
+    fn compute_mean_rss(&self, ap: &AccessPoint, pos: Vec3) -> f64 {
         let d = ap.position.distance(pos);
         let pl = self.pathloss.loss_db(d, ap.channel.center_mhz());
         let wl = total_wall_loss_db(&self.walls, ap.position, pos);
         let sh = self.shadowing.sample(mac_seed(ap.mac), pos);
         ap.tx_power_dbm - pl - wl + sh
+    }
+
+    /// Turns the per-`(AP, position)` link cache on or off.
+    ///
+    /// Enabling is safe at any point: the environment is immutable, so a
+    /// cached entry can never go stale. Disabling stops lookups but keeps
+    /// existing entries and counters.
+    pub fn set_link_cache_enabled(&self, enabled: bool) {
+        self.link_cache.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the link cache is currently consulted by
+    /// [`RadioEnvironment::mean_rss`].
+    pub fn link_cache_enabled(&self) -> bool {
+        self.link_cache.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime `(hits, misses)` of the link cache (both zero while it has
+    /// never been enabled).
+    pub fn link_cache_stats(&self) -> (u64, u64) {
+        (
+            self.link_cache.hits.load(Ordering::Relaxed),
+            self.link_cache.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// One received-beacon RSS sample: the large-scale mean plus a fast
@@ -202,6 +300,7 @@ impl RadioEnvironmentBuilder {
             shadowing: self.shadowing,
             fading: self.fading,
             noise_floor_dbm: self.noise_floor_dbm,
+            link_cache: LinkCache::default(),
         }
     }
 }
@@ -314,6 +413,74 @@ mod tests {
     #[should_panic(expected = "negative dBm")]
     fn positive_noise_floor_rejected() {
         RadioEnvironment::builder().noise_floor_dbm(10.0);
+    }
+
+    #[test]
+    fn link_cache_returns_bit_identical_values() {
+        let env = one_ap_env();
+        let ap = &env.access_points()[0];
+        let positions: Vec<Vec3> = (0..30)
+            .map(|i| Vec3::new((i % 6) as f64 * 1.7, (i / 6) as f64 * 2.3, 1.5))
+            .collect();
+        let uncached: Vec<f64> = positions.iter().map(|&p| env.mean_rss(ap, p)).collect();
+        assert_eq!(env.link_cache_stats(), (0, 0), "disabled cache counts nothing");
+
+        env.set_link_cache_enabled(true);
+        let first: Vec<f64> = positions.iter().map(|&p| env.mean_rss(ap, p)).collect();
+        let second: Vec<f64> = positions.iter().map(|&p| env.mean_rss(ap, p)).collect();
+        assert_eq!(uncached, first, "cold pass matches uncached bits");
+        assert_eq!(uncached, second, "warm pass matches uncached bits");
+        let (hits, misses) = env.link_cache_stats();
+        assert_eq!(misses, positions.len() as u64);
+        assert_eq!(hits, positions.len() as u64);
+    }
+
+    #[test]
+    fn link_cache_keys_on_ap_and_exact_position() {
+        let env = RadioEnvironment::builder()
+            .access_points([
+                AccessPoint::new(
+                    MacAddress::from_index(1),
+                    "A".into(),
+                    WifiChannel::new(1).unwrap(),
+                    17.0,
+                    Vec3::new(12.0, 0.0, 1.5),
+                ),
+                AccessPoint::new(
+                    MacAddress::from_index(2),
+                    "B".into(),
+                    WifiChannel::new(11).unwrap(),
+                    14.0,
+                    Vec3::new(-3.0, 8.0, 2.5),
+                ),
+            ])
+            .build();
+        env.set_link_cache_enabled(true);
+        let p = Vec3::new(1.0, 2.0, 1.0);
+        let a = env.mean_rss(&env.access_points()[0], p);
+        let b = env.mean_rss(&env.access_points()[1], p);
+        assert_ne!(a, b, "two APs at one position must not collide in the cache");
+        // A nearby-but-not-identical position is a distinct key, not a hit.
+        let (hits_before, _) = env.link_cache_stats();
+        env.mean_rss(&env.access_points()[0], Vec3::new(1.0 + 1e-12, 2.0, 1.0));
+        let (hits_after, _) = env.link_cache_stats();
+        assert_eq!(hits_before, hits_after);
+    }
+
+    #[test]
+    fn cloned_environment_starts_with_a_cold_disabled_cache() {
+        let env = one_ap_env();
+        env.set_link_cache_enabled(true);
+        env.mean_rss(&env.access_points()[0], Vec3::new(0.5, 0.5, 1.5));
+        let cloned = env.clone();
+        assert!(!cloned.link_cache_enabled());
+        assert_eq!(cloned.link_cache_stats(), (0, 0));
+        // And the clone still computes the same values.
+        let p = Vec3::new(2.0, 3.0, 1.5);
+        assert_eq!(
+            env.mean_rss(&env.access_points()[0], p),
+            cloned.mean_rss(&cloned.access_points()[0], p)
+        );
     }
 
     #[test]

@@ -177,8 +177,40 @@ fn demo(flags: &Flags) -> Result<(), String> {
         rem.max_dbm()
     );
     print!("{}", inst.report());
+    report_stage_throughput(&inst);
     report_lattice_throughput(&inst);
+    report_link_cache(&inst);
     Ok(())
+}
+
+/// Prints items-per-second for the simulation and training stages.
+fn report_stage_throughput(inst: &Instrumentation) {
+    for (stage, counter, unit) in [
+        ("campaign", "raw_samples", "samples/s"),
+        ("preprocess", "retained_samples", "samples/s"),
+        ("evaluate_models", "models_evaluated", "models/s"),
+    ] {
+        if let Some(rate) = inst.throughput(stage, counter) {
+            println!("{stage}: {rate:.1} {unit}");
+        }
+    }
+}
+
+/// Prints the campaign link-cache hit rate when the cache saw any traffic.
+fn report_link_cache(inst: &Instrumentation) {
+    let (Some(hits), Some(misses)) = (
+        inst.counter("link_cache_hits"),
+        inst.counter("link_cache_misses"),
+    ) else {
+        return;
+    };
+    let total = hits + misses;
+    if total > 0 {
+        println!(
+            "link cache: {hits}/{total} lookups hit ({:.1}%)",
+            hits as f64 / total as f64 * 100.0
+        );
+    }
 }
 
 /// Prints rows-per-second for the batched REM stages when both the stage

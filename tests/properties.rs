@@ -298,6 +298,132 @@ proptest! {
         }
     }
 
+    /// `fit_batch` must leave every estimator in exactly the state `fit`
+    /// would — training through a flat [`FeatureMatrix`] is a performance
+    /// optimization, never a numerical change. Two zoos are built
+    /// identically, one trained row-nested and one trained flat, and every
+    /// prediction must agree bit for bit.
+    #[test]
+    fn fit_batch_matches_fit_across_the_zoo(
+        seed in 0u64..15,
+        n_queries in 1usize..8,
+    ) {
+        use aerorem::ml::baseline::{GlobalMean, GroupMeanBaseline};
+        use aerorem::ml::ensemble::PerGroupKnn;
+        use aerorem::ml::idw::IdwInterpolator;
+        use aerorem::ml::kriging::{KrigingConfig, OrdinaryKriging};
+        use aerorem::ml::mlp::{Activation, Mlp, MlpConfig};
+        use aerorem::ml::FeatureMatrix;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let row = |rng: &mut rand::rngs::StdRng, g: usize| {
+            vec![
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..3.0),
+                rng.gen_range(0.0..2.0),
+                if g == 0 { 1.0 } else { 0.0 },
+                if g == 1 { 1.0 } else { 0.0 },
+            ]
+        };
+        let x: Vec<Vec<f64>> = (0..40).map(|i| row(&mut rng, i % 2)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| -60.0 - 2.0 * r[0] - r[1] + 0.5 * r[2] - 5.0 * r[4])
+            .collect();
+        let queries: Vec<Vec<f64>> = (0..n_queries).map(|i| row(&mut rng, i % 2)).collect();
+        let scale = {
+            let mut s = vec![1.0; 5];
+            s[3] = 3.0;
+            s[4] = 3.0;
+            s
+        };
+        let make_zoo = || -> Vec<Box<dyn Regressor>> {
+            vec![
+                Box::new(GlobalMean::new()),
+                Box::new(GroupMeanBaseline::new(3..5).unwrap()),
+                Box::new(KnnRegressor::new(3, Weighting::Distance, 2.0).unwrap()),
+                Box::new(KnnRegressor::new(4, Weighting::Uniform, 1.0).unwrap()),
+                Box::new(
+                    KnnRegressor::new(8, Weighting::Distance, 2.0)
+                        .unwrap()
+                        .with_feature_scaling(scale.clone())
+                        .unwrap(),
+                ),
+                Box::new(PerGroupKnn::new(3..5, 2, Weighting::Distance, 2.0).unwrap()),
+                Box::new(Mlp::new(MlpConfig {
+                    hidden: vec![(8, Activation::Sigmoid)],
+                    epochs: 5,
+                    ..MlpConfig::paper_tuned()
+                })),
+                Box::new(IdwInterpolator::new(2.0, Some(8)).unwrap()),
+                Box::new(OrdinaryKriging::new(KrigingConfig::default())),
+            ]
+        };
+        let xm = FeatureMatrix::from_rows(&x).unwrap();
+        let mut nested = make_zoo();
+        let mut flat = make_zoo();
+        for (a, b) in nested.iter_mut().zip(&mut flat) {
+            a.fit(&x, &y).unwrap();
+            b.fit_batch(&xm, &y).unwrap();
+        }
+        for (a, b) in nested.iter().zip(&flat) {
+            for q in &queries {
+                prop_assert_eq!(a.predict_one(q).unwrap(), b.predict_one(q).unwrap());
+            }
+        }
+    }
+
+    /// Grid search must rank candidates identically — names and RMSE bits —
+    /// under both execution policies, for any seed.
+    #[test]
+    fn grid_search_policy_identity(seed in 0u64..100) {
+        use aerorem::ml::dataset::Dataset;
+        use aerorem::ml::gridsearch::{grid_search_with, knn_grid};
+        use aerorem::numerics::ExecPolicy;
+        use rand::SeedableRng;
+        let data = Dataset::new(
+            (0..50).map(|i| vec![i as f64 / 7.0, (i % 4) as f64]).collect(),
+            (0..50).map(|i| -60.0 - (i % 9) as f64 * 1.1).collect(),
+        ).unwrap();
+        let serial = grid_search_with(
+            knn_grid(&[1, 3, 8]),
+            &data,
+            0.25,
+            &mut rand::rngs::StdRng::seed_from_u64(seed),
+            ExecPolicy::Serial,
+        ).unwrap();
+        let parallel = grid_search_with(
+            knn_grid(&[1, 3, 8]),
+            &data,
+            0.25,
+            &mut rand::rngs::StdRng::seed_from_u64(seed),
+            ExecPolicy::Parallel,
+        ).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Fold-parallel cross-validation must return the exact per-fold RMSEs
+    /// of the serial loop, for any seed and fold count.
+    #[test]
+    fn cross_validate_policy_identity(seed in 0u64..100, k in 2usize..6) {
+        use aerorem::ml::crossval::cross_validate_with;
+        use aerorem::ml::dataset::Dataset;
+        use aerorem::numerics::ExecPolicy;
+        use rand::SeedableRng;
+        let data = Dataset::new(
+            (0..36).map(|i| vec![i as f64, (i % 5) as f64 * 0.4]).collect(),
+            (0..36).map(|i| -55.0 - (i % 7) as f64).collect(),
+        ).unwrap();
+        let make = KnnRegressor::paper_tuned;
+        let serial = cross_validate_with(
+            &data, k, &mut rand::rngs::StdRng::seed_from_u64(seed), make, ExecPolicy::Serial,
+        ).unwrap();
+        let parallel = cross_validate_with(
+            &data, k, &mut rand::rngs::StdRng::seed_from_u64(seed), make, ExecPolicy::Parallel,
+        ).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
     #[test]
     fn variogram_monotone_nondecreasing(
         nugget in finite_f64(0.0..2.0),
@@ -409,5 +535,34 @@ proptest! {
                 prop_assert!(q.velocity().norm() <= 0.6 + 1e-9);
             }
         }
+    }
+}
+
+/// The per-AP link cache memoizes a deterministic quantity, so a cached
+/// campaign must emit a bit-identical report for any seed. Campaigns are
+/// expensive (a full fleet simulation per run), so this sweeps a fixed
+/// handful of seeds as a plain test instead of a proptest.
+#[test]
+fn cached_campaign_reports_are_bit_identical() {
+    use aerorem::mission::{Campaign, CampaignConfig, FleetPlan};
+    use aerorem::simkit::SimDuration;
+    use rand::SeedableRng;
+    let config = |link_cache: bool| CampaignConfig {
+        fleet_plan: FleetPlan {
+            fleet_size: 2,
+            total_waypoints: 12,
+            travel_time: SimDuration::from_secs(2),
+            scan_time: SimDuration::from_secs(2),
+        },
+        link_cache,
+        ..CampaignConfig::paper_demo()
+    };
+    for seed in [0u64, 7, 1234, 0xAE90] {
+        let cached = Campaign::new(config(true))
+            .run(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let uncached = Campaign::new(config(false))
+            .run(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        assert_eq!(cached.samples, uncached.samples, "seed {seed}");
+        assert_eq!(cached.total_time, uncached.total_time, "seed {seed}");
     }
 }
