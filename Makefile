@@ -1,9 +1,9 @@
 # Developer entry points. `make check` is the full gate run in CI and
 # before every commit; the individual targets exist for quicker loops.
 
-.PHONY: check build test doc clippy bench-build bench-check bench bench-diff timing
+.PHONY: check build test doc clippy bench-build bench-check bench bench-diff timing faults faults-check
 
-check: build test doc clippy bench-build bench-check
+check: build test doc clippy bench-build bench-check faults-check
 
 build:
 	cargo build --release
@@ -38,6 +38,19 @@ bench:
 # (>25 % wall-time regressions fail; see scripts/bench_diff).
 bench-diff:
 	./scripts/bench_diff
+
+# Full-size failure-injection suite under both execution-policy arms
+# (default features = parallel, --no-default-features = serial): retries,
+# lossy-link quarantine, battery abort, checkpoint/resume bit-identity.
+faults:
+	cargo test -q --test failure_injection
+	cargo test -q --no-default-features --test failure_injection
+
+# Smoke-sized variant of `faults` for the `check` gate: same assertions,
+# shrunken campaigns (AEROREM_FAULTS_SMOKE=1).
+faults-check:
+	AEROREM_FAULTS_SMOKE=1 cargo test -q --test failure_injection
+	AEROREM_FAULTS_SMOKE=1 cargo test -q --no-default-features --test failure_injection
 
 # Serial-vs-parallel pipeline timing table (see EXPERIMENTS.md).
 timing:

@@ -6,7 +6,7 @@
 //! ```
 
 use aerorem_bench::{
-    adaptive, density, imurate, montecarlo, endurance, fig5, fig6, fig7, fig8, fleet, lighthouse_cmp, loc, paper_campaign,
+    adaptive, density, imurate, montecarlo, endurance, faults, fig5, fig6, fig7, fig8, fleet, lighthouse_cmp, loc, paper_campaign,
     pipeline_timing, prep, queue, sequential, shadow, stats,
 };
 use aerorem_bench::DEFAULT_SEED;
@@ -35,6 +35,7 @@ fn main() {
     if commands.iter().any(|c| c == "all") {
         commands = [
             "fig5", "fig6", "fig7", "fig8", "endurance", "stats", "prep", "loc", "queue",
+            "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -108,6 +109,7 @@ fn main() {
                 Err(e) => format!("timing failed: {e}\n"),
             },
             "queue" => queue::render(&queue::run(seed)),
+            "faults" => faults::render(&faults::run(seed)),
             other => usage(&format!("unknown experiment {other:?}")),
         };
         println!("=== {cmd} ===\n{output}");

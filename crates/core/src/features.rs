@@ -140,12 +140,13 @@ impl FeatureLayout {
             .get(&mac)
             .expect("every encoded MAC has a channel");
         out.extend([position.x, position.y, position.z]);
-        self.mac_encoder
-            .encode_into(&mac, out)
-            .expect("presence checked above");
-        self.channel_encoder
-            .encode_into(&ch, out)
-            .expect("channel encoder covers observed channels");
+        // Presence was checked above and the channel encoder covers every
+        // observed channel, so both encodings are Known; an Unknown would
+        // still zero-fill and keep the row aligned.
+        let mac_enc = self.mac_encoder.encode_into(&mac, out);
+        debug_assert!(mac_enc.is_known(), "presence checked above");
+        let ch_enc = self.channel_encoder.encode_into(&ch, out);
+        debug_assert!(ch_enc.is_known(), "channel encoder covers observed channels");
         Ok(())
     }
 

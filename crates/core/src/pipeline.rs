@@ -274,6 +274,24 @@ impl RemPipeline {
         let (lc_hits, lc_misses) = campaign.environment.link_cache_stats();
         inst.count("link_cache_hits", lc_hits);
         inst.count("link_cache_misses", lc_misses);
+        // Fault-recovery counters: how much the retry/reassembly machinery
+        // had to work, and what was still lost (ISSUE: honest loss split).
+        let (mut retries, mut recovered, mut faults) = (0u64, 0u64, 0u64);
+        let (mut lost, mut corrupted, mut dropped) = (0u64, 0u64, 0u64);
+        for leg in &campaign.legs {
+            retries += leg.scan_retries;
+            recovered += leg.scans_recovered;
+            faults += leg.receiver_faults;
+            lost += leg.rows_lost;
+            corrupted += leg.rows_corrupted;
+            dropped += leg.packets_dropped;
+        }
+        inst.count("scan_retries", retries);
+        inst.count("scans_recovered", recovered);
+        inst.count("receiver_faults", faults);
+        inst.count("rows_lost", lost);
+        inst.count("rows_corrupted", corrupted);
+        inst.count("packets_dropped", dropped);
         inst.count("raw_samples", campaign.samples.len() as u64);
         inst.count("retained_samples", preprocess_report.retained_samples as u64);
         inst.count("dropped_samples", preprocess_report.dropped_samples as u64);

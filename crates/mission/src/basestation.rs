@@ -14,7 +14,7 @@ use aerorem_propagation::{InterferenceSource, RadioEnvironment};
 use aerorem_radio::crtp::{CrtpPacket, CrtpPort};
 use aerorem_radio::link::{LinkConfig, RadioLink};
 use aerorem_radio::Crazyradio;
-use aerorem_scanner::parse::parse_cwlap_row;
+use aerorem_scanner::parse::{format_cwlap_row, parse_cwlap_row};
 use aerorem_scanner::{Esp01Receiver, MeasurementContext, RemReceiver};
 use aerorem_simkit::{SimDuration, SimTime, TraceLog};
 use aerorem_spatial::Vec3;
@@ -22,6 +22,7 @@ use aerorem_uav::firmware::FirmwareConfig;
 use aerorem_uav::{FlightMode, Uav, UavId};
 
 use crate::plan::{MissionPlan, UavLeg};
+use crate::recovery::{RetryPolicy, ScanFaultInjection};
 use crate::samples::{Sample, SampleSet};
 
 /// Physics step of the simulation loop (100 Hz, the Crazyflie's outer
@@ -49,12 +50,19 @@ pub struct LegOutcome {
     pub shutdown: bool,
     /// Scan-row CRTP packets lost to uplink-queue overflow.
     pub packets_dropped: u64,
-    /// Scan rows that could not be recovered on the base station (lost or
-    /// corrupted by dropped packets).
+    /// Scan rows that vanished entirely: no byte of them survived the
+    /// uplink.
     pub rows_lost: u64,
-    /// Waypoints whose scan failed because the receiver driver errored
-    /// (module fault, invalid state). The mission continues past them.
+    /// Scan rows that arrived damaged — clipped by a fragment gap or
+    /// failing to parse — and were refused admission into the sample set.
+    pub rows_corrupted: u64,
+    /// Failed scan attempts (driver errors: module fault, invalid state).
+    /// With retries enabled one waypoint can contribute several.
     pub receiver_faults: u64,
+    /// Scan re-attempts made under the client's [`RetryPolicy`].
+    pub scan_retries: u64,
+    /// Waypoints whose scan succeeded only thanks to a retry.
+    pub scans_recovered: u64,
     /// The location-annotated samples recovered by the client.
     pub samples: SampleSet,
 }
@@ -69,6 +77,8 @@ pub struct BaseStationClient {
     /// e.g. another UAV's active Crazyradio when flying concurrently
     /// instead of the paper's sequential schedule.
     background_interferers: Vec<InterferenceSource>,
+    retry: RetryPolicy,
+    fault_injection: Option<ScanFaultInjection>,
     trace: TraceLog,
 }
 
@@ -93,8 +103,32 @@ impl BaseStationClient {
             firmware,
             ranging,
             background_interferers: Vec::new(),
+            retry: RetryPolicy::default(),
+            fault_injection: None,
             trace: TraceLog::new(),
         }
+    }
+
+    /// Arms deterministic receiver-fault injection: every ESP-01 built by
+    /// [`BaseStationClient::fly_leg`] follows the schedule. Used by the
+    /// failure-injection suite and the `faults` experiment.
+    pub fn with_scan_fault_injection(mut self, injection: ScanFaultInjection) -> Self {
+        self.fault_injection = Some(injection);
+        self
+    }
+
+    /// Replaces the scan [`RetryPolicy`] (default:
+    /// [`RetryPolicy::paper_default`]). [`RetryPolicy::none`] restores the
+    /// skip-on-first-fault behaviour. The policy is RNG-stream-safe: on a
+    /// fault-free leg every policy flies bit-identically.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The active scan retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Adds interference sources that stay active during scans — modelling
@@ -135,7 +169,10 @@ impl BaseStationClient {
         start_time: SimTime,
         rng: &mut R,
     ) -> (LegOutcome, SimTime) {
-        let mut receiver = Esp01Receiver::new();
+        let mut receiver = match self.fault_injection {
+            Some(inj) => Esp01Receiver::with_fault_injection(inj.period, inj.burst),
+            None => Esp01Receiver::new(),
+        };
         receiver
             .init()
             .expect("simulated ESP-01 always initializes");
@@ -145,7 +182,9 @@ impl BaseStationClient {
     /// Flies one leg with **any** REM-generating receiver — the §II-A
     /// technology-agnostic integration point. The receiver must already be
     /// initialized; driver errors during a scan are counted in
-    /// [`LegOutcome::receiver_faults`] and the mission continues.
+    /// [`LegOutcome::receiver_faults`], retried under the client's
+    /// [`RetryPolicy`] (re-init + fresh scan window at the same waypoint),
+    /// and the mission continues past waypoints that stay faulted.
     #[allow(clippy::too_many_arguments)]
     pub fn fly_leg_with_receiver<R: Rng>(
         &mut self,
@@ -178,7 +217,10 @@ impl BaseStationClient {
             shutdown: false,
             packets_dropped: 0,
             rows_lost: 0,
+            rows_corrupted: 0,
             receiver_faults: 0,
+            scan_retries: 0,
+            scans_recovered: 0,
             samples: SampleSet::new(),
         };
 
@@ -205,7 +247,11 @@ impl BaseStationClient {
                 break;
             }
 
-            // Scan: radio down, feedback task up, ESP scanning.
+            // Scan: radio down, feedback task up, ESP scanning. A faulted
+            // scan is retried under the client's RetryPolicy — receiver
+            // re-initialized, fresh scan window — before the waypoint is
+            // skipped. On the fault-free path no extra RNG draws or sim
+            // steps happen, so every policy flies bit-identically.
             let hold = uav.estimated_position();
             self.radio.set_transmitting(false);
             link.set_radio_on(false);
@@ -215,48 +261,87 @@ impl BaseStationClient {
                 .begin_scan_hold(now, hold)
                 .expect("paper firmware has the feedback task");
             uav.set_scanning(true);
-            let scan_end = now + plan.scan_time;
-            while now < scan_end {
-                now += SimDuration::from_secs_f64(DT);
-                uav.step(now, DT, anchors, rng);
-            }
-            // The measurement completes at the end of the window; this
-            // client's Crazyradio is off, but any *background* interferers
-            // (a concurrently flying UAV's radio) remain on the air.
-            let mut interferers: Vec<_> = self.radio.interference().into_iter().collect();
-            interferers.extend(self.background_interferers.iter().copied());
-            let ctx = MeasurementContext::new(env, uav.true_position(), &interferers);
-            let observations = match receiver
-                .measure(&ctx, rng as &mut dyn rand::RngCore)
-                .and_then(|()| receiver.take_observations())
-            {
-                Ok(obs) => obs,
-                Err(_) => {
-                    // A faulted receiver yields no rows at this waypoint;
-                    // the flight itself continues.
-                    outcome.receiver_faults += 1;
-                    Vec::new()
+            let mut observations = Vec::new();
+            let mut retries = 0u32;
+            loop {
+                let scan_end = now + plan.scan_time;
+                while now < scan_end {
+                    now += SimDuration::from_secs_f64(DT);
+                    uav.step(now, DT, anchors, rng);
                 }
-            };
+                // The measurement completes at the end of the window; this
+                // client's Crazyradio is off, but any *background*
+                // interferers (a concurrently flying UAV's radio) remain on
+                // the air.
+                let mut interferers: Vec<_> =
+                    self.radio.interference().into_iter().collect();
+                interferers.extend(self.background_interferers.iter().copied());
+                let ctx = MeasurementContext::new(env, uav.true_position(), &interferers);
+                match receiver
+                    .measure(&ctx, rng as &mut dyn rand::RngCore)
+                    .and_then(|()| receiver.take_observations())
+                {
+                    Ok(obs) => {
+                        observations = obs;
+                        if retries > 0 {
+                            outcome.scans_recovered += 1;
+                            self.trace.record(
+                                now,
+                                "client",
+                                format!(
+                                    "scan recovered at waypoint {wp_index} after {retries} retries"
+                                ),
+                            );
+                        }
+                        break;
+                    }
+                    Err(_) => {
+                        outcome.receiver_faults += 1;
+                        if retries >= self.retry.max_retries
+                            || !matches!(uav.mode(), FlightMode::Airborne)
+                        {
+                            // Out of attempts (or the airframe is in
+                            // trouble): the waypoint yields no rows and the
+                            // flight continues.
+                            break;
+                        }
+                        // Hold position for the deterministic backoff while
+                        // the receiver re-initializes, then re-scan. A
+                        // failed re-init leaves the receiver faulted and
+                        // simply burns the attempt.
+                        let backoff_end = now + self.retry.backoff(retries);
+                        retries += 1;
+                        outcome.scan_retries += 1;
+                        self.trace.record(
+                            now,
+                            "client",
+                            format!("receiver fault at waypoint {wp_index}; retry {retries}"),
+                        );
+                        while now < backoff_end {
+                            now += SimDuration::from_secs_f64(DT);
+                            uav.step(now, DT, anchors, rng);
+                        }
+                        let _ = receiver.init();
+                    }
+                }
+            }
             uav.set_scanning(false);
             uav.commander_mut().end_scan_hold();
 
-            // Ship the rows through the (still offline) uplink queue.
+            // Ship the rows through the (still offline) uplink queue as
+            // sequence-numbered fragments.
             let annotated_pos = uav.estimated_position();
             let annotated_truth = uav.true_position();
             let mut wire = String::new();
             for o in &observations {
-                wire.push_str(&format!(
-                    "+CWLAP:(\"{}\",{},\"{}\",{})\n",
-                    o.ssid,
-                    o.rssi_dbm,
-                    o.mac,
-                    o.channel.number()
-                ));
+                wire.push_str(&format_cwlap_row(o));
+                wire.push('\n');
             }
             let before_drops = link.uplink_dropped();
+            // An over-long wire (more rows than 255 fragments can carry)
+            // ships nothing; every row then counts as lost below.
             for pkt in CrtpPacket::fragment(CrtpPort::Console, 0, wire.as_bytes())
-                .expect("channel 0 is valid")
+                .unwrap_or_default()
             {
                 let _ = link.enqueue_uplink(pkt);
             }
@@ -275,27 +360,40 @@ impl BaseStationClient {
                 "radio",
                 format!("on; fetched {} packets", delivered.len()),
             );
-            let text = String::from_utf8_lossy(&CrtpPacket::reassemble(&delivered)).into_owned();
+            // Only rows whose every byte arrived between fragment
+            // boundaries are candidates; partial rows at gap edges are
+            // quarantined rather than parsed, so a spliced row can never be
+            // admitted.
+            let recovered_rows = CrtpPacket::reassemble(&delivered).lines();
             let mut recovered = 0u64;
-            for line in text.lines() {
-                // Lines clipped by dropped packets fail to parse and count
-                // as lost below.
-                if let Ok(obs) = parse_cwlap_row(line) {
-                    recovered += 1;
-                    outcome.samples.push(Sample {
-                        uav: leg.uav,
-                        waypoint_index: wp_index,
-                        position: annotated_pos,
-                        true_position: annotated_truth,
-                        ssid: obs.ssid,
-                        mac: obs.mac,
-                        channel: obs.channel,
-                        rssi_dbm: obs.rssi_dbm,
-                        timestamp: now,
-                    });
+            let mut damaged = recovered_rows.quarantined;
+            for line in &recovered_rows.lines {
+                match parse_cwlap_row(line) {
+                    Ok(obs) => {
+                        recovered += 1;
+                        outcome.samples.push(Sample {
+                            uav: leg.uav,
+                            waypoint_index: leg.waypoint_offset + wp_index,
+                            position: annotated_pos,
+                            true_position: annotated_truth,
+                            ssid: obs.ssid,
+                            mac: obs.mac,
+                            channel: obs.channel,
+                            rssi_dbm: obs.rssi_dbm,
+                            timestamp: now,
+                        });
+                    }
+                    Err(_) => damaged += 1,
                 }
             }
-            outcome.rows_lost += (observations.len() as u64).saturating_sub(recovered);
+            // Split the shortfall honestly: rows with surviving evidence of
+            // damage are "corrupted", the remainder vanished outright. (A
+            // gap inside one row can quarantine both its halves, so cap at
+            // the true shortfall.)
+            let missing = (observations.len() as u64).saturating_sub(recovered);
+            let corrupted = damaged.min(missing);
+            outcome.rows_corrupted += corrupted;
+            outcome.rows_lost += missing - corrupted;
             outcome.waypoints_visited += 1;
         }
 

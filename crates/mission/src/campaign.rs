@@ -6,17 +6,20 @@
 //! of wall-clock time. [`Campaign::run`] reproduces the whole procedure and
 //! returns everything the downstream experiments need.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use aerorem_localization::{AnchorConstellation, RangingConfig, RangingMode};
 use aerorem_propagation::building::SyntheticBuilding;
 use aerorem_propagation::RadioEnvironment;
-use aerorem_simkit::{SimDuration, SimTime, TraceLog};
+use aerorem_simkit::{SimDuration, SimTime, TraceEntry, TraceLog};
 use aerorem_spatial::{Aabb, Vec3};
 use aerorem_uav::firmware::FirmwareConfig;
 
 use crate::basestation::{BaseStationClient, LegOutcome};
+use crate::checkpoint::CampaignCheckpoint;
 use crate::plan::{FleetPlan, MissionPlan};
+use crate::recovery::{RetryPolicy, ScanFaultInjection};
 use crate::samples::SampleSet;
 
 /// Everything needed to run a campaign.
@@ -43,6 +46,21 @@ pub struct CampaignConfig {
     /// removes the repeated wall-intersection walks; the cached value is
     /// bit-exact, so reports are identical either way.
     pub link_cache: bool,
+    /// Scan retry policy installed on the base-station client. RNG-stream
+    /// safe: on fault-free legs every policy flies bit-identically.
+    pub retry_policy: RetryPolicy,
+    /// How many times an aborted leg (battery, watchdog) may be re-flown
+    /// over its unvisited tail with a fresh battery. Each re-flight appears
+    /// as its own [`LegOutcome`] and draws from an RNG sub-stream derived
+    /// from the leg's seed, so `run`/`resume` recover identically. Off
+    /// (`0`) in [`CampaignConfig::paper_demo`]: the paper flies two UAVs
+    /// precisely because one battery cannot cover the plan, so battery
+    /// aborts must stay visible in the demo's shape (the fleet-scaling
+    /// experiment depends on it). Recovery campaigns opt in.
+    pub max_leg_reflights: usize,
+    /// Deterministic receiver-fault schedule for failure-injection runs;
+    /// `None` (the default) flies with healthy hardware.
+    pub scan_fault_injection: Option<ScanFaultInjection>,
 }
 
 impl CampaignConfig {
@@ -58,6 +76,9 @@ impl CampaignConfig {
             radio_position: Vec3::new(-1.5, 1.6, 0.8),
             inter_leg_gap: SimDuration::from_secs(30),
             link_cache: true,
+            retry_policy: RetryPolicy::paper_default(),
+            max_leg_reflights: 0,
+            scan_fault_injection: None,
         }
     }
 }
@@ -113,6 +134,19 @@ impl CampaignReport {
                 leg.uav, leg.waypoints_visited, leg.waypoints_planned, leg.active_time
             ));
         }
+        let (mut retries, mut recovered, mut faults, mut lost, mut corrupted) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for leg in &self.legs {
+            retries += leg.scan_retries;
+            recovered += leg.scans_recovered;
+            faults += leg.receiver_faults;
+            lost += leg.rows_lost;
+            corrupted += leg.rows_corrupted;
+        }
+        s.push_str(&format!(
+            "recovery: {recovered} scans recovered over {retries} retries \
+             ({faults} receiver faults); rows lost {lost}, quarantined {corrupted}\n"
+        ));
         s
     }
 }
@@ -132,49 +166,192 @@ impl Campaign {
     /// Runs the whole campaign: generate the world, expand the plan, fly
     /// every leg sequentially, merge the samples.
     ///
+    /// The master `rng` is only used to draw one seed for the environment
+    /// and one per planned leg; each leg flies on its own `StdRng`
+    /// sub-stream. That partitioning is what makes [`Campaign::resume`]
+    /// bit-identical to an uninterrupted run: resuming re-derives the same
+    /// seeds and simply skips the completed legs.
+    ///
     /// # Panics
     ///
     /// Panics if the fleet plan cannot be expanded over the volume (e.g. a
     /// zero-waypoint plan) — campaign configurations are programmer input.
     pub fn run<R: Rng>(&self, rng: &mut R) -> CampaignReport {
+        match self.drive(rng, None, None) {
+            Driven::Finished(report) => *report,
+            Driven::Interrupted(_) => unreachable!("no stop requested"),
+        }
+    }
+
+    /// Flies the first `legs` planned legs, then snapshots and stops —
+    /// simulating a base station interrupted between legs. Feed the
+    /// checkpoint (optionally through its text round trip) to
+    /// [`Campaign::resume`] with a master RNG seeded identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Campaign::run`] on an inexpandable fleet plan.
+    pub fn run_partial<R: Rng>(&self, rng: &mut R, legs: usize) -> CampaignCheckpoint {
+        match self.drive(rng, None, Some(legs)) {
+            Driven::Interrupted(cp) => cp,
+            Driven::Finished(_) => unreachable!("stop_after always snapshots"),
+        }
+    }
+
+    /// Resumes a checkpointed campaign, flying only the missing legs.
+    /// `rng` must be the same master RNG (same seed, fresh state) that
+    /// produced the checkpoint; the result is bit-identical to the
+    /// uninterrupted [`Campaign::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Campaign::run`] on an inexpandable fleet plan.
+    pub fn resume<R: Rng>(&self, rng: &mut R, checkpoint: &CampaignCheckpoint) -> CampaignReport {
+        match self.drive(rng, Some(checkpoint), None) {
+            Driven::Finished(report) => *report,
+            Driven::Interrupted(_) => unreachable!("no stop requested"),
+        }
+    }
+
+    fn drive<R: Rng>(
+        &self,
+        rng: &mut R,
+        resume_from: Option<&CampaignCheckpoint>,
+        stop_after: Option<usize>,
+    ) -> Driven {
         let cfg = &self.config;
-        let environment = cfg.building.generate(cfg.volume, rng);
+        // Partition the master stream: one seed for the world, one per
+        // planned leg. Completed legs never need replaying on resume.
+        let env_seed: u64 = rng.gen();
+        let environment = cfg
+            .building
+            .generate(cfg.volume, &mut StdRng::seed_from_u64(env_seed));
         environment.set_link_cache_enabled(cfg.link_cache);
         let anchors = AnchorConstellation::volume_corners(cfg.volume);
         let plan = cfg
             .fleet_plan
             .expand(cfg.volume)
             .expect("campaign fleet plan must be expandable");
+        let leg_seeds: Vec<u64> = plan.legs.iter().map(|_| rng.gen()).collect();
 
         let mut client = BaseStationClient::new(
             cfg.radio_freq_mhz,
             cfg.radio_position,
             cfg.firmware,
             cfg.ranging,
-        );
+        )
+        .with_retry_policy(cfg.retry_policy);
+        if let Some(inj) = cfg.scan_fault_injection {
+            client = client.with_scan_fault_injection(inj);
+        }
 
         let mut now = SimTime::ZERO;
         let mut samples = SampleSet::new();
-        let mut legs = Vec::with_capacity(plan.legs.len());
+        let mut legs: Vec<LegOutcome> = Vec::new();
+        let mut trace_prefix: Vec<TraceEntry> = Vec::new();
+        let start_leg = match resume_from {
+            Some(cp) => {
+                now = cp.sim_time;
+                for outcome in &cp.outcomes {
+                    samples.merge(outcome.samples.clone());
+                    legs.push(outcome.clone());
+                }
+                trace_prefix = cp.trace.clone();
+                cp.legs_completed
+            }
+            None => 0,
+        };
+
         for (i, leg) in plan.legs.iter().enumerate() {
+            if i < start_leg {
+                continue;
+            }
             if i > 0 {
                 now += cfg.inter_leg_gap;
             }
-            let (outcome, end) = client.fly_leg(&plan, leg, &environment, &anchors, now, rng);
+            let mut leg_rng = StdRng::seed_from_u64(leg_seeds[i]);
+            let (outcome, end) =
+                client.fly_leg(&plan, leg, &environment, &anchors, now, &mut leg_rng);
             now = end;
             samples.merge(outcome.samples.clone());
+            let mut visited = outcome.waypoints_visited;
+            let mut interrupted = outcome.aborted_on_battery || outcome.shutdown;
             legs.push(outcome);
+
+            // An aborted leg's unvisited tail is re-flown with a fresh
+            // battery, on an RNG sub-stream derived from the leg seed — so
+            // run and resume recover identically.
+            let mut current = leg.clone();
+            let mut reflight: u64 = 0;
+            while interrupted && (reflight as usize) < cfg.max_leg_reflights {
+                let Some(tail) = current.recovery_tail(visited) else {
+                    break;
+                };
+                reflight += 1;
+                now += cfg.inter_leg_gap; // battery swap
+                let mut tail_rng =
+                    StdRng::seed_from_u64(reflight_seed(leg_seeds[i], reflight));
+                let (tail_outcome, end) =
+                    client.fly_leg(&plan, &tail, &environment, &anchors, now, &mut tail_rng);
+                now = end;
+                samples.merge(tail_outcome.samples.clone());
+                visited = tail_outcome.waypoints_visited;
+                interrupted = tail_outcome.aborted_on_battery || tail_outcome.shutdown;
+                legs.push(tail_outcome);
+                current = tail;
+            }
+
+            if stop_after.is_some_and(|n| i + 1 >= n) {
+                return Driven::Interrupted(CampaignCheckpoint {
+                    legs_completed: i + 1,
+                    sim_time: now,
+                    outcomes: legs,
+                    trace: merged_trace_entries(&trace_prefix, client.take_trace()),
+                });
+            }
         }
 
-        CampaignReport {
+        // A stop_after beyond the plan still snapshots (a complete one).
+        if stop_after.is_some() {
+            return Driven::Interrupted(CampaignCheckpoint {
+                legs_completed: plan.legs.len(),
+                sim_time: now,
+                outcomes: legs,
+                trace: merged_trace_entries(&trace_prefix, client.take_trace()),
+            });
+        }
+
+        let mut trace = TraceLog::new();
+        for e in merged_trace_entries(&trace_prefix, client.take_trace()) {
+            trace.record(e.time, e.component, e.message);
+        }
+        Driven::Finished(Box::new(CampaignReport {
             samples,
             legs,
             environment,
             plan,
             total_time: now.saturating_since(SimTime::ZERO),
-            trace: client.take_trace(),
-        }
+            trace,
+        }))
     }
+}
+
+/// Outcome of one [`Campaign::drive`] call.
+enum Driven {
+    Finished(Box<CampaignReport>),
+    Interrupted(CampaignCheckpoint),
+}
+
+/// The RNG seed for re-flight number `k` (1-based) of a leg — derived, not
+/// drawn from the master stream, so resume needs no replay.
+fn reflight_seed(leg_seed: u64, k: u64) -> u64 {
+    leg_seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn merged_trace_entries(prefix: &[TraceEntry], log: TraceLog) -> Vec<TraceEntry> {
+    let mut out = prefix.to_vec();
+    out.extend(log.iter().cloned());
+    out
 }
 
 #[cfg(test)]

@@ -44,7 +44,8 @@ impl std::error::Error for ParseCsvError {}
 
 /// Percent-style escaping for SSIDs: commas, quotes, newlines and percent
 /// signs become `%XX`, keeping the CSV single-line and comma-splittable.
-fn escape_ssid(s: &str) -> String {
+/// (Also reused by the campaign checkpoint format for trace messages.)
+pub(crate) fn escape_ssid(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         match b {
@@ -58,7 +59,7 @@ fn escape_ssid(s: &str) -> String {
     out
 }
 
-fn unescape_ssid(s: &str) -> Result<String, String> {
+pub(crate) fn unescape_ssid(s: &str) -> Result<String, String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;

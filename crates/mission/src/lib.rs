@@ -19,6 +19,12 @@
 //! * [`scanflow`] — the firmware ablation (QUEUE experiment): stock
 //!   watchdog/queue vs the paper's patches during a radio-off scan.
 //! * [`csv`] — plain-text persistence of sample sets for downstream tools.
+//! * [`recovery`] — bounded, deterministic retry policies: a faulted
+//!   receiver is re-initialized and the scan re-attempted before the
+//!   waypoint is given up on.
+//! * [`checkpoint`] — campaign checkpoint/resume: per-leg progress is
+//!   persisted after every leg so an interrupted campaign flies only the
+//!   missing waypoints — bit-identical to an uninterrupted run.
 //!
 //! # Examples
 //!
@@ -35,13 +41,17 @@
 #![warn(missing_docs)]
 
 pub mod basestation;
+pub mod checkpoint;
 pub mod csv;
 pub mod campaign;
 pub mod endurance;
 pub mod plan;
+pub mod recovery;
 pub mod samples;
 pub mod scanflow;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use checkpoint::CampaignCheckpoint;
 pub use plan::{FleetPlan, MissionPlan};
+pub use recovery::{RetryPolicy, ScanFaultInjection};
 pub use samples::{Sample, SampleSet};

@@ -28,9 +28,32 @@ pub struct UavLeg {
     pub yaw: f64,
     /// Waypoints in visit order.
     pub waypoints: Vec<Vec3>,
+    /// Index of `waypoints[0]` within the originally planned leg. Zero for
+    /// planned legs; a recovery re-flight of the unvisited tail carries the
+    /// offset so samples keep their original waypoint annotation.
+    pub waypoint_offset: usize,
 }
 
 impl UavLeg {
+    /// The leg that re-flies this leg's unvisited tail after `visited`
+    /// waypoints were completed, preserving waypoint annotations.
+    pub fn recovery_tail(&self, visited: usize) -> Option<UavLeg> {
+        if visited >= self.waypoints.len() {
+            return None;
+        }
+        let remaining = self.waypoints[visited..].to_vec();
+        let first = remaining[0];
+        Some(UavLeg {
+            uav: self.uav,
+            radio_address_id: self.radio_address_id,
+            // A fresh battery launches from under the first missing
+            // waypoint, like a planned leg.
+            start: Vec3::new(first.x, first.y, self.start.z),
+            yaw: self.yaw,
+            waypoints: remaining,
+            waypoint_offset: self.waypoint_offset + visited,
+        })
+    }
     /// Total distance along the leg from start through all waypoints.
     pub fn path_length(&self) -> f64 {
         let mut total = 0.0;
@@ -127,6 +150,7 @@ impl FleetPlan {
                 start,
                 yaw: 0.0,
                 waypoints: leg_points,
+                waypoint_offset: 0,
             });
         }
         Ok(MissionPlan {

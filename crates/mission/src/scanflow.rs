@@ -86,8 +86,10 @@ pub struct ScanFlowOutcome {
     pub position_drift_m: f64,
     /// Scan rows produced by the receiver.
     pub rows_scanned: usize,
-    /// Rows recovered by the base station after the radio came back.
+    /// Rows recovered intact by the base station after the radio came back.
     pub rows_delivered: usize,
+    /// Partial rows quarantined at fragment gaps instead of being parsed.
+    pub rows_quarantined: u64,
     /// CRTP packets lost to queue overflow.
     pub packets_dropped: u64,
 }
@@ -141,13 +143,8 @@ pub fn run_scan_cycle<R: Rng>(
     let rows = receiver.take_observations().expect("output present");
     let mut wire = String::new();
     for o in &rows {
-        wire.push_str(&format!(
-            "+CWLAP:(\"{}\",{},\"{}\",{})\n",
-            o.ssid,
-            o.rssi_dbm,
-            o.mac,
-            o.channel.number()
-        ));
+        wire.push_str(&aerorem_scanner::parse::format_cwlap_row(o));
+        wire.push('\n');
     }
     for pkt in CrtpPacket::fragment(CrtpPort::Console, 0, wire.as_bytes()).expect("valid") {
         let _ = link.enqueue_uplink(pkt);
@@ -155,12 +152,14 @@ pub fn run_scan_cycle<R: Rng>(
     uav.set_scanning(false);
     uav.commander_mut().end_scan_hold();
 
-    // Radio back on; fetch.
+    // Radio back on; fetch. Sequence-numbered reassembly delivers only
+    // rows that survived intact; gap-edge partials are quarantined.
     link.set_radio_on(true);
     let delivered = link.drain_uplink();
-    let text = String::from_utf8_lossy(&CrtpPacket::reassemble(&delivered)).into_owned();
-    let rows_delivered = text
-        .lines()
+    let recovered = CrtpPacket::reassemble(&delivered).lines();
+    let rows_delivered = recovered
+        .lines
+        .iter()
         .filter(|l| aerorem_scanner::parse::parse_cwlap_row(l).is_ok())
         .count();
 
@@ -171,6 +170,7 @@ pub fn run_scan_cycle<R: Rng>(
         position_drift_m: uav.true_position().distance(hold),
         rows_scanned: rows.len(),
         rows_delivered,
+        rows_quarantined: recovered.quarantined,
         packets_dropped: link.uplink_dropped(),
     }
 }

@@ -60,14 +60,21 @@ impl<K: Ord + Clone> OneHotEncoder<K> {
     }
 
     /// Appends the one-hot encoding of `key` onto `out` without allocating.
-    /// Appends exactly [`OneHotEncoder::width`] values on success and
-    /// nothing for unknown keys.
-    pub fn encode_into(&self, key: &K, out: &mut Vec<f64>) -> Option<()> {
-        let col = self.column(key)?;
+    ///
+    /// Always appends exactly [`OneHotEncoder::width`] values: a one-hot
+    /// row for known keys, all zeros for unknown ones — so batched rows
+    /// built via `push_row_with` stay aligned no matter what arrives at
+    /// inference time. The return value says which case occurred.
+    pub fn encode_into(&self, key: &K, out: &mut Vec<f64>) -> CategoryEncoding {
         let start = out.len();
         out.resize(start + self.width(), 0.0);
-        out[start + col] = 1.0;
-        Some(())
+        match self.column(key) {
+            Some(col) => {
+                out[start + col] = 1.0;
+                CategoryEncoding::Known
+            }
+            None => CategoryEncoding::Unknown,
+        }
     }
 
     /// The known categories in column order.
@@ -75,6 +82,24 @@ impl<K: Ord + Clone> OneHotEncoder<K> {
         let mut pairs: Vec<(&K, usize)> = self.columns.iter().map(|(k, &c)| (k, c)).collect();
         pairs.sort_by_key(|&(_, c)| c);
         pairs.into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+/// Whether [`OneHotEncoder::encode_into`] saw a fitted category or
+/// zero-filled an unknown one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "unknown categories are zero-filled; callers deciding admission must check"]
+pub enum CategoryEncoding {
+    /// The key was seen at fit time; one column is hot.
+    Known,
+    /// The key was never fitted; the full width was zero-filled.
+    Unknown,
+}
+
+impl CategoryEncoding {
+    /// True for [`CategoryEncoding::Known`].
+    pub fn is_known(self) -> bool {
+        matches!(self, CategoryEncoding::Known)
     }
 }
 
@@ -203,6 +228,26 @@ mod tests {
         let enc = OneHotEncoder::fit([2u32, 5, 9]);
         assert_eq!(enc.encode(&5), Some(vec![0.0, 1.0, 0.0]));
         assert_eq!(enc.encode(&7), None);
+    }
+
+    #[test]
+    fn encode_into_known_key_appends_one_hot() {
+        let enc = OneHotEncoder::fit([2u32, 5, 9]);
+        let mut out = vec![-1.0];
+        assert!(enc.encode_into(&9, &mut out).is_known());
+        assert_eq!(out, vec![-1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn encode_into_unknown_key_zero_fills_full_width() {
+        // An unknown key must not leave the row short/misaligned: it
+        // appends width() zeros (the all-zero category) and says so.
+        let enc = OneHotEncoder::fit([2u32, 5, 9]);
+        let mut out = vec![7.0];
+        let signal = enc.encode_into(&1234, &mut out);
+        assert_eq!(signal, CategoryEncoding::Unknown);
+        assert!(!signal.is_known());
+        assert_eq!(out, vec![7.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -165,12 +165,7 @@ impl Esp01Module {
         );
         let mut lines: Vec<String> = observations
             .iter()
-            .map(|o| {
-                format!(
-                    "+CWLAP:(\"{}\",{},\"{}\",{})",
-                    o.ssid, o.rssi_dbm, o.mac, o.channel.number()
-                )
-            })
+            .map(crate::parse::format_cwlap_row)
             .collect();
         lines.push("OK".into());
         lines

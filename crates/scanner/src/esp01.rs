@@ -29,6 +29,11 @@ pub struct Esp01Receiver {
     module: Esp01Module,
     status: ReceiverStatus,
     pending_output: Option<Vec<String>>,
+    /// Deterministic fault schedule: within every `fault_period` measure
+    /// attempts, the last `fault_burst` fault. Zero disables injection.
+    fault_period: u32,
+    fault_burst: u32,
+    measures: u32,
 }
 
 impl Esp01Receiver {
@@ -38,7 +43,24 @@ impl Esp01Receiver {
             module: Esp01Module::new(),
             status: ReceiverStatus::Uninitialized,
             pending_output: None,
+            fault_period: 0,
+            fault_burst: 0,
+            measures: 0,
         }
+    }
+
+    /// Creates a driver that deterministically faults: within every
+    /// `period` measure attempts the last `burst` fail with a module fault
+    /// (sticky until the next [`RemReceiver::init`]). A burst longer than
+    /// one survives a single re-init, modelling the flaky ESP-01 modules
+    /// the paper's client had to work around. `period == 0` disables
+    /// injection; the schedule draws no randomness, so runs stay
+    /// reproducible.
+    pub fn with_fault_injection(period: u32, burst: u32) -> Self {
+        let mut rx = Self::new();
+        rx.fault_period = period;
+        rx.fault_burst = burst;
+        rx
     }
 
     /// Creates a driver with custom scan parameters.
@@ -100,6 +122,16 @@ impl RemReceiver for Esp01Receiver {
             return Err(ReceiverError::InvalidState {
                 was: self.status,
                 instruction: "measure",
+            });
+        }
+        let attempt = self.measures;
+        self.measures = self.measures.wrapping_add(1);
+        if self.fault_period > 0
+            && attempt % self.fault_period >= self.fault_period.saturating_sub(self.fault_burst)
+        {
+            self.status = ReceiverStatus::Fault;
+            return Err(ReceiverError::ProtocolError {
+                response: "injected module fault".into(),
             });
         }
         self.status = ReceiverStatus::Busy;
@@ -204,6 +236,25 @@ mod tests {
         };
         let rx = Esp01Receiver::with_scan_config(cfg);
         assert!((rx.measurement_duration_ms() - 1300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_injection_follows_the_schedule() {
+        // period 3, burst 2: attempts 0 ok, 1-2 fault, 3 ok, 4-5 fault...
+        let (env, mut rng) = world();
+        let ctx = MeasurementContext::new(&env, Aabb::paper_volume().center(), &[]);
+        let mut rx = Esp01Receiver::with_fault_injection(3, 2);
+        rx.init().unwrap();
+        assert!(rx.measure(&ctx, &mut rng).is_ok());
+        let _ = rx.take_observations().unwrap();
+        assert!(rx.measure(&ctx, &mut rng).is_err());
+        assert_eq!(rx.status(), ReceiverStatus::Fault);
+        // Sticky until re-init; one re-init is not enough (burst 2).
+        rx.init().unwrap();
+        assert!(rx.measure(&ctx, &mut rng).is_err());
+        rx.init().unwrap();
+        assert!(rx.measure(&ctx, &mut rng).is_ok());
+        let _ = rx.take_observations().unwrap();
     }
 
     #[test]

@@ -30,6 +30,72 @@ impl fmt::Display for ParseCwlapError {
 
 impl std::error::Error for ParseCwlapError {}
 
+/// Formats one observation as a `+CWLAP:("ssid",rssi,"mac",channel)` wire
+/// row — the single formatter shared by the ESP-01 module simulator and the
+/// uplink wire writers, paired with [`parse_cwlap_row`].
+///
+/// SSIDs are escaped (`\"`, `\\`, `\n`, `\r`) so quotes survive the quoted
+/// field and newlines survive the newline-delimited uplink framing.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_propagation::ap::{MacAddress, Ssid};
+/// use aerorem_propagation::scan::BeaconObservation;
+/// use aerorem_propagation::WifiChannel;
+/// use aerorem_scanner::parse::{format_cwlap_row, parse_cwlap_row};
+///
+/// let obs = BeaconObservation {
+///     ssid: Ssid::new("quo\"ted"),
+///     rssi_dbm: -61,
+///     mac: MacAddress::from_index(7),
+///     channel: WifiChannel::new(6).unwrap(),
+/// };
+/// assert_eq!(parse_cwlap_row(&format_cwlap_row(&obs)).unwrap(), obs);
+/// ```
+pub fn format_cwlap_row(obs: &BeaconObservation) -> String {
+    format!(
+        "+CWLAP:(\"{}\",{},\"{}\",{})",
+        escape_ssid(obs.ssid.as_str()),
+        obs.rssi_dbm,
+        obs.mac,
+        obs.channel.number()
+    )
+}
+
+fn escape_ssid(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_ssid(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            '"' => out.push('"'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
 /// Parses one `+CWLAP:("ssid",rssi,"mac",channel)` row.
 ///
 /// # Errors
@@ -52,14 +118,30 @@ pub fn parse_cwlap_row(line: &str) -> Result<BeaconObservation, ParseCwlapError>
         .and_then(|s| s.strip_suffix(')'))
         .ok_or_else(|| ParseCwlapError::new(line, "missing +CWLAP:(...) frame"))?;
 
-    // ssid is quoted and may contain commas; find its closing quote.
+    // ssid is quoted and may contain commas or escaped quotes; find the
+    // first *unescaped* closing quote.
     let body = body
         .strip_prefix('"')
         .ok_or_else(|| ParseCwlapError::new(line, "ssid not quoted"))?;
-    let ssid_end = body
-        .find('"')
-        .ok_or_else(|| ParseCwlapError::new(line, "unterminated ssid"))?;
-    let ssid = &body[..ssid_end];
+    let mut ssid_end = None;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => {
+                ssid_end = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let ssid_end = ssid_end.ok_or_else(|| ParseCwlapError::new(line, "unterminated ssid"))?;
+    let ssid = unescape_ssid(&body[..ssid_end])
+        .ok_or_else(|| ParseCwlapError::new(line, "invalid ssid escape"))?;
     let rest = body[ssid_end + 1..]
         .strip_prefix(',')
         .ok_or_else(|| ParseCwlapError::new(line, "missing field separator after ssid"))?;
@@ -208,13 +290,35 @@ mod tests {
             mac: MacAddress::from_index(99),
             channel: WifiChannel::new(9).unwrap(),
         };
-        let line = format!(
-            "+CWLAP:(\"{}\",{},\"{}\",{})",
-            obs.ssid,
-            obs.rssi_dbm,
-            obs.mac,
-            obs.channel.number()
-        );
-        assert_eq!(parse_cwlap_row(&line).unwrap(), obs);
+        assert_eq!(parse_cwlap_row(&format_cwlap_row(&obs)).unwrap(), obs);
+    }
+
+    #[test]
+    fn round_trip_hostile_ssids() {
+        // Quotes, backslashes, and newlines historically broke the
+        // duplicated unescaped formatters; the shared one must survive them.
+        for ssid in ["say \"hi\"", "back\\slash", "multi\nline", "cr\rlf", "\"", "\\"] {
+            let obs = BeaconObservation {
+                ssid: Ssid::new(ssid),
+                rssi_dbm: -55,
+                mac: MacAddress::from_index(3),
+                channel: WifiChannel::new(4).unwrap(),
+            };
+            let line = format_cwlap_row(&obs);
+            assert!(!line.contains('\n'), "escaped row must stay one line");
+            assert_eq!(parse_cwlap_row(&line).unwrap(), obs, "ssid {ssid:?}");
+        }
+    }
+
+    #[test]
+    fn unescaped_quote_in_ssid_rejected_not_misparsed() {
+        // The old parser took the first quote as the terminator and read
+        // garbage fields; now the row fails loudly instead.
+        assert!(parse_cwlap_row("+CWLAP:(\"a\"b\",-60,\"02:00:00:00:00:01\",1)").is_err());
+    }
+
+    #[test]
+    fn invalid_escape_rejected() {
+        assert!(parse_cwlap_row("+CWLAP:(\"a\\x\",-60,\"02:00:00:00:00:01\",1)").is_err());
     }
 }

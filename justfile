@@ -1,6 +1,6 @@
 # Mirrors the Makefile; use whichever runner you have installed.
 
-check: build test doc clippy bench-build bench-check
+check: build test doc clippy bench-build bench-check faults-check
 
 build:
     cargo build --release
@@ -35,6 +35,19 @@ bench:
 # (>25 % wall-time regressions fail; see scripts/bench_diff).
 bench-diff:
     ./scripts/bench_diff
+
+# Full-size failure-injection suite under both execution-policy arms
+# (default features = parallel, --no-default-features = serial): retries,
+# lossy-link quarantine, battery abort, checkpoint/resume bit-identity.
+faults:
+    cargo test -q --test failure_injection
+    cargo test -q --no-default-features --test failure_injection
+
+# Smoke-sized variant of `faults` for the `check` gate: same assertions,
+# shrunken campaigns (AEROREM_FAULTS_SMOKE=1).
+faults-check:
+    AEROREM_FAULTS_SMOKE=1 cargo test -q --test failure_injection
+    AEROREM_FAULTS_SMOKE=1 cargo test -q --no-default-features --test failure_injection
 
 # Serial-vs-parallel pipeline timing table (see EXPERIMENTS.md).
 timing:

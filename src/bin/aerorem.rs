@@ -180,6 +180,7 @@ fn demo(flags: &Flags) -> Result<(), String> {
     report_stage_throughput(&inst);
     report_lattice_throughput(&inst);
     report_link_cache(&inst);
+    report_recovery(&inst);
     Ok(())
 }
 
@@ -211,6 +212,29 @@ fn report_link_cache(inst: &Instrumentation) {
             hits as f64 / total as f64 * 100.0
         );
     }
+}
+
+/// Prints the fault-recovery ledger: how many scans the retry machinery
+/// saved and what the lossy link still cost (lost outright vs quarantined
+/// at fragment gaps).
+fn report_recovery(inst: &Instrumentation) {
+    let get = |k| inst.counter(k).unwrap_or(0);
+    let (faults, retries, recovered) = (
+        get("receiver_faults"),
+        get("scan_retries"),
+        get("scans_recovered"),
+    );
+    let (lost, corrupted, dropped) = (
+        get("rows_lost"),
+        get("rows_corrupted"),
+        get("packets_dropped"),
+    );
+    println!(
+        "recovery: {recovered} scans recovered over {retries} retries ({faults} receiver faults)"
+    );
+    println!(
+        "losses: {lost} rows lost, {corrupted} quarantined, {dropped} packets dropped"
+    );
 }
 
 /// Prints rows-per-second for the batched REM stages when both the stage

@@ -128,3 +128,22 @@ fn repeated_runs_with_one_policy_are_reproducible() {
     assert_eq!(a.scores, b.scores);
     assert_eq!(rem_a, rem_b);
 }
+
+/// Checkpoint/resume determinism on a *healthy* campaign: interrupting
+/// after the first leg and resuming must reproduce the uninterrupted run
+/// bit for bit — the RNG partitioning (one sub-stream per leg) is what
+/// makes this hold. The faulty-campaign variant lives in the
+/// failure-injection suite.
+#[test]
+fn interrupted_campaign_resumes_bit_identically() {
+    use aerorem::mission::campaign::Campaign;
+    let campaign_config = config().campaign;
+    let seed = 0xC0DEu64;
+    let whole = Campaign::new(campaign_config.clone()).run(&mut StdRng::seed_from_u64(seed));
+    let checkpoint = Campaign::new(campaign_config.clone())
+        .run_partial(&mut StdRng::seed_from_u64(seed), 1);
+    let resumed = Campaign::new(campaign_config).resume(&mut StdRng::seed_from_u64(seed), &checkpoint);
+    assert_eq!(resumed.samples, whole.samples);
+    assert_eq!(resumed.legs, whole.legs);
+    assert_eq!(resumed.total_time, whole.total_time);
+}

@@ -151,7 +151,10 @@ proptest! {
     #[test]
     fn crtp_fragment_reassemble_roundtrip(data in prop::collection::vec(any::<u8>(), 0..500)) {
         let frags = CrtpPacket::fragment(CrtpPort::Console, 0, &data).unwrap();
-        prop_assert_eq!(CrtpPacket::reassemble(&frags), data);
+        let whole = CrtpPacket::reassemble(&frags);
+        prop_assert!(whole.is_complete());
+        prop_assert_eq!(whole.fragments_lost, 0);
+        prop_assert_eq!(whole.contiguous().unwrap(), data);
     }
 
     #[test]
@@ -444,6 +447,77 @@ proptest! {
 // --- mission / uav invariants ---
 
 proptest! {
+    /// The shared CWLAP formatter and parser must round-trip any SSID —
+    /// including quotes, backslashes, commas, newlines and unicode — on a
+    /// single wire line.
+    #[test]
+    fn cwlap_format_parse_roundtrip(
+        ssid in prop::collection::vec(any::<u8>(), 0..32)
+            .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned()),
+        rssi in -100i32..0,
+        mac_idx in 0u32..1000,
+        ch in 1u8..=13,
+    ) {
+        use aerorem::propagation::ap::{MacAddress, Ssid};
+        use aerorem::propagation::scan::BeaconObservation;
+        use aerorem::scanner::parse::{format_cwlap_row, parse_cwlap_row};
+        let obs = BeaconObservation {
+            ssid: Ssid::new(ssid),
+            rssi_dbm: rssi,
+            mac: MacAddress::from_index(mac_idx),
+            channel: WifiChannel::new(ch).unwrap(),
+        };
+        let line = format_cwlap_row(&obs);
+        prop_assert!(!line.contains('\n'), "wire rows must stay single-line");
+        prop_assert_eq!(parse_cwlap_row(&line).unwrap(), obs);
+    }
+
+    /// A lossy link (random fragment drops + reordering) must never hand
+    /// the parser a *spliced* row: every recovered line that parses as a
+    /// CWLAP row is byte-identical to a row that was actually sent.
+    #[test]
+    fn lossy_crtp_link_never_splices_rows(
+        seed in 0u64..300,
+        n_rows in 1usize..25,
+        drop_pct in 0u32..60,
+    ) {
+        use aerorem::propagation::ap::{MacAddress, Ssid};
+        use aerorem::propagation::scan::BeaconObservation;
+        use aerorem::scanner::parse::{format_cwlap_row, parse_cwlap_row};
+        use rand::{Rng, SeedableRng};
+        let rows: Vec<String> = (0..n_rows as u32)
+            .map(|i| {
+                format_cwlap_row(&BeaconObservation {
+                    ssid: Ssid::new(format!("ap-{i}")),
+                    rssi_dbm: -40 - i as i32,
+                    mac: MacAddress::from_index(i),
+                    channel: WifiChannel::new(1 + (i % 13) as u8).unwrap(),
+                })
+            })
+            .collect();
+        let wire: String = rows.iter().map(|r| format!("{r}\n")).collect();
+        let frags = CrtpPacket::fragment(CrtpPort::Console, 0, wire.as_bytes()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut kept: Vec<_> = frags
+            .into_iter()
+            .filter(|_| rng.gen_range(0u32..100) >= drop_pct)
+            .collect();
+        for i in (1..kept.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            kept.swap(i, j);
+        }
+        let recovered = CrtpPacket::reassemble(&kept).lines();
+        for line in &recovered.lines {
+            if parse_cwlap_row(line).is_ok() {
+                prop_assert!(
+                    rows.iter().any(|r| r == line),
+                    "link synthesized a row that was never sent: {}",
+                    line
+                );
+            }
+        }
+    }
+
     #[test]
     fn csv_roundtrip_arbitrary_ssids(ssids in prop::collection::vec(".{0,32}", 1..10)) {
         use aerorem::mission::{csv, Sample, SampleSet};
