@@ -1,12 +1,18 @@
 # Developer entry points. `make check` is the full gate run in CI and
 # before every commit; the individual targets exist for quicker loops.
 
-.PHONY: check build test doc clippy bench-build bench-check bench bench-diff timing faults faults-check
+.PHONY: check build lint test doc clippy bench-build bench-check bench bench-diff timing faults faults-check
 
-check: build test doc clippy bench-build bench-check faults-check
+check: build lint test doc clippy bench-build bench-check faults-check
 
 build:
 	cargo build --release
+
+# Workspace invariant checker: determinism, panic-safety, and hygiene
+# contracts (see ARCHITECTURE.md § Static analysis). `--json` emits the
+# stable machine-readable report for diffing across commits.
+lint:
+	cargo run --release -q -p aerorem-lint -- --root .
 
 test:
 	cargo test -q

@@ -5,6 +5,8 @@
 //! experiments [--seed N] <fig8ext|density|fleet|lighthouse|shadow|sequential|adaptive|imurate|montecarlo|timing|ext>
 //! ```
 
+#![forbid(unsafe_code)]
+
 use aerorem_bench::{
     adaptive, density, imurate, montecarlo, endurance, faults, fig5, fig6, fig7, fig8, fleet, lighthouse_cmp, loc, paper_campaign,
     pipeline_timing, prep, queue, sequential, shadow, stats,

@@ -14,7 +14,7 @@
 //! target the MAC block (mean-per-MAC baseline, per-MAC ensemble, the ×3
 //! scaling trick).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use aerorem_mission::SampleSet;
 use aerorem_ml::dataset::Dataset;
@@ -55,7 +55,7 @@ pub struct FeatureLayout {
     channel_encoder: OneHotEncoder<u8>,
     /// Most common beacon channel per retained MAC — needed to encode
     /// queries for arbitrary positions.
-    mac_channels: HashMap<MacAddress, u8>,
+    mac_channels: BTreeMap<MacAddress, u8>,
 }
 
 impl FeatureLayout {
@@ -218,7 +218,7 @@ pub fn preprocess_with(
     if retained.is_empty() {
         return Err(MlError::EmptyTrainingSet);
     }
-    let retained_set: std::collections::HashSet<MacAddress> = retained.iter().copied().collect();
+    let retained_set: BTreeSet<MacAddress> = retained.iter().copied().collect();
 
     let kept: Vec<_> = samples
         .iter()
@@ -231,9 +231,9 @@ pub fn preprocess_with(
 
     // Dominant channel per MAC (APs beacon on one channel; ties broken by
     // channel number for determinism). Each MAC is grouped independently.
-    let mac_channels: HashMap<MacAddress, u8> =
+    let mac_channels: BTreeMap<MacAddress, u8> =
         exec::map_vec(policy, retained.clone(), |mac| {
-            let mut chans: HashMap<u8, usize> = HashMap::new();
+            let mut chans: BTreeMap<u8, usize> = BTreeMap::new();
             for s in kept.iter().filter(|s| s.mac == mac) {
                 *chans.entry(s.channel.number()).or_insert(0) += 1;
             }

@@ -31,6 +31,7 @@ impl Instrumentation {
 
     /// Runs `f`, recording its wall-clock duration under `stage`.
     pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
+        // lint:allow(wall-clock) — instrumentation measures wall time by design; durations never feed simulation results
         let start = Instant::now();
         let out = f();
         self.record(stage, start.elapsed());

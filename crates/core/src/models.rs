@@ -259,7 +259,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<&str> =
+        let labels: std::collections::BTreeSet<&str> =
             ModelKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), ModelKind::ALL.len());
         assert_eq!(ModelKind::PAPER_FIGURE8.len(), 5);

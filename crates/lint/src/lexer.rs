@@ -1,0 +1,518 @@
+//! A small but real Rust lexer.
+//!
+//! The lint passes operate on tokens, never on raw text, so a banned name
+//! inside a string literal, a comment, or a doc example can never trigger a
+//! false positive. The lexer handles the full literal grammar the workspace
+//! uses:
+//!
+//! * line comments (`//`), doc comments (`///`, `//!`),
+//! * block comments (`/* */`) with arbitrary nesting, doc blocks (`/** */`,
+//!   `/*! */`),
+//! * normal strings with escapes, raw strings `r"…"` / `r#"…"#` with any
+//!   number of hashes, byte strings `b"…"` and raw byte strings `br#"…"#`,
+//! * char literals including `'\''`, `'"'` and `'\u{…}'`, byte literals
+//!   `b'x'`, and the lifetime/char ambiguity (`'a` vs `'a'`),
+//! * raw identifiers (`r#fn`), numeric literals (ints, floats, radix
+//!   prefixes) without swallowing range operators (`0..10`).
+//!
+//! Tokens carry byte spans into the source; everything else (line/column
+//! mapping, test-region detection) lives in [`crate::source`].
+
+/// What a token is. Comment tokens are *kept* in the stream — the
+/// suppression-annotation parser reads them — and rule passes skip them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers lose their `r#` prefix in
+    /// [`Token::text`] handling — the span still covers it).
+    Ident,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// Integer literal, any radix.
+    Int,
+    /// Float literal.
+    Float,
+    /// String literal: normal, raw, byte, or raw byte.
+    Str,
+    /// Char literal (`'x'`, `'\''`, `'"'`) or byte literal (`b'x'`).
+    Char,
+    /// `//` comment. `doc` is true for `///` and `//!`.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* */` comment (nesting already resolved). `doc` is true for
+    /// `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token: kind plus byte span (`start..end`) into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept. Unterminated literals or comments are closed at end of input
+/// rather than reported — the compiler owns syntax errors, the linter only
+/// needs a consistent stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        // A shebang line (`#!/…`) only occurs at offset zero and would
+        // otherwise lex as `#`, `!`, `/`… — skip it whole.
+        if self.src.starts_with(b"#!") && !self.src.starts_with(b"#![") {
+            while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                self.pos += 1;
+            }
+        }
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_follows(1) => self.raw_string(1),
+                b'b' => self.byte_prefixed(),
+                b'r' if self.peek(1) == Some(b'#') && self.ident_start(2) => {
+                    // Raw identifier `r#fn`.
+                    let start = self.pos;
+                    self.pos += 2;
+                    self.eat_ident();
+                    self.push(TokenKind::Ident, start);
+                }
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    let start = self.pos;
+                    self.eat_ident();
+                    self.push(TokenKind::Ident, start);
+                }
+                _ => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, start);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+        });
+    }
+
+    fn ident_start(&self, ahead: usize) -> bool {
+        matches!(self.peek(ahead), Some(c) if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80)
+    }
+
+    fn eat_ident(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        // `///` is doc unless it is `////…` (a plain rule line); `//!` is doc.
+        let doc = (self.peek(2) == Some(b'/') && self.peek(3) != Some(b'/'))
+            || self.peek(2) == Some(b'!');
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment { doc }, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        // `/**/` is empty-plain; `/**x` and `/*!` are doc.
+        let doc = (self.peek(2) == Some(b'*') && self.peek(3) != Some(b'/'))
+            || self.peek(2) == Some(b'!');
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::BlockComment { doc }, start);
+    }
+
+    /// Is `r`/`br` at the current position followed by a raw-string opener
+    /// (`"` or `#…#"`), starting the check `ahead` bytes in?
+    fn raw_string_follows(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    /// Lexes `r"…"` / `r#"…"#` (call with `prefix_len` = length of `r` or
+    /// `br` before the hashes).
+    fn raw_string(&mut self, prefix_len: usize) {
+        let start = self.pos;
+        self.pos += prefix_len;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    // Need `hashes` hash marks to close.
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.pos += 1 + hashes;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, start);
+    }
+
+    /// Dispatches the `b` prefix: `b"…"`, `br"…"`, `b'x'`, or a plain
+    /// identifier starting with `b`.
+    fn byte_prefixed(&mut self) {
+        if self.peek(1) == Some(b'"') {
+            let start = self.pos;
+            self.pos += 1;
+            self.string_body();
+            self.push(TokenKind::Str, start);
+        } else if self.peek(1) == Some(b'r') && self.raw_string_follows(2) {
+            self.raw_string(2);
+        } else if self.peek(1) == Some(b'\'') {
+            let start = self.pos;
+            self.pos += 1;
+            self.char_body();
+            self.push(TokenKind::Char, start);
+        } else {
+            let start = self.pos;
+            self.eat_ident();
+            self.push(TokenKind::Ident, start);
+        }
+    }
+
+    fn string(&mut self) {
+        let start = self.pos;
+        self.string_body();
+        self.push(TokenKind::Str, start);
+    }
+
+    /// Consumes a `"…"` body starting at the opening quote.
+    fn string_body(&mut self) {
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a `'…'` body starting at the opening quote. Only called
+    /// when the content provably is a char (not a lifetime).
+    fn char_body(&mut self) {
+        self.pos += 1; // opening quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.pos += 2;
+                // `\u{…}` escapes run to the closing brace.
+                while let Some(c) = self.peek(0) {
+                    if c == b'\'' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+            }
+            Some(_) => self.pos += 1,
+            None => return,
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` / `'"'` (char).
+    fn quote(&mut self) {
+        let start = self.pos;
+        if self.ident_start(1) {
+            // `'x…`: char literal iff a quote closes right after one
+            // identifier-ish run of length 1 (`'a'`), otherwise lifetime
+            // (`'a`, `'static`). Longer runs like `'ab'` are not valid Rust;
+            // treat as lifetime and let the compiler complain.
+            if self.peek(2) == Some(b'\'') {
+                self.char_body();
+                self.push(TokenKind::Char, start);
+                return;
+            }
+            self.pos += 1;
+            self.eat_ident();
+            self.push(TokenKind::Lifetime, start);
+            return;
+        }
+        // `'\…'`, `'"'`, `'('` … — a char literal.
+        self.char_body();
+        self.push(TokenKind::Char, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'))
+        {
+            self.pos += 2;
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Int, start);
+            return;
+        }
+        self.eat_digits();
+        // A fractional part — but never swallow `..` (range) or `.method()`.
+        if self.peek(0) == Some(b'.')
+            && self.peek(1) != Some(b'.')
+            && !self.ident_start(1)
+        {
+            float = true;
+            self.pos += 1;
+            self.eat_digits();
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (matches!(self.peek(1), Some(c) if c.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && matches!(self.peek(2), Some(c) if c.is_ascii_digit())))
+        {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(0), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.eat_digits();
+        }
+        // Type suffix (`1.0f64`, `3usize`).
+        if self.ident_start(0) {
+            let suffix_start = self.pos;
+            self.eat_ident();
+            let sfx = &self.src[suffix_start..self.pos];
+            if sfx.starts_with(b"f32") || sfx.starts_with(b"f64") {
+                float = true;
+            }
+        }
+        self.push(if float { TokenKind::Float } else { TokenKind::Int }, start);
+    }
+
+    fn eat_digits(&mut self) {
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("let x = a.b();");
+        let texts: Vec<&str> = ts.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "b", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn banned_names_inside_strings_are_strings() {
+        let ts = kinds(r#"let s = "HashMap::new() and Instant::now()";"#);
+        assert!(ts.iter().all(|(k, s)| *k != TokenKind::Ident || !s.contains("HashMap")));
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " inside, even HashMap"# ;"####;
+        let ts = kinds(src);
+        let strs: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(strs, [r##"r#"quote " inside, even HashMap"#"##]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("a /* outer /* inner */ still outer */ b");
+        let texts: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| !matches!(k, TokenKind::BlockComment { .. }))
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(texts, ["a", "b"]);
+        assert_eq!(
+            ts.iter()
+                .filter(|(k, _)| matches!(k, TokenKind::BlockComment { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_the_file() {
+        // A double-quote char literal must not open a string.
+        let ts = kinds("let q = '\"'; let x = unwrap;");
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Char && s == "'\"'"));
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let ts = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn escaped_quote_char() {
+        let ts = kinds(r"let q = '\''; done");
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Char && s == r"'\''"));
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Ident && s == "done"));
+    }
+
+    #[test]
+    fn doc_comments_classified() {
+        let ts = kinds("/// doc\n//! inner\n// plain\n//// rule\nx");
+        let docs: Vec<bool> = ts
+            .iter()
+            .filter_map(|(k, _)| match k {
+                TokenKind::LineComment { doc } => Some(*doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(docs, [true, true, false, false]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let ts = kinds("0..10 1.5 0x1F 1e-3 x.0");
+        let nums: Vec<(TokenKind, &str)> = ts
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Int | TokenKind::Float))
+            .map(|(k, s)| (*k, s.as_str()))
+            .collect();
+        assert_eq!(
+            nums,
+            [
+                (TokenKind::Int, "0"),
+                (TokenKind::Int, "10"),
+                (TokenKind::Float, "1.5"),
+                (TokenKind::Int, "0x1F"),
+                (TokenKind::Float, "1e-3"),
+                (TokenKind::Int, "0"),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ts = kinds(r##"b"bytes" br#"raw"# b'x' banana"##);
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Char && s == "b'x'"));
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Ident && s == "banana"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ts = kinds("r#fn r#type normal");
+        let idents: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, ["r#fn", "r#type", "normal"]);
+    }
+}

@@ -1,0 +1,163 @@
+//! `aerorem-lint`: the workspace invariant checker.
+//!
+//! A tidy-style, offline, dependency-free static-analysis pass that
+//! enforces the contracts the test suite can only spot-check:
+//!
+//! * **determinism** — no `HashMap`/`HashSet` iteration, wall-clock reads,
+//!   ambient entropy, or unordered parallel float reductions in shipped
+//!   code (the serial≡parallel and run-to-run bit-identity guarantees),
+//! * **panic safety** — no `unwrap`/`expect`/`panic!`/dynamic indexing in
+//!   non-test code of the flight-critical crates (`mission`, `radio`,
+//!   `scanner`, `localization`),
+//! * **hygiene** — `#![forbid(unsafe_code)]` on every crate root, no
+//!   debugging scaffolding, and Makefile↔justfile target parity.
+//!
+//! Rules operate on a real token stream ([`lexer`]) so names inside
+//! strings, comments, and doc examples never false-positive. Suppression
+//! is explicit and audited: `// lint:allow(<rule>) — <reason>` with a
+//! mandatory reason, covering the annotation's own line and the line
+//! directly below. Malformed annotations surface as `bad-allow`; stale
+//! ones as `unused-allow`; neither meta rule can itself be suppressed.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+use report::{Report, Violation};
+use rules::{registry, FileCtx, META_RULES};
+use source::collect_allows;
+use workspace::{FileKind, Workspace, WorkspaceFile};
+
+/// Lints the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the workspace walk.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let ws = Workspace::load(root)?;
+    Ok(lint_workspace(&ws))
+}
+
+/// Runs every registered rule over an already-loaded workspace.
+pub fn lint_workspace(ws: &Workspace) -> Report {
+    let rules = registry();
+    let mut violations = Vec::new();
+    let mut suppressions = 0usize;
+    for file in &ws.files {
+        suppressions += lint_file(file, &mut violations);
+    }
+    for rule in &rules {
+        rule.check_workspace(ws, &mut violations);
+    }
+    let mut names: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
+    names.extend(META_RULES);
+    let mut report = Report {
+        violations,
+        files_scanned: ws.files.len(),
+        suppressions,
+        rules: names,
+    };
+    report.normalize();
+    report
+}
+
+/// Lints one file: runs the per-file rules, applies `lint:allow`
+/// suppressions, and emits the `bad-allow` / `unused-allow` meta
+/// diagnostics. Returns the number of live suppressions used.
+fn lint_file(file: &WorkspaceFile, out: &mut Vec<Violation>) -> usize {
+    let ctx = FileCtx::new(file);
+    let mut found = Vec::new();
+    for rule in registry() {
+        rule.check_file(&ctx, &mut found);
+    }
+    let (allows, bad) = collect_allows(&file.source);
+    for b in bad {
+        out.push(meta_violation(file, "bad-allow", b.line, b.problem));
+    }
+
+    let known: Vec<&'static str> = registry().iter().map(|r| r.name()).collect();
+    let mut used = vec![false; allows.len()];
+    for v in found {
+        let mut suppressed = false;
+        for (ai, a) in allows.iter().enumerate() {
+            // An annotation covers its own line (trailing form) and the
+            // line directly below (preceding form).
+            if a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line) {
+                used[ai] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(v);
+        }
+    }
+
+    let mut live = 0usize;
+    for (ai, a) in allows.iter().enumerate() {
+        if META_RULES.contains(&a.rule.as_str()) {
+            out.push(meta_violation(
+                file,
+                "bad-allow",
+                a.line,
+                format!("`{}` polices the suppression grammar itself and cannot be suppressed", a.rule),
+            ));
+        } else if !known.contains(&a.rule.as_str()) {
+            out.push(meta_violation(
+                file,
+                "bad-allow",
+                a.line,
+                format!("unknown rule `{}` (see --list-rules)", a.rule),
+            ));
+        } else if !used[ai] {
+            out.push(meta_violation(
+                file,
+                "unused-allow",
+                a.line,
+                format!("suppression of `{}` matches no violation here; delete it", a.rule),
+            ));
+        } else {
+            live += 1;
+        }
+    }
+    live
+}
+
+fn meta_violation(file: &WorkspaceFile, rule: &'static str, line: usize, message: String) -> Violation {
+    Violation {
+        rule,
+        path: file.source.path.clone(),
+        line,
+        col: 1,
+        message,
+        snippet: file.source.line_text(line).trim().to_string(),
+    }
+}
+
+/// Lints a single in-memory source text as if it were a workspace file —
+/// the harness the per-rule fixture tests drive. `crate_name` controls
+/// panic-crate scoping; `kind` controls determinism scoping.
+pub fn lint_source(
+    path: &str,
+    kind: FileKind,
+    crate_name: &str,
+    is_crate_root: bool,
+    text: &str,
+) -> Vec<Violation> {
+    let file = WorkspaceFile {
+        source: source::SourceFile::new(path, text),
+        kind,
+        crate_name: crate_name.to_string(),
+        is_crate_root,
+    };
+    let mut out = Vec::new();
+    lint_file(&file, &mut out);
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}

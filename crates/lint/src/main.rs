@@ -1,0 +1,89 @@
+//! Command-line entry point for `aerorem-lint`.
+//!
+//! ```text
+//! aerorem-lint [--root PATH] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aerorem_lint::rules::{registry, META_RULES};
+
+const USAGE: &str = "\
+aerorem-lint — workspace invariant checker
+
+USAGE:
+    aerorem-lint [--root PATH] [--json] [--list-rules]
+
+OPTIONS:
+    --root PATH    Workspace root to lint (default: current directory)
+    --json         Emit the stable machine-readable report (schema v1)
+    --list-rules   Print the rule catalog and exit
+    -h, --help     Show this help
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(path) = args.next() else {
+                    eprintln!("error: --root needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(path);
+            }
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in registry() {
+            println!("{:<18} {}", rule.name(), rule.summary());
+        }
+        for meta in META_RULES {
+            let what = match meta {
+                "bad-allow" => "malformed/unknown/reason-less lint:allow annotations",
+                _ => "lint:allow annotations that no longer match a violation",
+            };
+            println!("{meta:<18} {what} (meta; cannot be suppressed)");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match aerorem_lint::run(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Diagnostics: violations, the aggregate report, and its two renderings
+//! (human-readable text and the stable `--json` schema).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (e.g. `hash-iter`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The outcome of a whole lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Violations sorted by (path, line, col, rule).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of live (used, well-formed) suppressions.
+    pub suppressions: usize,
+    /// Every rule that ran, in registry order.
+    pub rules: Vec<&'static str>,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Sorts violations into the canonical (path, line, col, rule) order.
+    /// Both renderings and the exit code rely on this being deterministic.
+    pub fn normalize(&mut self) {
+        self.violations
+            .sort_by(|a, b| {
+                (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+            });
+    }
+
+    /// Violation counts per rule, sorted by rule name.
+    pub fn by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for v in &self.violations {
+            *m.entry(v.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Human-readable rendering: one `path:line:col [rule] message` block
+    /// per violation plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}:{} [{}] {}", v.path, v.line, v.col, v.rule, v.message);
+            if !v.snippet.is_empty() {
+                let _ = writeln!(out, "    {}", v.snippet);
+            }
+        }
+        if self.is_clean() {
+            let _ = writeln!(
+                out,
+                "aerorem-lint: clean — {} files, {} rules, {} suppressions",
+                self.files_scanned,
+                self.rules.len(),
+                self.suppressions
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "aerorem-lint: {} violation(s) in {} files",
+                self.violations.len(),
+                self.files_scanned
+            );
+            for (rule, n) in self.by_rule() {
+                let _ = writeln!(out, "    {rule}: {n}");
+            }
+        }
+        out
+    }
+
+    /// Machine-readable rendering. The schema is a **stability contract**
+    /// (`schema_version` bumps on any breaking change) so `scripts/` can
+    /// diff reports across commits:
+    ///
+    /// ```json
+    /// {
+    ///   "schema_version": 1,
+    ///   "tool": "aerorem-lint",
+    ///   "files_scanned": 123,
+    ///   "suppressions": 4,
+    ///   "rules": ["hash-iter", "..."],
+    ///   "summary": {"total": 2, "by_rule": {"hash-iter": 2}},
+    ///   "violations": [
+    ///     {"rule": "hash-iter", "path": "crates/x/src/a.rs",
+    ///      "line": 10, "col": 5, "message": "...", "snippet": "..."}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Violations are sorted by (path, line, col, rule); `by_rule` keys are
+    /// sorted; output is byte-stable for identical inputs.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"tool\": \"aerorem-lint\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"suppressions\": {},", self.suppressions);
+        let rules: Vec<String> = self.rules.iter().map(|r| json_string(r)).collect();
+        let _ = writeln!(out, "  \"rules\": [{}],", rules.join(", "));
+        let by_rule: Vec<String> = self
+            .by_rule()
+            .into_iter()
+            .map(|(r, n)| format!("{}: {}", json_string(r), n))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"total\": {}, \"by_rule\": {{{}}}}},",
+            self.violations.len(),
+            by_rule.join(", ")
+        );
+        let _ = writeln!(out, "  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            let comma = if i + 1 < self.violations.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}}}{}",
+                json_string(v.rule),
+                json_string(&v.path),
+                v.line,
+                v.col,
+                json_string(&v.message),
+                json_string(&v.snippet),
+                comma
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string literal with full escaping (the report has no other value
+/// types that need escaping).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            path: path.into(),
+            line,
+            col: 1,
+            message: format!("msg for {rule}"),
+            snippet: "let x = 1;".into(),
+        }
+    }
+
+    #[test]
+    fn normalize_orders_deterministically() {
+        let mut r = Report {
+            violations: vec![v("b-rule", "b.rs", 2), v("a-rule", "a.rs", 9), v("a-rule", "b.rs", 2)],
+            files_scanned: 3,
+            suppressions: 0,
+            rules: vec!["a-rule", "b-rule"],
+        };
+        r.normalize();
+        let order: Vec<(&str, usize, &str)> = r
+            .violations
+            .iter()
+            .map(|v| (v.path.as_str(), v.line, v.rule))
+            .collect();
+        assert_eq!(
+            order,
+            [("a.rs", 9, "a-rule"), ("b.rs", 2, "a-rule"), ("b.rs", 2, "b-rule")]
+        );
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut r = Report {
+            violations: vec![v("x", "a\"b.rs", 1)],
+            files_scanned: 1,
+            suppressions: 2,
+            rules: vec!["x"],
+        };
+        r.normalize();
+        let j1 = r.render_json();
+        let j2 = r.render_json();
+        assert_eq!(j1, j2, "rendering must be byte-stable");
+        assert!(j1.contains("\"schema_version\": 1"));
+        assert!(j1.contains("a\\\"b.rs"));
+        assert!(j1.contains("\"summary\": {\"total\": 1, \"by_rule\": {\"x\": 1}}"));
+    }
+
+    #[test]
+    fn human_summary_counts() {
+        let r = Report {
+            violations: vec![],
+            files_scanned: 7,
+            suppressions: 3,
+            rules: vec!["a"],
+        };
+        let text = r.render_human();
+        assert!(text.contains("clean"));
+        assert!(text.contains("7 files"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Hygiene rules: workspace-wide conventions that apply to every file kind
+//! (and, for target parity, to the build-gate files themselves).
+
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+use crate::rules::{FileCtx, Rule};
+use crate::workspace::Workspace;
+
+/// Every crate root (`lib.rs`, `main.rs`, `src/bin/*.rs`) must open with
+/// `#![forbid(unsafe_code)]` — the workspace ships no unsafe, and `forbid`
+/// (unlike `deny`) cannot be overridden further down.
+pub struct ForbidUnsafe;
+
+impl Rule for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn summary(&self) -> &'static str {
+        "crate roots must carry #![forbid(unsafe_code)]"
+    }
+
+    fn check_file(&self, ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+        if !ctx.file.is_crate_root {
+            return;
+        }
+        for i in 0..ctx.code.len() {
+            if ctx.is_punct(i, "#")
+                && ctx.is_punct(i + 1, "!")
+                && ctx.is_punct(i + 2, "[")
+                && ctx.is_ident(i + 3, "forbid")
+                && ctx.is_punct(i + 4, "(")
+                && ctx.is_ident(i + 5, "unsafe_code")
+                && ctx.is_punct(i + 6, ")")
+                && ctx.is_punct(i + 7, "]")
+            {
+                return;
+            }
+        }
+        out.push(Violation {
+            rule: self.name(),
+            path: ctx.file.source.path.clone(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            snippet: ctx.file.source.line_text(1).trim().to_string(),
+        });
+    }
+}
+
+/// `dbg!`, `todo!`, and `unimplemented!` anywhere — debugging scaffolding
+/// and unfinished stubs must not land, test code included.
+pub struct DebugMacro;
+
+impl Rule for DebugMacro {
+    fn name(&self) -> &'static str {
+        "debug-macro"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no dbg!/todo!/unimplemented! anywhere in the workspace"
+    }
+
+    fn check_file(&self, ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+        for (i, tok) in ctx.code.iter().enumerate() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = ctx.text(i);
+            if matches!(name, "dbg" | "todo" | "unimplemented") && ctx.is_punct(i + 1, "!") {
+                out.push(ctx.violation(
+                    self.name(),
+                    *tok,
+                    format!("`{name}!` must not land; remove the scaffolding or implement the stub"),
+                ));
+            }
+        }
+    }
+}
+
+/// `make` and `just` must expose the same entry points: a target present in
+/// one build gate but not the other silently forks the two workflows.
+pub struct TargetParity;
+
+impl Rule for TargetParity {
+    fn name(&self) -> &'static str {
+        "target-parity"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Makefile targets and justfile recipes must match one-to-one"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Violation>) {
+        let (Some(makefile), Some(justfile)) = (&ws.makefile, &ws.justfile) else {
+            // With only one gate present there is nothing to keep in sync.
+            return;
+        };
+        let make_targets = build_targets(makefile);
+        let just_recipes = build_targets(justfile);
+        for (name, line, text) in &make_targets {
+            if !just_recipes.iter().any(|(n, _, _)| n == name) {
+                out.push(parity_violation(
+                    "Makefile",
+                    *line,
+                    text,
+                    format!("make target `{name}` has no justfile recipe"),
+                ));
+            }
+        }
+        for (name, line, text) in &just_recipes {
+            if !make_targets.iter().any(|(n, _, _)| n == name) {
+                out.push(parity_violation(
+                    "justfile",
+                    *line,
+                    text,
+                    format!("justfile recipe `{name}` has no make target"),
+                ));
+            }
+        }
+    }
+}
+
+fn parity_violation(path: &str, line: usize, snippet: &str, message: String) -> Violation {
+    Violation {
+        rule: "target-parity",
+        path: path.to_string(),
+        line,
+        col: 1,
+        message,
+        snippet: snippet.trim().to_string(),
+    }
+}
+
+/// Extracts target/recipe names from a Makefile or justfile: non-indented
+/// lines of the form `name[ args]: …`. Assignments (`:=`), special targets
+/// (`.PHONY`), comments, and recipe bodies (indented) are skipped. The
+/// grammar overlap between the two formats is exactly what the parity rule
+/// needs — a name that parses here should exist in both files.
+fn build_targets(text: &str) -> Vec<(String, usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(first) = line.chars().next() else {
+            continue;
+        };
+        if first.is_whitespace() || first == '#' || first == '.' {
+            continue;
+        }
+        let Some(colon) = line.find(':') else {
+            continue;
+        };
+        // `NAME := value` and `NAME ?= value` are assignments, not targets.
+        if line[colon..].starts_with(":=") || line[..colon].contains('=') {
+            continue;
+        }
+        let head = line[..colon].trim();
+        // Justfile recipes may take arguments (`bench-diff old new:`); the
+        // recipe name is the first word either way.
+        let Some(name) = head.split_whitespace().next() else {
+            continue;
+        };
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        {
+            continue;
+        }
+        out.push((name.to_string(), idx + 1, line.to_string()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_extraction() {
+        let makefile = "CARGO := cargo\n.PHONY: check\ncheck: build test\n\tcargo test\nbuild:\n\tcargo build\n# comment\n";
+        let names: Vec<String> = build_targets(makefile)
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        assert_eq!(names, ["check", "build"]);
+    }
+
+    #[test]
+    fn justfile_recipes_with_args() {
+        let justfile = "set shell := [\"bash\", \"-c\"]\ndefault: check\nbench-diff old new:\n    cargo run\n";
+        let names: Vec<String> = build_targets(justfile)
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        assert_eq!(names, ["default", "bench-diff"]);
+    }
+
+    #[test]
+    fn parity_flags_both_directions() {
+        let ws = Workspace {
+            files: vec![],
+            makefile: Some("only-make:\n\ttrue\nshared:\n\ttrue\n".to_string()),
+            justfile: Some("only-just:\n    true\nshared:\n    true\n".to_string()),
+        };
+        let mut out = Vec::new();
+        TargetParity.check_workspace(&ws, &mut out);
+        let mut msgs: Vec<&str> = out.iter().map(|v| v.message.as_str()).collect();
+        msgs.sort_unstable();
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[0].contains("only-just"));
+        assert!(msgs[1].contains("only-make"));
+    }
+}

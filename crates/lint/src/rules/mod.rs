@@ -1,0 +1,138 @@
+//! The pass registry and the per-file context rules operate on.
+//!
+//! Adding a rule:
+//!
+//! 1. implement [`Rule`] in one of the catalog modules (or a new one),
+//! 2. register it in [`registry`],
+//! 3. add a seeded-violation + clean fixture pair in
+//!    `crates/lint/tests/rules.rs`.
+//!
+//! Rules see a *token* view of each file (comments and string/char literal
+//! contents never match) plus the file's classification, and scope
+//! themselves via [`FileCtx`] helpers.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::workspace::{FileKind, Workspace, WorkspaceFile};
+
+pub mod determinism;
+pub mod hygiene;
+pub mod panics;
+
+/// Crates whose non-test code must be panic-free: a panic here is a UAV
+/// falling out of the sky or a campaign dying mid-mission, not a stack
+/// trace on a developer box.
+pub const PANIC_FREE_CRATES: [&str; 4] = ["mission", "radio", "scanner", "localization"];
+
+/// One lint pass.
+pub trait Rule {
+    /// Stable kebab-case rule name (used in `lint:allow(...)`).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn summary(&self) -> &'static str;
+    /// Per-file pass. Push violations onto `out`.
+    fn check_file(&self, _ctx: &FileCtx<'_>, _out: &mut Vec<Violation>) {}
+    /// Workspace-level pass (build-gate parity and the like).
+    fn check_workspace(&self, _ws: &Workspace, _out: &mut Vec<Violation>) {}
+}
+
+/// Every registered rule, in catalog order. `bad-allow` and `unused-allow`
+/// are driver-enforced (they police the suppression grammar itself and can
+/// never be suppressed) but are listed here so `--list-rules` and the JSON
+/// schema name the complete catalog.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::HashIter),
+        Box::new(determinism::WallClock),
+        Box::new(determinism::Entropy),
+        Box::new(determinism::ParFloatReduce),
+        Box::new(panics::PanicPath),
+        Box::new(panics::SliceIndex),
+        Box::new(hygiene::ForbidUnsafe),
+        Box::new(hygiene::DebugMacro),
+        Box::new(hygiene::TargetParity),
+    ]
+}
+
+/// Names of the driver-enforced meta rules.
+pub const META_RULES: [&str; 2] = ["bad-allow", "unused-allow"];
+
+/// The per-file view handed to rules.
+pub struct FileCtx<'a> {
+    /// The file with its classification.
+    pub file: &'a WorkspaceFile,
+    /// Indices into `file.source.tokens` of the non-comment tokens, in
+    /// order. Rules scan this; comments can never match a pattern.
+    pub code: Vec<Token>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context for one file.
+    pub fn new(file: &'a WorkspaceFile) -> Self {
+        let code = file
+            .source
+            .tokens
+            .iter()
+            .filter(|t| !t.is_comment())
+            .copied()
+            .collect();
+        FileCtx { file, code }
+    }
+
+    /// The text of code token `i`.
+    pub fn text(&self, i: usize) -> &str {
+        self.code[i].text(&self.file.source.text)
+    }
+
+    /// Whether code token `i` is an identifier with exactly this text.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text(&self.file.source.text) == name)
+    }
+
+    /// Whether code token `i` is a punctuation token with this text.
+    pub fn is_punct(&self, i: usize, p: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(&self.file.source.text) == p)
+    }
+
+    /// Whether the token sits inside `#[cfg(test)]` / `#[test]` code.
+    pub fn in_test(&self, tok: Token) -> bool {
+        self.file.source.in_test_code(tok.start)
+    }
+
+    /// Whether this file's non-test regions are subject to determinism
+    /// rules: shipped library code (tests, benches, and examples are
+    /// measurement or documentation, not the reproducible pipeline).
+    pub fn determinism_scope(&self) -> bool {
+        self.file.kind == FileKind::Library
+    }
+
+    /// Whether this file's non-test regions are subject to panic rules.
+    pub fn panic_scope(&self) -> bool {
+        self.file.kind == FileKind::Library
+            && PANIC_FREE_CRATES.contains(&self.file.crate_name.as_str())
+    }
+
+    /// Builds a violation at `tok`.
+    pub fn violation(&self, rule: &'static str, tok: Token, message: String) -> Violation {
+        let (line, col) = self.file.source.line_col(tok.start);
+        Violation {
+            rule,
+            path: self.file.source.path.clone(),
+            line,
+            col,
+            message,
+            snippet: self.file.source.line_text(line).trim().to_string(),
+        }
+    }
+}
+
+/// Rust keywords that can directly precede `[` without forming an indexing
+/// expression (`for x in [..]`, `return [..]`, …).
+pub const NON_INDEX_KEYWORDS: [&str; 18] = [
+    "as", "box", "break", "const", "continue", "else", "if", "impl", "in", "let", "loop",
+    "match", "move", "mut", "ref", "return", "static", "while",
+];

@@ -1,0 +1,116 @@
+//! Panic hazards in the crates that must not panic (`mission`, `radio`,
+//! `scanner`, `localization`): a panic there is a lost drone or a dead
+//! campaign, so fallible paths must return typed errors — or carry a
+//! written justification for why the panic is unreachable.
+
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+use crate::rules::{FileCtx, Rule, NON_INDEX_KEYWORDS};
+
+/// `.unwrap()`, `.expect(..)`, and `panic!` in non-test code of the
+/// panic-free crates.
+pub struct PanicPath;
+
+impl Rule for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic! in panic-free crates: return typed errors instead"
+    }
+
+    fn check_file(&self, ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+        if !ctx.panic_scope() {
+            return;
+        }
+        for (i, tok) in ctx.code.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || ctx.in_test(*tok) {
+                continue;
+            }
+            let name = ctx.text(i);
+            let hit = match name {
+                // Method calls only: `.unwrap(` / `.expect(` — not
+                // `unwrap_or`, not a local named `expect`.
+                "unwrap" | "expect" => {
+                    i > 0 && ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(")
+                }
+                "panic" => ctx.is_punct(i + 1, "!"),
+                _ => false,
+            };
+            if hit {
+                out.push(ctx.violation(
+                    self.name(),
+                    *tok,
+                    format!("`{name}` can panic in a panic-free crate; return a typed error, or justify with `lint:allow(panic-path) — <why unreachable>`"),
+                ));
+            }
+        }
+    }
+}
+
+/// Dynamic slice/array indexing (`x[i]`, `x[a..b]` with a variable bound)
+/// in non-test code of the panic-free crates. Literal-only indices
+/// (`fields[0]`, `buf[0..2]`) are considered length-checked by the
+/// surrounding code and pass.
+pub struct SliceIndex;
+
+impl Rule for SliceIndex {
+    fn name(&self) -> &'static str {
+        "slice-index"
+    }
+
+    fn summary(&self) -> &'static str {
+        "dynamic indexing in panic-free crates: use .get() or justify bounds"
+    }
+
+    fn check_file(&self, ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+        if !ctx.panic_scope() {
+            return;
+        }
+        for (i, tok) in ctx.code.iter().enumerate() {
+            if tok.kind != TokenKind::Punct || ctx.text(i) != "[" || ctx.in_test(*tok) {
+                continue;
+            }
+            // Indexing only: the `[` must follow a value expression — an
+            // identifier that is not a keyword, or a closing `)` / `]` / `?`.
+            // Array types `[f64; 3]`, array literals after `=`/`(`/`,`,
+            // attributes `#[...]`, and macro brackets `vec![...]` all fail
+            // this test.
+            let indexes = if i == 0 {
+                false
+            } else if ctx.code[i - 1].kind == TokenKind::Ident {
+                !NON_INDEX_KEYWORDS.contains(&ctx.text(i - 1))
+            } else {
+                matches!(ctx.text(i - 1), ")" | "]" | "?")
+            };
+            if !indexes {
+                continue;
+            }
+            // Literal-only contents (e.g. `[0]`, `[0..2]`) pass; any
+            // identifier in the brackets makes the bound dynamic.
+            let mut depth = 1i32;
+            let mut dynamic = false;
+            let mut j = i + 1;
+            while j < ctx.code.len() && depth > 0 {
+                match ctx.text(j) {
+                    "[" | "(" | "{" => depth += 1,
+                    "]" | ")" | "}" => depth -= 1,
+                    _ => {
+                        if ctx.code[j].kind == TokenKind::Ident {
+                            dynamic = true;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if dynamic {
+                out.push(ctx.violation(
+                    self.name(),
+                    *tok,
+                    "dynamic index can panic in a panic-free crate; use `.get(..)` / `.get_mut(..)`, or justify with `lint:allow(slice-index) — <why in bounds>`".to_string(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Source-file model: line/column mapping, `#[cfg(test)]` / `#[test]`
+//! region detection, and the `// lint:allow(<rule>) — <reason>` suppression
+//! grammar.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One loaded source file plus its token stream.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Full text.
+    pub text: String,
+    /// Lexed tokens (comments included).
+    pub tokens: Vec<Token>,
+    /// Byte ranges that are test code (`#[cfg(test)]` / `#[test]` items).
+    pub test_spans: Vec<(usize, usize)>,
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Loads a file from text.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let tokens = lex(&text);
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_spans = find_test_spans(&text, &tokens);
+        SourceFile {
+            path: path.into(),
+            text,
+            tokens,
+            test_spans,
+            line_starts,
+        }
+    }
+
+    /// 1-based (line, column) of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The text of a 1-based line, without its newline.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&e| e.saturating_sub(1));
+        self.text[start..end].trim_end_matches('\r')
+    }
+
+    /// Whether a byte offset falls inside a test region.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+}
+
+/// Finds the byte spans of items annotated `#[cfg(test)]` or `#[test]`.
+///
+/// From each such attribute, the scan skips any further attributes and doc
+/// comments, then takes the following item: through the matching `}` of its
+/// first top-level `{`, or through `;` for brace-less items.
+fn find_test_spans(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut i = 0;
+    while i < code.len() {
+        if let Some(after_attr) = match_test_attribute(src, &code, i) {
+            let start = code[i].start;
+            // Skip any further attributes before the item itself.
+            let mut j = after_attr;
+            while j < code.len() && code[j].text(src) == "#" {
+                j = skip_attribute(src, &code, j);
+            }
+            // Find the item's end: first `{` at depth 0 (then its match),
+            // or `;` before any brace.
+            let mut depth = 0i32;
+            let mut end = code.last().map_or(start, |t| t.end);
+            while j < code.len() {
+                match code[j].text(src) {
+                    "{" => {
+                        depth += 1;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = code[j].end;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end = code[j].end;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spans.push((start, end));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// If `code[i]` opens `#[cfg(test)]` or `#[test]` (or a `cfg` list that
+/// mentions `test`, e.g. `#[cfg(all(test, feature = "x"))]`), returns the
+/// index just past the closing `]`.
+fn match_test_attribute(src: &str, code: &[&Token], i: usize) -> Option<usize> {
+    if code[i].text(src) != "#" || code.get(i + 1)?.text(src) != "[" {
+        return None;
+    }
+    let end = skip_attribute(src, code, i);
+    let inner: Vec<&str> = code[i + 2..end.saturating_sub(1).max(i + 2)]
+        .iter()
+        .map(|t| t.text(src))
+        .collect();
+    let is_test = match inner.first() {
+        Some(&"test") => inner.len() == 1,
+        Some(&"cfg") => inner.contains(&"test"),
+        _ => false,
+    };
+    is_test.then_some(end)
+}
+
+/// Skips an attribute starting at `#` (index `i`), returning the index just
+/// past its closing `]` (bracket-depth aware, so `#[cfg(all(test))]` and
+/// nested `[]` both work).
+fn skip_attribute(src: &str, code: &[&Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < code.len() {
+        match code[j].text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// One parsed suppression annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The mandatory reason.
+    pub reason: String,
+    /// 1-based line the annotation sits on.
+    pub line: usize,
+    /// Byte offset of the comment (for diagnostics).
+    pub offset: usize,
+}
+
+/// A malformed suppression annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadAllow {
+    /// What is wrong with it.
+    pub problem: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Byte offset of the comment.
+    pub offset: usize,
+}
+
+/// Scans plain (non-doc) line comments for `lint:allow(<rule>) — <reason>`
+/// annotations. Doc comments are ignored so the grammar can be *documented*
+/// without creating live suppressions.
+pub fn collect_allows(file: &SourceFile) -> (Vec<Allow>, Vec<BadAllow>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for t in &file.tokens {
+        let TokenKind::LineComment { doc: false } = t.kind else {
+            continue;
+        };
+        let body = t.text(&file.text).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let (line, _) = file.line_col(t.start);
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            bad.push(BadAllow {
+                problem: "expected `lint:allow(<rule>) — <reason>`".into(),
+                line,
+                offset: t.start,
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push(BadAllow {
+                problem: "unclosed rule name — expected `lint:allow(<rule>) — <reason>`".into(),
+                line,
+                offset: t.start,
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+            bad.push(BadAllow {
+                problem: format!("invalid rule name {rule:?}"),
+                line,
+                offset: t.start,
+            });
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix("—")
+            .or_else(|| after.strip_prefix("--"))
+            .or_else(|| after.strip_prefix('-'))
+            .or_else(|| after.strip_prefix(':'))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            bad.push(BadAllow {
+                problem: format!(
+                    "suppression of `{rule}` carries no reason — write `lint:allow({rule}) — <why this is safe>`"
+                ),
+                line,
+                offset: t.start,
+            });
+            continue;
+        }
+        allows.push(Allow {
+            rule,
+            reason: reason.to_string(),
+            line,
+            offset: t.start,
+        });
+    }
+    (allows, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_mapping() {
+        let f = SourceFile::new("x.rs", "ab\ncd\nef");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(7), (3, 2));
+        assert_eq!(f.line_text(2), "cd");
+    }
+
+    #[test]
+    fn cfg_test_module_detected() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let f = SourceFile::new("x.rs", src);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(f.in_test_code(unwrap_at));
+        assert!(!f.in_test_code(src.find("live").unwrap()));
+        assert!(!f.in_test_code(src.find("tail").unwrap()));
+    }
+
+    #[test]
+    fn test_fn_detected() {
+        let src = "#[test]\nfn check() { it(); }\nfn real() {}";
+        let f = SourceFile::new("x.rs", src);
+        assert!(f.in_test_code(src.find("it()").unwrap()));
+        assert!(!f.in_test_code(src.find("real").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_before_test_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn x() { y(); } }\nfn live() {}";
+        let f = SourceFile::new("x.rs", src);
+        assert!(f.in_test_code(src.find("y()").unwrap()));
+        assert!(!f.in_test_code(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn allow_grammar() {
+        let src = "// lint:allow(hash-iter) — keyed lookups only\nlet x = 1;\n// lint:allow(panic-path)\n// lint:allow() — no rule\n/// lint:allow(doc-rule) — documented, not live\n";
+        let f = SourceFile::new("x.rs", src);
+        let (allows, bad) = collect_allows(&f);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "hash-iter");
+        assert_eq!(allows[0].reason, "keyed lookups only");
+        assert_eq!(allows[0].line, 1);
+        assert_eq!(bad.len(), 2, "missing reason and empty rule are both bad");
+    }
+
+    #[test]
+    fn ascii_hyphen_reason_accepted() {
+        let f = SourceFile::new("x.rs", "// lint:allow(wall-clock) - timing subsystem\n");
+        let (allows, bad) = collect_allows(&f);
+        assert_eq!(allows.len(), 1);
+        assert!(bad.is_empty());
+        assert_eq!(allows[0].reason, "timing subsystem");
+    }
+}

@@ -1,0 +1,201 @@
+//! Workspace discovery: which files exist, what kind of code each one is,
+//! and which crate it belongs to.
+//!
+//! The walk is self-contained (no `walkdir`): it covers the root package
+//! (`src/`, `tests/`, `examples/`, `benches/`) and every `crates/*`
+//! member. `vendor/` is deliberately excluded — vendored third-party
+//! subsets are not held to the workspace contracts — as are `target/` and
+//! hidden directories.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// What kind of code a file holds — rules scope themselves by this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Shipped library/binary code: `src/` of the root package or of a
+    /// `crates/*` member. Fully linted.
+    Library,
+    /// Integration tests and benches (`tests/`, `benches/`): exempt from
+    /// determinism and panic rules, still held to hygiene rules.
+    TestOrBench,
+    /// `examples/`: documentation-grade code; hygiene rules only.
+    Example,
+}
+
+/// One discovered Rust source file with its classification.
+#[derive(Debug)]
+pub struct WorkspaceFile {
+    /// Parsed source.
+    pub source: SourceFile,
+    /// Code class.
+    pub kind: FileKind,
+    /// Crate (package) name: `aerorem` for the root, the directory name for
+    /// `crates/*` members.
+    pub crate_name: String,
+    /// Whether this file is a crate root (`lib.rs`, `main.rs`, or a
+    /// `src/bin/*.rs` target) that must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// The loaded workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Every discovered Rust file.
+    pub files: Vec<WorkspaceFile>,
+    /// `Makefile` text, if present.
+    pub makefile: Option<String>,
+    /// `justfile` text, if present.
+    pub justfile: Option<String>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "directory absent" (a missing
+    /// optional directory is simply skipped).
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+
+        // Root package.
+        load_package(root, root, "aerorem", &mut files)?;
+
+        // crates/* members.
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            members.sort();
+            for member in members {
+                let name = member
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                load_package(root, &member, &name, &mut files)?;
+            }
+        }
+
+        files.sort_by(|a, b| a.source.path.cmp(&b.source.path));
+        Ok(Workspace {
+            files,
+            makefile: read_optional(&root.join("Makefile")),
+            justfile: read_optional(&root.join("justfile")),
+        })
+    }
+}
+
+fn read_optional(path: &Path) -> Option<String> {
+    fs::read_to_string(path).ok()
+}
+
+/// Loads one package's `src/`, `tests/`, `benches/`, and `examples/`.
+fn load_package(
+    root: &Path,
+    pkg: &Path,
+    crate_name: &str,
+    files: &mut Vec<WorkspaceFile>,
+) -> io::Result<()> {
+    let src = pkg.join("src");
+    if src.is_dir() {
+        for path in rust_files(&src)? {
+            let is_crate_root = is_crate_root(&src, &path);
+            files.push(load_file(root, &path, FileKind::Library, crate_name, is_crate_root)?);
+        }
+    }
+    for (dir, kind) in [
+        ("tests", FileKind::TestOrBench),
+        ("benches", FileKind::TestOrBench),
+        ("examples", FileKind::Example),
+    ] {
+        let d = pkg.join(dir);
+        if d.is_dir() {
+            for path in rust_files(&d)? {
+                files.push(load_file(root, &path, kind, crate_name, false)?);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `lib.rs`, `main.rs`, and `src/bin/*.rs` are crate roots: each is the
+/// top of a compilation unit and must carry the workspace-wide
+/// `#![forbid(unsafe_code)]`.
+fn is_crate_root(src_dir: &Path, path: &Path) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if path.parent() == Some(src_dir) && (name == "lib.rs" || name == "main.rs") {
+        return true;
+    }
+    path.parent().is_some_and(|p| p == src_dir.join("bin"))
+}
+
+fn load_file(
+    root: &Path,
+    path: &Path,
+    kind: FileKind,
+    crate_name: &str,
+    is_crate_root: bool,
+) -> io::Result<WorkspaceFile> {
+    let text = fs::read_to_string(path)?;
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(WorkspaceFile {
+        source: SourceFile::new(rel, text),
+        kind,
+        crate_name: crate_name.to_string(),
+        is_crate_root,
+    })
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted, skipping hidden
+/// directories, `target`, and `vendor`.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for p in entries {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if p.is_dir() {
+                if name.starts_with('.') || name == "target" || name == "vendor" {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_detection() {
+        let src = Path::new("/w/crates/x/src");
+        assert!(is_crate_root(src, Path::new("/w/crates/x/src/lib.rs")));
+        assert!(is_crate_root(src, Path::new("/w/crates/x/src/main.rs")));
+        assert!(is_crate_root(src, Path::new("/w/crates/x/src/bin/tool.rs")));
+        assert!(!is_crate_root(src, Path::new("/w/crates/x/src/util.rs")));
+        assert!(!is_crate_root(src, Path::new("/w/crates/x/src/nested/lib.rs")));
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end CLI tests: build a tiny workspace on disk, run the real
+//! binary against it, and check output and exit codes — including the
+//! stability of the `--json` schema.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn write(root: &Path, rel: &str, text: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(path, text).unwrap();
+}
+
+/// A minimal clean workspace: one crate, parity-matched build gates.
+fn clean_workspace(root: &Path) {
+    write(
+        root,
+        "crates/mission/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n",
+    );
+    write(root, "Makefile", "check:\n\ttrue\n");
+    write(root, "justfile", "check:\n    true\n");
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_aerorem-lint"));
+    cmd.arg("--root").arg(root).args(extra);
+    cmd.output().expect("binary runs")
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let dir = std::env::temp_dir().join("aerorem-lint-clean");
+    let _ = fs::remove_dir_all(&dir);
+    clean_workspace(&dir);
+    let out = run_lint(&dir, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("clean"));
+}
+
+#[test]
+fn violations_exit_one_and_json_is_stable() {
+    let dir = std::env::temp_dir().join("aerorem-lint-dirty");
+    let _ = fs::remove_dir_all(&dir);
+    clean_workspace(&dir);
+    write(
+        &dir,
+        "crates/mission/src/bad.rs",
+        "use std::collections::HashMap;\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let out = run_lint(&dir, &["--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(json.contains("\"schema_version\": 1"));
+    assert!(json.contains("\"tool\": \"aerorem-lint\""));
+    assert!(json.contains("\"rule\": \"hash-iter\""));
+    assert!(json.contains("\"rule\": \"panic-path\""));
+    assert!(json.contains("\"path\": \"crates/mission/src/bad.rs\""));
+    // Byte-stable across runs — the contract that lets scripts diff reports.
+    let again = run_lint(&dir, &["--json"]);
+    assert_eq!(json, String::from_utf8_lossy(&again.stdout));
+}
+
+#[test]
+fn suppressions_with_reasons_quiet_the_run() {
+    let dir = std::env::temp_dir().join("aerorem-lint-suppressed");
+    let _ = fs::remove_dir_all(&dir);
+    clean_workspace(&dir);
+    write(
+        &dir,
+        "crates/mission/src/justified.rs",
+        "// lint:allow(hash-iter) — keyed lookups only, never iterated\nuse std::collections::HashMap;\n",
+    );
+    let out = run_lint(&dir, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("1 suppressions"), "{stdout}");
+}
+
+#[test]
+fn list_rules_covers_the_catalog() {
+    let out = run_lint(Path::new("."), &["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "hash-iter",
+        "wall-clock",
+        "entropy",
+        "par-float-reduce",
+        "panic-path",
+        "slice-index",
+        "forbid-unsafe",
+        "debug-macro",
+        "target-parity",
+        "bad-allow",
+        "unused-allow",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = run_lint(Path::new("."), &["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}

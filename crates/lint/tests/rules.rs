@@ -1,0 +1,302 @@
+//! Fixture tests: for every rule, one source that must violate it and one
+//! near-identical source that must not. Fixtures run through the same
+//! driver as real files ([`aerorem_lint::lint_source`]), so suppression
+//! handling and test-region scoping are exercised too.
+
+use aerorem_lint::lint_source;
+use aerorem_lint::report::Violation;
+use aerorem_lint::rules::hygiene::TargetParity;
+use aerorem_lint::rules::{registry, Rule, META_RULES};
+use aerorem_lint::workspace::{FileKind, Workspace};
+
+fn lint_lib(crate_name: &str, text: &str) -> Vec<Violation> {
+    lint_source("fixture.rs", FileKind::Library, crate_name, false, text)
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+// ---------------------------------------------------------------- hash-iter
+
+#[test]
+fn hash_iter_flags_hashmap_in_library_code() {
+    let v = lint_lib("core", "use std::collections::HashMap;\n");
+    assert_eq!(rules_of(&v), ["hash-iter"]);
+    assert_eq!(v[0].line, 1);
+}
+
+#[test]
+fn hash_iter_ignores_btreemap_strings_comments_and_tests() {
+    let clean = r#"
+use std::collections::BTreeMap;
+// a comment may say HashMap freely
+fn f() -> &'static str { "HashMap::new()" }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn t() { let _ = HashMap::<u8, u8>::new(); }
+}
+"#;
+    assert!(lint_lib("core", clean).is_empty());
+}
+
+#[test]
+fn hash_iter_exempts_benches_and_examples() {
+    let src = "use std::collections::HashSet;\n";
+    assert!(lint_source("b.rs", FileKind::TestOrBench, "core", false, src).is_empty());
+    assert!(lint_source("e.rs", FileKind::Example, "core", false, src).is_empty());
+}
+
+// ---------------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_flags_instant_now() {
+    let v = lint_lib("core", "fn f() { let _t = std::time::Instant::now(); }\n");
+    assert_eq!(rules_of(&v), ["wall-clock"]);
+}
+
+#[test]
+fn wall_clock_allows_stored_instants_and_simtime() {
+    let clean = "fn f(start: std::time::Instant) -> SimTime { record(start); SimTime::ZERO }\n";
+    assert!(lint_lib("core", clean).is_empty());
+}
+
+// ---------------------------------------------------------------- entropy
+
+#[test]
+fn entropy_flags_thread_rng_and_rand_random() {
+    let v = lint_lib(
+        "core",
+        "fn f() { let mut r = rand::thread_rng(); let x: u8 = rand::random(); }\n",
+    );
+    assert_eq!(rules_of(&v), ["entropy", "entropy"]);
+}
+
+#[test]
+fn entropy_allows_seeded_rng() {
+    let clean = "fn f() { let mut r = StdRng::seed_from_u64(42); let _ = random_field(&mut r); }\n";
+    assert!(lint_lib("core", clean).is_empty());
+}
+
+// ---------------------------------------------------------- par-float-reduce
+
+#[test]
+fn par_float_reduce_flags_sum_on_parallel_iterator() {
+    let v = lint_lib(
+        "core",
+        "fn f(xs: &[f64]) -> f64 {\n    xs.par_iter().map(|x| x * 2.0).sum()\n}\n",
+    );
+    assert_eq!(rules_of(&v), ["par-float-reduce"]);
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn par_float_reduce_allows_ordered_collect_and_serial_sum() {
+    let clean = r#"
+fn f(xs: &[f64]) -> f64 {
+    let doubled: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    doubled.iter().sum()
+}
+"#;
+    assert!(lint_lib("core", clean).is_empty());
+}
+
+// ---------------------------------------------------------------- panic-path
+
+#[test]
+fn panic_path_flags_unwrap_expect_panic_in_mission() {
+    let src = r#"
+fn f(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a != b { panic!("mismatch"); }
+    a
+}
+"#;
+    let v = lint_lib("mission", src);
+    assert_eq!(rules_of(&v), ["panic-path", "panic-path", "panic-path"]);
+}
+
+#[test]
+fn panic_path_scopes_to_panic_free_crates_and_skips_tests() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    // Same code is fine in a crate without the panic-free contract…
+    assert!(lint_lib("ml", src).is_empty());
+    // …and in test code of a panic-free crate.
+    let tested = "#[test]\nfn t() { Some(1u8).unwrap(); }\n";
+    assert!(lint_lib("mission", tested).is_empty());
+    // `unwrap_or` and friends never match.
+    assert!(lint_lib("mission", "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n").is_empty());
+}
+
+// ---------------------------------------------------------------- slice-index
+
+#[test]
+fn slice_index_flags_dynamic_indices() {
+    let src = "fn f(xs: &[u8], i: usize) -> u8 {\n    xs[i]\n}\n";
+    let v = lint_lib("radio", src);
+    assert_eq!(rules_of(&v), ["slice-index"]);
+}
+
+#[test]
+fn slice_index_allows_literal_indices_types_and_get() {
+    let clean = r#"
+fn f(xs: &[u8]) -> Option<u8> {
+    let arr: [u8; 3] = [1, 2, 3];
+    let first = xs[0];
+    let range = &xs[0..2];
+    let _ = (first, range, arr);
+    xs.get(1).copied()
+}
+"#;
+    assert!(lint_lib("radio", clean).is_empty());
+}
+
+// -------------------------------------------------------------- forbid-unsafe
+
+#[test]
+fn forbid_unsafe_flags_bare_crate_root() {
+    let v = lint_source("src/lib.rs", FileKind::Library, "core", true, "pub fn f() {}\n");
+    assert_eq!(rules_of(&v), ["forbid-unsafe"]);
+}
+
+#[test]
+fn forbid_unsafe_satisfied_by_the_attribute_and_skips_non_roots() {
+    let attributed = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert!(lint_source("src/lib.rs", FileKind::Library, "core", true, attributed).is_empty());
+    // Non-root modules don't need it.
+    assert!(lint_source("src/util.rs", FileKind::Library, "core", false, "pub fn f() {}\n").is_empty());
+}
+
+// --------------------------------------------------------------- debug-macro
+
+#[test]
+fn debug_macro_flags_dbg_todo_unimplemented_even_in_tests() {
+    let src = r#"
+fn f() { todo!() }
+#[cfg(test)]
+mod tests {
+    fn t() { dbg!(1); unimplemented!(); }
+}
+"#;
+    let v = lint_lib("core", src);
+    assert_eq!(rules_of(&v), ["debug-macro", "debug-macro", "debug-macro"]);
+}
+
+#[test]
+fn debug_macro_ignores_mentions_in_strings_and_docs() {
+    let clean = "/// Call `dbg!` never.\nfn f() -> &'static str { \"todo!()\" }\n";
+    assert!(lint_lib("core", clean).is_empty());
+}
+
+// ------------------------------------------------------------- target-parity
+
+#[test]
+fn target_parity_flags_one_sided_targets() {
+    let ws = Workspace {
+        files: vec![],
+        makefile: Some("lint:\n\tcargo run\ncheck: lint\n\ttrue\n".to_string()),
+        justfile: Some("check:\n    true\n".to_string()),
+    };
+    let mut out = Vec::new();
+    TargetParity.check_workspace(&ws, &mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rule, "target-parity");
+    assert!(out[0].message.contains("`lint`"));
+    assert_eq!(out[0].path, "Makefile");
+}
+
+#[test]
+fn target_parity_clean_when_in_sync() {
+    let ws = Workspace {
+        files: vec![],
+        makefile: Some("check: build\n\ttrue\nbuild:\n\ttrue\n".to_string()),
+        justfile: Some("check: build\nbuild:\n    true\n".to_string()),
+    };
+    let mut out = Vec::new();
+    TargetParity.check_workspace(&ws, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ------------------------------------------------------- suppression grammar
+
+#[test]
+fn allow_with_reason_suppresses_next_line() {
+    let src = "// lint:allow(hash-iter) — keyed lookups only, never iterated\nuse std::collections::HashMap;\n";
+    assert!(lint_lib("core", src).is_empty());
+}
+
+#[test]
+fn allow_with_reason_suppresses_same_line() {
+    let src = "use std::collections::HashMap; // lint:allow(hash-iter) — keyed lookups only\n";
+    assert!(lint_lib("core", src).is_empty());
+}
+
+#[test]
+fn allow_does_not_reach_two_lines_down() {
+    let src = "// lint:allow(hash-iter) — too far away\nfn gap() {}\nuse std::collections::HashMap;\n";
+    let v = lint_lib("core", src);
+    assert_eq!(rules_of(&v), ["unused-allow", "hash-iter"]);
+}
+
+#[test]
+fn allow_without_reason_is_bad() {
+    let src = "// lint:allow(hash-iter)\nuse std::collections::HashMap;\n";
+    let v = lint_lib("core", src);
+    assert!(rules_of(&v).contains(&"bad-allow"));
+    assert!(
+        rules_of(&v).contains(&"hash-iter"),
+        "a reason-less allow must not suppress: {v:?}"
+    );
+}
+
+#[test]
+fn allow_of_unknown_rule_is_bad() {
+    let v = lint_lib("core", "// lint:allow(no-such-rule) — reason\nfn f() {}\n");
+    assert_eq!(rules_of(&v), ["bad-allow"]);
+    assert!(v[0].message.contains("unknown rule"));
+}
+
+#[test]
+fn unused_allow_is_flagged() {
+    let v = lint_lib("core", "// lint:allow(wall-clock) — nothing here uses the clock\nfn f() {}\n");
+    assert_eq!(rules_of(&v), ["unused-allow"]);
+}
+
+#[test]
+fn meta_rules_cannot_be_suppressed() {
+    let v = lint_lib("core", "// lint:allow(unused-allow) — trying to silence the auditor\nfn f() {}\n");
+    assert_eq!(rules_of(&v), ["bad-allow"]);
+    assert!(v[0].message.contains("cannot be suppressed"));
+}
+
+#[test]
+fn doc_comments_document_the_grammar_without_activating_it() {
+    // The allow below sits in a doc comment, so it is documentation, not a
+    // live suppression — the violation must survive.
+    let src = "/// Suppress with `// lint:allow(hash-iter) — reason`.\nuse std::collections::HashMap;\n";
+    let v = lint_lib("core", src);
+    assert_eq!(rules_of(&v), ["hash-iter"]);
+}
+
+// ------------------------------------------------------------------ registry
+
+#[test]
+fn registry_names_are_unique_kebab_case_and_documented() {
+    let mut names: Vec<&str> = registry().iter().map(|r| r.name()).collect();
+    names.extend(META_RULES);
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate rule names");
+    for n in &names {
+        assert!(
+            n.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'),
+            "rule name {n:?} is not kebab-case"
+        );
+    }
+    for r in registry() {
+        assert!(!r.summary().is_empty(), "rule {} has no summary", r.name());
+    }
+}

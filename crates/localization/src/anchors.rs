@@ -88,6 +88,7 @@ impl AnchorConstellation {
             SPREAD_ORDER
                 .iter()
                 .take(n.min(8))
+                // lint:allow(slice-index) — SPREAD_ORDER holds indices 0–7 and this branch requires exactly 8 anchors
                 .map(|&i| self.anchors[i])
                 .collect()
         } else {
@@ -137,8 +138,10 @@ impl AnchorConstellation {
         let mut count = 0u32;
         for i in 0..n {
             for j in (i + 1)..n {
+                // lint:allow(slice-index) — i, j < n = anchors.len() by the loop bounds
                 total += self.anchors[i]
                     .position
+                    // lint:allow(slice-index) — j < n = anchors.len() by the inner loop bound
                     .distance(self.anchors[j].position);
                 count += 1;
             }

@@ -73,8 +73,8 @@ impl Ekf {
         );
         let mut cov = Matrix::zeros(6, 6);
         for i in 0..3 {
-            cov[(i, i)] = 1.0; // 1 m σ position
-            cov[(i + 3, i + 3)] = 0.25; // 0.5 m/s σ velocity
+            cov[(i, i)] = 1.0; // lint:allow(slice-index) — i < 3 indexes the 6×6 covariance; 1 m σ position
+            cov[(i + 3, i + 3)] = 0.25; // lint:allow(slice-index) — i + 3 < 6 indexes the 6×6 covariance; 0.5 m/s σ velocity
         }
         Ekf {
             state: [
@@ -119,6 +119,7 @@ impl Ekf {
         }
         // x ← x + v·dt
         for i in 0..3 {
+            // lint:allow(slice-index) — i and i + 3 stay below the fixed state dimension of 6
             self.state[i] += self.state[i + 3] * dt;
         }
         self.propagate_covariance(dt, self.accel_noise);
@@ -129,8 +130,8 @@ impl Ekf {
     /// prediction in [`crate::imu`].
     pub(crate) fn apply_accel_input(&mut self, dt: f64, accel: Vec3) {
         for (i, &a) in accel.to_array().iter().enumerate() {
-            self.state[i] += self.state[i + 3] * dt + 0.5 * a * dt * dt;
-            self.state[i + 3] += a * dt;
+            self.state[i] += self.state[i + 3] * dt + 0.5 * a * dt * dt; // lint:allow(slice-index) — i enumerates the 3 axes, i + 3 < 6
+            self.state[i + 3] += a * dt; // lint:allow(slice-index) — same bound: i < 3 from the axis enumeration
         }
     }
 
@@ -140,6 +141,7 @@ impl Ekf {
         // F = [I, dt·I; 0, I]
         let mut f = Matrix::identity(6);
         for i in 0..3 {
+            // lint:allow(slice-index) — i < 3 and i + 3 < 6 index the 6×6 transition matrix
             f[(i, i + 3)] = dt;
         }
         // Q from white acceleration noise q²: standard CV discretization.
@@ -147,14 +149,14 @@ impl Ekf {
         let dt2 = dt * dt;
         let mut q = Matrix::zeros(6, 6);
         for i in 0..3 {
-            q[(i, i)] = q2 * dt2 * dt2 / 4.0;
-            q[(i, i + 3)] = q2 * dt2 * dt / 2.0;
-            q[(i + 3, i)] = q2 * dt2 * dt / 2.0;
-            q[(i + 3, i + 3)] = q2 * dt2;
+            q[(i, i)] = q2 * dt2 * dt2 / 4.0; // lint:allow(slice-index) — i < 3 indexes the 6×6 noise matrix
+            q[(i, i + 3)] = q2 * dt2 * dt / 2.0; // lint:allow(slice-index) — i + 3 < 6 indexes the 6×6 noise matrix
+            q[(i + 3, i)] = q2 * dt2 * dt / 2.0; // lint:allow(slice-index) — i + 3 < 6 indexes the 6×6 noise matrix
+            q[(i + 3, i + 3)] = q2 * dt2; // lint:allow(slice-index) — i + 3 < 6 indexes the 6×6 noise matrix
         }
-        let fp = f.matmul(&self.cov).expect("6x6");
-        let fpft = fp.matmul(&f.transpose()).expect("6x6");
-        self.cov = fpft.add_mat(&q).expect("6x6");
+        let fp = f.matmul(&self.cov).expect("6x6"); // lint:allow(panic-path) — F and P are both 6×6 by construction, so matmul dimensions always agree
+        let fpft = fp.matmul(&f.transpose()).expect("6x6"); // lint:allow(panic-path) — FP is 6×6 and Fᵀ is 6×6, dimensions always agree
+        self.cov = fpft.add_mat(&q).expect("6x6"); // lint:allow(panic-path) — FPFᵀ and Q are both 6×6, dimensions always agree
         self.cov.symmetrize();
     }
 
@@ -163,8 +165,10 @@ impl Ekf {
     fn scalar_update(&mut self, z: f64, h: f64, jac: [f64; 6], r: f64) -> Result<(), EkfError> {
         // S = J P Jᵀ + r
         let pj: Vec<f64> = (0..6)
+            // lint:allow(slice-index) — i and j range over 0..6, the fixed covariance/Jacobian dimension
             .map(|i| (0..6).map(|j| self.cov[(i, j)] * jac[j]).sum())
             .collect();
+        // lint:allow(slice-index) — i ranges over 0..6 and pj was collected from that same range
         let s: f64 = (0..6).map(|i| jac[i] * pj[i]).sum::<f64>() + r;
         if s <= 0.0 || !s.is_finite() {
             return Err(EkfError::DegenerateInnovation);
@@ -179,9 +183,11 @@ impl Ekf {
         let mut ikj = Matrix::identity(6);
         for i in 0..6 {
             for j in 0..6 {
+                // lint:allow(slice-index) — i, j < 6 index the 6×6 matrix and the length-6 gain/Jacobian
                 ikj[(i, j)] -= k[i] * jac[j];
             }
         }
+        // lint:allow(panic-path) — (I − KJ) and P are both 6×6 by construction, dimensions always agree
         self.cov = ikj.matmul(&self.cov).expect("6x6");
         self.cov.symmetrize();
         Ok(())
@@ -255,6 +261,7 @@ impl Ekf {
         const EPS: f64 = 1e-5;
         let mut jac = [0.0; 6];
         for (i, unit) in [Vec3::X, Vec3::Y, Vec3::Z].into_iter().enumerate() {
+            // lint:allow(slice-index) — i enumerates 3 axes into the length-6 Jacobian row
             jac[i] = (h_of_pos(p + unit * EPS) - h_of_pos(p - unit * EPS)) / (2.0 * EPS);
         }
         self.scalar_update(measured, h, jac, variance)

@@ -97,6 +97,7 @@ impl BaseStationClient {
         ranging: RangingConfig,
     ) -> Self {
         let radio = Crazyradio::new(radio_freq_mhz, radio_position)
+            // lint:allow(panic-path) — documented `# Panics` contract on new: an out-of-band frequency is a configuration bug
             .expect("radio frequency within 2400-2525 MHz");
         BaseStationClient {
             radio,
@@ -175,6 +176,7 @@ impl BaseStationClient {
         };
         receiver
             .init()
+            // lint:allow(panic-path) — Esp01Receiver::init is infallible in simulation; fault injection only affects measure()
             .expect("simulated ESP-01 always initializes");
         self.fly_leg_with_receiver(plan, leg, env, anchors, start_time, &mut receiver, rng)
     }
@@ -259,6 +261,7 @@ impl BaseStationClient {
                 .record(now, "radio", format!("off for scan at waypoint {wp_index}"));
             uav.commander_mut()
                 .begin_scan_hold(now, hold)
+                // lint:allow(panic-path) — asserted by the stock_firmware_cannot_run_the_scan_flow test: flying the scan flow on firmware without the feedback task is a caller bug
                 .expect("paper firmware has the feedback task");
             uav.set_scanning(true);
             let mut observations = Vec::new();

@@ -231,6 +231,7 @@ impl Campaign {
         let plan = cfg
             .fleet_plan
             .expand(cfg.volume)
+            // lint:allow(panic-path) — documented `# Panics` contract on run/resume: an inexpandable fleet plan is a configuration bug
             .expect("campaign fleet plan must be expandable");
         let leg_seeds: Vec<u64> = plan.legs.iter().map(|_| rng.gen()).collect();
 
@@ -269,6 +270,7 @@ impl Campaign {
             if i > 0 {
                 now += cfg.inter_leg_gap;
             }
+            // lint:allow(slice-index) — leg_seeds was built with one entry per plan leg, and i enumerates those legs
             let mut leg_rng = StdRng::seed_from_u64(leg_seeds[i]);
             let (outcome, end) =
                 client.fly_leg(&plan, leg, &environment, &anchors, now, &mut leg_rng);
@@ -290,6 +292,7 @@ impl Campaign {
                 reflight += 1;
                 now += cfg.inter_leg_gap; // battery swap
                 let mut tail_rng =
+                    // lint:allow(slice-index) — same bound as above: i indexes plan.legs, which sized leg_seeds
                     StdRng::seed_from_u64(reflight_seed(leg_seeds[i], reflight));
                 let (tail_outcome, end) =
                     client.fly_leg(&plan, &tail, &environment, &anchors, now, &mut tail_rng);

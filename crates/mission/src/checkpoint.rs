@@ -247,6 +247,7 @@ impl<'a> Cursor<'a> {
                 format!("expected {n} more lines"),
             ));
         }
+        // lint:allow(slice-index) — the early return above guarantees pos + n ≤ lines.len()
         let slice = self.lines[self.pos..self.pos + n].to_vec();
         self.pos += n;
         Ok(slice)

@@ -63,8 +63,8 @@ pub(crate) fn unescape_ssid(s: &str) -> Result<String, String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
+    while let Some(&b) = bytes.get(i) {
+        if b == b'%' {
             let hex = bytes
                 .get(i + 1..i + 3)
                 .ok_or_else(|| "truncated escape".to_string())?;
@@ -76,7 +76,7 @@ pub(crate) fn unescape_ssid(s: &str) -> Result<String, String> {
             out.push(v);
             i += 3;
         } else {
-            out.push(bytes[i]);
+            out.push(b);
             i += 1;
         }
     }

@@ -41,8 +41,8 @@ impl UavLeg {
         if visited >= self.waypoints.len() {
             return None;
         }
-        let remaining = self.waypoints[visited..].to_vec();
-        let first = remaining[0];
+        let remaining = self.waypoints.get(visited..)?.to_vec();
+        let first = *remaining.first()?;
         Some(UavLeg {
             uav: self.uav,
             radio_address_id: self.radio_address_id,
@@ -127,9 +127,9 @@ impl FleetPlan {
         // Sort waypoints by y, then chunk into fleet_size contiguous slabs.
         let mut pts: Vec<Vec3> = grid.as_slice().to_vec();
         pts.sort_by(|a, b| {
-            (a.y, a.z, a.x)
-                .partial_cmp(&(b.y, b.z, b.x))
-                .expect("waypoints are finite")
+            a.y.total_cmp(&b.y)
+                .then(a.z.total_cmp(&b.z))
+                .then(a.x.total_cmp(&b.x))
         });
         let n = pts.len();
         let base = n / self.fleet_size;
@@ -138,6 +138,7 @@ impl FleetPlan {
         let mut cursor = 0usize;
         for i in 0..self.fleet_size {
             let take = base + usize::from(i < extra);
+            // lint:allow(slice-index) — Σ take over all legs is exactly n, so cursor + take ≤ pts.len()
             let mut leg_points = pts[cursor..cursor + take].to_vec();
             cursor += take;
             order_boustrophedon(&mut leg_points);
@@ -172,9 +173,9 @@ impl Default for FleetPlan {
 /// snaking x within rows — the same serpentine used by `WaypointGrid`.
 fn order_boustrophedon(points: &mut [Vec3]) {
     points.sort_by(|a, b| {
-        (a.z, a.y, a.x)
-            .partial_cmp(&(b.z, b.y, b.x))
-            .expect("waypoints are finite")
+        a.z.total_cmp(&b.z)
+            .then(a.y.total_cmp(&b.y))
+            .then(a.x.total_cmp(&b.x))
     });
     // Group into (z, y) rows and reverse every other row for continuity.
     let mut rows: Vec<&mut [Vec3]> = Vec::new();

@@ -6,7 +6,7 @@
 //! metadata. The ground-truth position is carried alongside for simulation-
 //! side error analysis, but the ML layer never sees it.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -121,7 +121,7 @@ impl SampleSet {
         self.samples
             .iter()
             .map(|s| s.mac)
-            .collect::<HashSet<_>>()
+            .collect::<BTreeSet<_>>()
             .len()
     }
 
@@ -130,7 +130,7 @@ impl SampleSet {
         self.samples
             .iter()
             .map(|s| s.ssid.clone())
-            .collect::<HashSet<_>>()
+            .collect::<BTreeSet<_>>()
             .len()
     }
 

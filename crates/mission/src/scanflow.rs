@@ -137,16 +137,21 @@ pub fn run_scan_cycle<R: Rng>(
 
     // Collect the measurement and ship it through the queue.
     let mut receiver = Esp01Receiver::new();
+    // lint:allow(panic-path) — fresh Esp01Receiver without fault injection: init is infallible in simulation
     receiver.init().expect("ESP initializes");
     let ctx = MeasurementContext::new(env, uav.true_position(), &[]);
+    // lint:allow(panic-path) — receiver was just initialized and carries no fault injection, so measure cannot fail
     receiver.measure(&ctx, rng).expect("receiver ready");
+    // lint:allow(panic-path) — the fault-free measure above always leaves observations to take
     let rows = receiver.take_observations().expect("output present");
     let mut wire = String::new();
     for o in &rows {
         wire.push_str(&aerorem_scanner::parse::format_cwlap_row(o));
         wire.push('\n');
     }
-    for pkt in CrtpPacket::fragment(CrtpPort::Console, 0, wire.as_bytes()).expect("valid") {
+    // An over-long wire (more rows than 255 fragments can carry) ships
+    // nothing, mirroring the base-station client.
+    for pkt in CrtpPacket::fragment(CrtpPort::Console, 0, wire.as_bytes()).unwrap_or_default() {
         let _ = link.enqueue_uplink(pkt);
     }
     uav.set_scanning(false);

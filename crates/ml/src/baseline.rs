@@ -5,7 +5,7 @@
 //! [`GroupMeanBaseline`] keyed on the one-hot MAC block. [`GlobalMean`] is
 //! the even dumber floor.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
 
@@ -78,7 +78,7 @@ impl Regressor for GlobalMean {
 #[derive(Debug, Clone)]
 pub struct GroupMeanBaseline {
     group_range: std::ops::Range<usize>,
-    group_means: HashMap<usize, f64>,
+    group_means: BTreeMap<usize, f64>,
     global_mean: Option<f64>,
     dim: usize,
 }
@@ -99,7 +99,7 @@ impl GroupMeanBaseline {
         }
         Ok(GroupMeanBaseline {
             group_range,
-            group_means: HashMap::new(),
+            group_means: BTreeMap::new(),
             global_mean: None,
             dim: 0,
         })
@@ -136,7 +136,7 @@ impl GroupMeanBaseline {
             });
         }
         self.dim = dim;
-        let mut sums: HashMap<usize, (f64, usize)> = HashMap::new();
+        let mut sums: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
         for (row, &t) in rows.zip(y) {
             let e = sums.entry(self.group_of(row)).or_insert((0.0, 0));
             e.0 += t;

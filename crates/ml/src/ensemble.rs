@@ -7,7 +7,7 @@
 //! [`PerGroupKnn`] is that estimator, generalized to any one-hot group
 //! block.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 
 use crate::knn::{KnnRegressor, Weighting};
@@ -42,7 +42,7 @@ pub struct PerGroupKnn {
     k: usize,
     weighting: Weighting,
     minkowski_p: f64,
-    models: HashMap<usize, KnnRegressor>,
+    models: BTreeMap<usize, KnnRegressor>,
     global_mean: Option<f64>,
     dim: usize,
 }
@@ -75,7 +75,7 @@ impl PerGroupKnn {
             k,
             weighting,
             minkowski_p,
-            models: HashMap::new(),
+            models: BTreeMap::new(),
             global_mean: None,
             dim: 0,
         })
@@ -139,7 +139,7 @@ impl PerGroupKnn {
         self.dim = dim;
         self.global_mean = Some(y.iter().sum::<f64>() / y.len() as f64);
         // Bucket rows by group.
-        let mut buckets: HashMap<usize, (Vec<Vec<f64>>, Vec<f64>)> = HashMap::new();
+        let mut buckets: BTreeMap<usize, (Vec<Vec<f64>>, Vec<f64>)> = BTreeMap::new();
         for (row, &t) in rows.zip(y) {
             let g = self.group_of(row);
             let e = buckets.entry(g).or_default();
@@ -193,7 +193,7 @@ impl Regressor for PerGroupKnn {
         // Bucket row indices by group, then delegate each group's stripped
         // rows to its submodel in one batched call and scatter the results
         // back into input order.
-        let mut buckets: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (ri, row) in xs.iter().enumerate() {
             buckets.entry(self.group_of(row)).or_default().push(ri);
         }

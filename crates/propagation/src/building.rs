@@ -355,7 +355,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn build() -> RadioEnvironment {
         let mut rng = StdRng::seed_from_u64(0xB11D);
@@ -366,14 +366,14 @@ mod tests {
     fn counts_match_paper() {
         let env = build();
         assert_eq!(env.access_points().len(), 73);
-        let ssids: HashSet<&str> = env
+        let ssids: BTreeSet<&str> = env
             .access_points()
             .iter()
             .map(|a| a.ssid.as_str())
             .collect();
         assert!(ssids.len() <= 49, "at most 49 distinct SSIDs, got {}", ssids.len());
         assert!(ssids.len() >= 40, "most SSIDs distinct, got {}", ssids.len());
-        let macs: HashSet<_> = env.access_points().iter().map(|a| a.mac).collect();
+        let macs: BTreeSet<_> = env.access_points().iter().map(|a| a.mac).collect();
         assert_eq!(macs.len(), 73, "MACs must be unique");
     }
 
@@ -492,7 +492,7 @@ mod tests {
     #[test]
     fn channels_cover_primaries() {
         let env = build();
-        let chans: HashSet<u8> = env
+        let chans: BTreeSet<u8> = env
             .access_points()
             .iter()
             .map(|a| a.channel.number())

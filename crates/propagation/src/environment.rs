@@ -1,6 +1,6 @@
 //! The composed radio environment: APs + walls + propagation models.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -34,7 +34,7 @@ type LinkKey = (MacAddress, [u64; 3]);
 #[derive(Debug, Default)]
 struct LinkCache {
     enabled: AtomicBool,
-    map: Mutex<HashMap<LinkKey, f64>>,
+    map: Mutex<BTreeMap<LinkKey, f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

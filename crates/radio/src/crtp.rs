@@ -277,10 +277,12 @@ impl CrtpPacket {
                 out.reordered += 1;
             }
             last_seq = Some(seq);
+            // lint:allow(slice-index) — seq < total was checked above and slots was resized to total
             let slot = &mut out.slots[seq as usize];
             if slot.is_some() {
                 out.duplicates += 1;
             } else {
+                // lint:allow(slice-index) — payload.len() ≥ FRAGMENT_HEADER_LEN was checked at the top of the loop
                 *slot = Some(p.payload[FRAGMENT_HEADER_LEN..].to_vec());
                 out.fragments_received += 1;
             }

@@ -140,8 +140,10 @@ pub fn parse_cwlap_row(line: &str) -> Result<BeaconObservation, ParseCwlapError>
         }
     }
     let ssid_end = ssid_end.ok_or_else(|| ParseCwlapError::new(line, "unterminated ssid"))?;
+    // lint:allow(slice-index) — ssid_end came from char_indices over body, so it is a valid char boundary
     let ssid = unescape_ssid(&body[..ssid_end])
         .ok_or_else(|| ParseCwlapError::new(line, "invalid ssid escape"))?;
+    // lint:allow(slice-index) — ssid_end indexes the one-byte `"` terminator, so ssid_end + 1 ≤ body.len()
     let rest = body[ssid_end + 1..]
         .strip_prefix(',')
         .ok_or_else(|| ParseCwlapError::new(line, "missing field separator after ssid"))?;

@@ -1,9 +1,15 @@
 # Mirrors the Makefile; use whichever runner you have installed.
 
-check: build test doc clippy bench-build bench-check faults-check
+check: build lint test doc clippy bench-build bench-check faults-check
 
 build:
     cargo build --release
+
+# Workspace invariant checker: determinism, panic-safety, and hygiene
+# contracts (see ARCHITECTURE.md § Static analysis). `--json` emits the
+# stable machine-readable report for diffing across commits.
+lint:
+    cargo run --release -q -p aerorem-lint -- --root .
 
 test:
     cargo test -q

@@ -15,7 +15,9 @@
 //! once with `--exec serial` and once with `--exec parallel` to measure
 //! the speedup on your machine.
 
-use std::collections::HashMap;
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use aerorem::core::coverage::CoverageMap;
@@ -58,7 +60,7 @@ fn main() -> ExitCode {
     }
 }
 
-type Flags = HashMap<String, String>;
+type Flags = BTreeMap<String, String>;
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags::new();
