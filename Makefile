@@ -1,9 +1,9 @@
 # Developer entry points. `make check` is the full gate run in CI and
 # before every commit; the individual targets exist for quicker loops.
 
-.PHONY: check build lint test doc clippy bench-build bench-check bench bench-diff timing faults faults-check
+.PHONY: check build lint test doc clippy bench-build bench-check bench bench-diff timing faults faults-check serve-check
 
-check: build lint test doc clippy bench-build bench-check faults-check
+check: build lint test doc clippy bench-build bench-check faults-check serve-check
 
 build:
 	cargo build --release
@@ -33,12 +33,22 @@ bench-check:
 	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench train_select
 	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench sim_campaign
 
-# Regenerates the committed bench artifacts at full size:
-# BENCH_2.json (lattice fill) and BENCH_3.json (training + campaign).
+# Serving-layer gate (PR 6): the aerorem-serve unit tests under both
+# execution-policy arms, plus a smoke-sized run of the serve bench —
+# every snapshot round-trip and serial≡parallel identity assertion
+# executes, but BENCH_3.json is left alone.
+serve-check:
+	cargo test -q -p aerorem-serve
+	cargo test -q -p aerorem-serve --no-default-features
+	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench serve
+
+# Regenerates the committed bench artifacts at full size: BENCH_2.json
+# (lattice fill) and BENCH_3.json (training + campaign + serving).
 bench:
 	cargo bench -p aerorem-bench --bench rem_lattice
 	cargo bench -p aerorem-bench --bench train_select
 	cargo bench -p aerorem-bench --bench sim_campaign
+	cargo bench -p aerorem-bench --bench serve
 
 # Gates fresh BENCH_3.json stage times against the committed baseline
 # (>25 % wall-time regressions fail; see scripts/bench_diff).

@@ -20,6 +20,10 @@
 //!                              [`adaptive`] — uncertainty-driven resurvey
 //! ```
 //!
+//! Generated grids can be frozen into the versioned on-disk snapshot
+//! format via [`snapshot::RemSnapshot`] (spec: `docs/SNAPSHOT_FORMAT.md`)
+//! and served by the `aerorem-serve` query engine.
+//!
 //! Two cross-cutting concerns thread through every stage: [`exec`] selects
 //! serial or parallel execution at runtime (identical outputs either way),
 //! and [`instrument`] records per-stage wall-clock timings and data-flow
@@ -58,6 +62,7 @@ pub mod instrument;
 pub mod models;
 pub mod pipeline;
 pub mod rem;
+pub mod snapshot;
 
 pub use exec::ExecPolicy;
 pub use features::{FeatureLayout, PreprocessConfig, PreprocessReport};
@@ -65,3 +70,4 @@ pub use instrument::Instrumentation;
 pub use models::ModelKind;
 pub use pipeline::{PipelineConfig, PipelineResult, RemPipeline};
 pub use rem::RemGrid;
+pub use snapshot::{RemSnapshot, SnapshotError};

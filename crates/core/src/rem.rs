@@ -275,6 +275,46 @@ impl RemGrid {
         self.dims
     }
 
+    /// The raw row-major `[z][y][x]` cell values in dBm.
+    ///
+    /// Flat index `i` maps to `ix = i % nx`, `iy = (i / nx) % ny`,
+    /// `iz = i / (nx * ny)` — the layout the snapshot codec
+    /// (`docs/SNAPSHOT_FORMAT.md`) and the serving layer's octree index
+    /// consume directly.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Reassembles a grid from its parts — the inverse of
+    /// ([`RemGrid::mac`], [`RemGrid::volume`], [`RemGrid::dims`],
+    /// [`RemGrid::values`]), used by the snapshot decoder and by synthetic
+    /// grid builders in benches.
+    ///
+    /// Returns `None` when any dimension is zero or when `values.len()`
+    /// does not equal `nx * ny * nz`, so a decoded grid is always
+    /// internally consistent.
+    pub fn from_parts(
+        mac: MacAddress,
+        volume: Aabb,
+        dims: (usize, usize, usize),
+        values: Vec<f64>,
+    ) -> Option<Self> {
+        let (nx, ny, nz) = dims;
+        if nx == 0 || ny == 0 || nz == 0 {
+            return None;
+        }
+        let expect = nx.checked_mul(ny)?.checked_mul(nz)?;
+        if values.len() != expect {
+            return None;
+        }
+        Some(RemGrid {
+            mac,
+            volume,
+            dims,
+            values,
+        })
+    }
+
     /// Number of cells.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -693,6 +733,33 @@ mod tests {
         assert!(sigma.max_dbm() > 0.0);
         // The value layer still reflects the field.
         assert!(rem.mean_dbm() < -50.0);
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        let volume = Aabb::paper_volume();
+        let mac = MacAddress::from_index(1);
+        let ok = RemGrid::from_parts(mac, volume, (2, 3, 4), vec![-60.0; 24]).unwrap();
+        assert_eq!(ok.dims(), (2, 3, 4));
+        assert_eq!(ok.values().len(), 24);
+        // Shape mismatches and degenerate dims are rejected.
+        assert!(RemGrid::from_parts(mac, volume, (2, 3, 4), vec![-60.0; 23]).is_none());
+        assert!(RemGrid::from_parts(mac, volume, (0, 3, 4), vec![]).is_none());
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_generated_grid() {
+        let (model, layout, volume) = fitted_world();
+        let grid =
+            RemGrid::generate(&model, &layout, volume, 0.7, MacAddress::from_index(1)).unwrap();
+        let rebuilt = RemGrid::from_parts(
+            grid.mac(),
+            grid.volume(),
+            grid.dims(),
+            grid.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, grid);
     }
 
     #[test]

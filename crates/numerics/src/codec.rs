@@ -1,0 +1,363 @@
+//! Little-endian binary codec primitives for on-disk artifacts.
+//!
+//! The REM snapshot format (`aerorem-core::snapshot`, specified byte by
+//! byte in `docs/SNAPSHOT_FORMAT.md`) needs three things from its substrate:
+//! an **endian-stable** writer (every multi-byte field is little-endian on
+//! every host), a bounds-checked reader that returns typed errors instead
+//! of panicking on truncated input, and a **CRC-32** checksum so corruption
+//! is detected before any field is trusted. This module provides exactly
+//! those three, with no format knowledge of its own — the snapshot layer
+//! owns the field layout.
+//!
+//! Floats are transported as raw IEEE-754 bit patterns (`f64::to_bits` /
+//! `from_bits`), so a write→read round trip is **bit-identical** even for
+//! NaNs with unusual payloads — the property the snapshot round-trip tests
+//! pin.
+
+use std::fmt;
+
+/// Error type for bounds-checked binary reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a field could be read in full.
+    UnexpectedEof {
+        /// Byte offset the read started at.
+        offset: usize,
+        /// Bytes the field needed.
+        wanted: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof {
+                offset,
+                wanted,
+                remaining,
+            } => write!(
+                f,
+                "unexpected end of input at byte {offset}: field needs {wanted} bytes, \
+                 {remaining} remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends little-endian fields to a growing byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_numerics::codec::{ByteReader, ByteWriter};
+///
+/// let mut w = ByteWriter::new();
+/// w.put_u32(0xDEAD_BEEF);
+/// w.put_f64(-73.25);
+/// let bytes = w.into_bytes();
+///
+/// let mut r = ByteReader::new(&bytes);
+/// assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+/// assert_eq!(r.take_f64().unwrap(), -73.25);
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Creates a writer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The accumulated buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// A view of the accumulated buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Bounds-checked little-endian reads over a byte slice.
+///
+/// Every `take_*` advances an internal cursor and returns
+/// [`CodecError::UnexpectedEof`] instead of panicking when the input is
+/// truncated — corrupted files must surface as typed errors.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `bytes`, cursor at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Current cursor offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the entire input.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                offset: self.pos,
+                wanted: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Takes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] at end of input.
+    pub fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Takes a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if fewer than 2 bytes remain.
+    pub fn take_u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take_bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Takes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if fewer than 4 bytes remain.
+    pub fn take_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Takes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn take_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Takes an `f64` stored as its raw little-endian bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn take_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+}
+
+/// The standard CRC-32 lookup table (reflected polynomial `0xEDB88320`),
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3: reflected polynomial `0xEDB88320`, initial value
+/// `0xFFFFFFFF`, final XOR `0xFFFFFFFF`) of `bytes`.
+///
+/// This is the same CRC-32 used by zlib/PNG/Ethernet, so an independent
+/// reimplementation of the snapshot format can validate against any
+/// standard library: `crc32(b"123456789") == 0xCBF43926`.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_numerics::codec::crc32;
+///
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(crc32(b""), 0);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // Sensitive to single-bit flips.
+        assert_ne!(crc32(b"123456788"), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn writer_reader_round_trip_all_field_types() {
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f64(-73.25);
+        w.put_bytes(b"tail");
+        assert_eq!(w.len(), 1 + 2 + 4 + 8 + 8 + 4);
+        assert!(!w.is_empty());
+
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 0xAB);
+        assert_eq!(r.take_u16().unwrap(), 0x1234);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.take_f64().unwrap(), -73.25);
+        assert_eq!(r.take_bytes(4).unwrap(), b"tail");
+        assert!(r.is_empty());
+        assert_eq!(r.position(), bytes.len());
+    }
+
+    #[test]
+    fn fields_are_little_endian_on_disk() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0x0102_0304);
+        assert_eq!(w.as_slice(), &[0x04, 0x03, 0x02, 0x01]);
+        let mut w = ByteWriter::new();
+        w.put_u16(0x1234);
+        assert_eq!(w.as_slice(), &[0x34, 0x12]);
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_identical_including_nan_payloads() {
+        let weird = f64::from_bits(0x7FF8_DEAD_BEEF_0001); // NaN with payload
+        for v in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, weird, 1e-308] {
+            let mut w = ByteWriter::new();
+            w.put_f64(v);
+            let bytes = w.into_bytes();
+            let got = ByteReader::new(&bytes).take_f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors_not_panics() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u16().unwrap(), 0x0201);
+        let err = r.take_u32().unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEof {
+                offset: 2,
+                wanted: 4,
+                remaining: 1
+            }
+        );
+        assert!(err.to_string().contains("needs 4 bytes"));
+        // The failed read did not advance the cursor.
+        assert_eq!(r.position(), 2);
+        assert_eq!(r.take_u8().unwrap(), 3);
+        assert!(r.take_u8().is_err());
+    }
+}

@@ -18,6 +18,9 @@
 //!   log-normal, Rayleigh, Rician) on top of any [`rand::Rng`].
 //! * [`stats`] — summary statistics (mean, variance, quantiles, RMSE) and
 //!   fixed-width histogram binning used by the evaluation harness.
+//! * [`codec`] — little-endian binary read/write primitives and CRC-32,
+//!   the substrate for the on-disk REM snapshot format
+//!   (`docs/SNAPSHOT_FORMAT.md`).
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod dist;
 pub mod exec;
 pub mod features;

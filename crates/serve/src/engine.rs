@@ -1,0 +1,197 @@
+//! Batched query execution: the thread-per-core request loop.
+//!
+//! Callers submit queries in batches ([`RemStore::submit_batch`]); the
+//! engine routes each query to a worker and returns answers in
+//! **submission order**. Routing is shard-affine: a point-shaped query
+//! (point lookup, best-AP) goes to the worker owning the shard of the
+//! brick its cell lives in, so on a multi-core host each brick is read
+//! (mostly) by one core; region-shaped queries (box stats, coverage) are
+//! spread round-robin since they touch the per-AP octrees, not the
+//! shards.
+//!
+//! Determinism: every answer is a pure function of (store, query) — see
+//! [`RemStore::answer`] — and workers scatter answers back into each
+//! query's original slot. Worker count and interleaving therefore cannot
+//! change any response bit, and `ExecPolicy::Serial` and
+//! `ExecPolicy::Parallel` produce identical batches (test-enforced, and
+//! re-checked by the `serve` bench on every run).
+
+use aerorem_numerics::ExecPolicy;
+
+use crate::query::{Query, Response};
+use crate::store::RemStore;
+
+impl RemStore {
+    /// Worker index for `query` given `workers` total — shard-affine for
+    /// point-shaped queries, round-robin (by batch slot) otherwise.
+    fn route(&self, query: &Query, slot: usize, workers: usize) -> usize {
+        let cell = match *query {
+            Query::Point { pos, .. } | Query::BestAp { pos } => self.layout().cell_index_of(pos),
+            _ => None,
+        };
+        match cell {
+            Some(c) => self.shard_of_cell(c) % workers,
+            None => slot % workers,
+        }
+    }
+
+    /// Answers a batch of queries, preserving order: `result[i]` answers
+    /// `queries[i]`.
+    ///
+    /// Under [`ExecPolicy::Serial`] (or a single-threaded pool) the batch
+    /// runs inline on the caller's thread. Otherwise one scoped worker
+    /// thread per available core drains its routed share of the batch.
+    /// Both arms return bit-identical responses.
+    pub fn submit_batch(&self, queries: &[Query], policy: ExecPolicy) -> Vec<Response> {
+        let workers = match policy {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel => policy.threads(),
+        }
+        .min(queries.len())
+        .max(1);
+        if workers == 1 {
+            return queries.iter().map(|q| self.answer(q)).collect();
+        }
+
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (slot, q) in queries.iter().enumerate() {
+            assignment[self.route(q, slot, workers)].push(slot);
+        }
+
+        let mut results: Vec<Option<Response>> = vec![None; queries.len()];
+        let worker_outputs = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = assignment
+                .iter()
+                .map(|slots| {
+                    scope.spawn(move |_| {
+                        slots
+                            .iter()
+                            .map(|&slot| (slot, self.answer(&queries[slot])))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("serve scope panicked");
+        for output in worker_outputs {
+            for (slot, response) in output {
+                results[slot] = Some(response);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot routed to exactly one worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use crate::workload::{point_workload, Distribution, WorkloadConfig};
+    use aerorem_core::rem::RemGrid;
+    use aerorem_core::snapshot::RemSnapshot;
+    use aerorem_propagation::ap::MacAddress;
+    use aerorem_spatial::{Aabb, Vec3};
+
+    fn store() -> RemStore {
+        let dims = (16, 14, 9);
+        let grids = (1..=3)
+            .map(|k| {
+                let values = (0..dims.0 * dims.1 * dims.2)
+                    .map(|i| -30.0 - ((i * k) as f64 * 0.377).sin() * 35.0)
+                    .collect();
+                RemGrid::from_parts(
+                    MacAddress::from_index(k as u32),
+                    Aabb::paper_volume(),
+                    dims,
+                    values,
+                )
+                .unwrap()
+            })
+            .collect();
+        RemStore::build(
+            &RemSnapshot::new(grids),
+            StoreConfig {
+                brick_edge: 4,
+                shard_count: 3,
+            },
+        )
+        .unwrap()
+    }
+
+    fn mixed_batch(store: &RemStore) -> Vec<Query> {
+        let mut batch = point_workload(
+            store,
+            &WorkloadConfig {
+                queries: 400,
+                seed: 7,
+                distribution: Distribution::Zipfian,
+                exponent: 1.0,
+            },
+        );
+        batch.push(Query::BestAp {
+            pos: Vec3::new(1.0, 1.0, 1.0),
+        });
+        batch.push(Query::BoxStats {
+            region: Aabb::new(Vec3::new(0.2, 0.2, 0.2), Vec3::new(3.0, 2.9, 1.9)).unwrap(),
+            ap: MacAddress::from_index(2),
+        });
+        batch.push(Query::Coverage {
+            threshold_dbm: -45.0,
+            ap: MacAddress::from_index(3),
+        });
+        batch.push(Query::Point {
+            pos: Vec3::new(-4.0, 0.0, 0.0), // out of volume
+            ap: MacAddress::from_index(1),
+        });
+        batch
+    }
+
+    #[test]
+    fn batch_answers_match_one_at_a_time() {
+        let store = store();
+        let batch = mixed_batch(&store);
+        let batched = store.submit_batch(&batch, ExecPolicy::Serial);
+        let singly: Vec<Response> = batch.iter().map(|q| store.answer(q)).collect();
+        assert_eq!(batched, singly);
+    }
+
+    #[test]
+    fn serial_and_parallel_batches_are_bit_identical() {
+        let store = store();
+        let batch = mixed_batch(&store);
+        let serial = store.submit_batch(&batch, ExecPolicy::Serial);
+        let parallel = store.submit_batch(&batch, ExecPolicy::Parallel);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let store = store();
+        assert!(store.submit_batch(&[], ExecPolicy::Parallel).is_empty());
+        assert!(store.submit_batch(&[], ExecPolicy::Serial).is_empty());
+    }
+
+    #[test]
+    fn routing_covers_every_query_exactly_once() {
+        // Exercise the multi-worker path directly, independent of how
+        // many cores the host has.
+        let store = store();
+        let batch = mixed_batch(&store);
+        for workers in [2, 3, 5] {
+            let mut seen = vec![0usize; batch.len()];
+            for (slot, q) in batch.iter().enumerate() {
+                let w = store.route(q, slot, workers);
+                assert!(w < workers);
+                seen[slot] += 1;
+            }
+            assert!(seen.iter().all(|&n| n == 1));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Query and response shapes of the REM serving layer.
+//!
+//! The four query kinds are the user-facing shapes the source paper's
+//! fine-grained 3D REMs exist to answer (§I, §V): "how strong is AP k
+//! here" (point), "which AP should I associate with here" (best-AP),
+//! "summarize signal over this region" (box stats), and "where does AP k
+//! deliver at least x dBm" (coverage isosurface).
+
+use aerorem_propagation::ap::MacAddress;
+use aerorem_spatial::octree::BoxStats;
+use aerorem_spatial::{Aabb, Vec3};
+
+/// One REM query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Predicted RSS of one AP at one position (nearest-cell lookup).
+    Point {
+        /// Query position, meters.
+        pos: Vec3,
+        /// Transmitter of interest.
+        ap: MacAddress,
+    },
+    /// The strongest AP at one position.
+    BestAp {
+        /// Query position, meters.
+        pos: Vec3,
+    },
+    /// Aggregate statistics over an axis-aligned region for one AP.
+    BoxStats {
+        /// Query region; cells whose centers fall inside are aggregated.
+        region: Aabb,
+        /// Transmitter of interest.
+        ap: MacAddress,
+    },
+    /// Coverage isosurface: how much of the volume one AP covers at or
+    /// above a threshold.
+    Coverage {
+        /// Minimum acceptable RSS in dBm.
+        threshold_dbm: f64,
+        /// Transmitter of interest.
+        ap: MacAddress,
+    },
+}
+
+/// The answer to one [`Query`], in the same batch slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Query::Point`]: `None` outside the volume, for an
+    /// unknown AP, or where the map holds no finite value.
+    Value(Option<f64>),
+    /// Answer to [`Query::BestAp`]: the strongest AP and its RSS, `None`
+    /// outside the volume or where no AP has a finite value. Ties break
+    /// toward the lowest MAC address, so the answer is unique.
+    Best(Option<(MacAddress, f64)>),
+    /// Answer to [`Query::BoxStats`]: finite-value aggregates over the
+    /// region ([`BoxStats::empty`] for an unknown AP or empty region).
+    Stats(BoxStats),
+    /// Answer to [`Query::Coverage`].
+    Covered {
+        /// Number of cells at or above the threshold.
+        cells: usize,
+        /// `cells` over the number of finite cells in the map
+        /// (0.0 for an unknown AP).
+        fraction: f64,
+    },
+}

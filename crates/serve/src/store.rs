@@ -1,0 +1,481 @@
+//! The sharded in-memory REM store.
+//!
+//! A [`RemStore`] ingests a [`RemSnapshot`] (all grids must share one
+//! volume and lattice) and lays the voxels out twice:
+//!
+//! * **Bricked shards** — the lattice is cut into cubic *bricks* of
+//!   `brick_edge`³ cells; brick `b` lives in shard `b % shard_count`.
+//!   Point-shaped queries (point lookup, best-AP) touch exactly one brick
+//!   per AP, so a multi-worker request loop can route each query to the
+//!   worker that owns its shard and stay cache-local on the hot path.
+//! * **Flat per-AP arrays + octrees** — region-shaped queries (box
+//!   statistics, coverage isosurfaces) run against a per-AP
+//!   [`VoxelOctree`] over the original row-major array, where aggregate
+//!   pruning beats brick-by-brick assembly.
+//!
+//! Both layouts are read-only after construction; every query is a pure
+//! function of (store, query), which is what makes batch execution
+//! trivially deterministic under either `ExecPolicy` arm.
+
+use std::fmt;
+
+use aerorem_core::snapshot::RemSnapshot;
+use aerorem_propagation::ap::MacAddress;
+use aerorem_spatial::octree::{BoxStats, VoxelLayout, VoxelOctree};
+use aerorem_spatial::{Aabb, Vec3};
+
+use crate::query::{Query, Response};
+
+/// Construction-time configuration of a [`RemStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Cells per brick edge; bricks are `brick_edge`³ cells. Minimum 1.
+    pub brick_edge: usize,
+    /// Number of shards bricks are distributed over. Minimum 1.
+    pub shard_count: usize,
+}
+
+impl Default for StoreConfig {
+    /// 8³-cell bricks (4 KiB of f64 per AP — half a typical L1 line
+    /// budget) over 4 shards.
+    fn default() -> Self {
+        StoreConfig {
+            brick_edge: 8,
+            shard_count: 4,
+        }
+    }
+}
+
+/// Why a snapshot could not be ingested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The snapshot holds no grids.
+    EmptySnapshot,
+    /// Grid `index` disagrees with grid 0 on volume or dimensions.
+    MismatchedGrid {
+        /// Index of the disagreeing grid.
+        index: usize,
+    },
+    /// Two grids share a MAC address.
+    DuplicateMac(MacAddress),
+    /// `brick_edge` or `shard_count` was zero.
+    BadConfig,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::EmptySnapshot => write!(f, "snapshot holds no grids"),
+            StoreError::MismatchedGrid { index } => write!(
+                f,
+                "grid {index} disagrees with grid 0 on volume or dimensions"
+            ),
+            StoreError::DuplicateMac(mac) => write!(f, "duplicate grid for {mac}"),
+            StoreError::BadConfig => write!(f, "brick_edge and shard_count must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One shard: the bricks it owns, per AP, slot-major.
+///
+/// Shard `s` owns bricks `s, s + shard_count, s + 2·shard_count, …`; the
+/// brick with global id `b` sits at local slot `b / shard_count`. Each
+/// brick is `brick_edge`³ values; cells beyond the lattice edge are
+/// NaN-padded so every brick has the same stride.
+#[derive(Debug, Clone)]
+struct Shard {
+    /// `per_ap[ap][slot * brick_volume + offset]`.
+    per_ap: Vec<Vec<f64>>,
+}
+
+/// A read-only, sharded, octree-indexed store of one REM snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use aerorem_core::rem::RemGrid;
+/// use aerorem_core::snapshot::RemSnapshot;
+/// use aerorem_propagation::ap::MacAddress;
+/// use aerorem_serve::{Query, RemStore, StoreConfig};
+/// use aerorem_spatial::{Aabb, Vec3};
+/// use aerorem_numerics::ExecPolicy;
+///
+/// let grid = RemGrid::from_parts(
+///     MacAddress::from_index(1),
+///     Aabb::paper_volume(),
+///     (8, 8, 4),
+///     (0..256).map(|i| -40.0 - (i % 30) as f64).collect(),
+/// ).unwrap();
+/// let store = RemStore::build(&RemSnapshot::new(vec![grid]), StoreConfig::default()).unwrap();
+/// let q = Query::Point { pos: Vec3::new(1.0, 1.0, 1.0), ap: MacAddress::from_index(1) };
+/// let resp = store.submit_batch(&[q], ExecPolicy::Serial);
+/// assert_eq!(resp.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RemStore {
+    layout: VoxelLayout,
+    /// Sorted ascending; index here is the AP index everywhere else.
+    macs: Vec<MacAddress>,
+    /// Per-AP row-major value arrays, aligned with `macs`.
+    flat: Vec<Vec<f64>>,
+    /// Per-AP aggregate octrees over `flat`, aligned with `macs`.
+    octrees: Vec<VoxelOctree>,
+    shards: Vec<Shard>,
+    brick_edge: usize,
+    /// Brick-grid dimensions (bricks per axis).
+    brick_dims: (usize, usize, usize),
+}
+
+impl RemStore {
+    /// Ingests a snapshot.
+    ///
+    /// All grids must share one volume and one lattice shape, and carry
+    /// distinct MAC addresses. Grids are re-sorted by MAC so AP iteration
+    /// order (and thus best-AP tie-breaking) is independent of snapshot
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`StoreError`] for empty snapshots, shape
+    /// mismatches, duplicate MACs, or a zero in the config.
+    pub fn build(snapshot: &RemSnapshot, config: StoreConfig) -> Result<Self, StoreError> {
+        if config.brick_edge == 0 || config.shard_count == 0 {
+            return Err(StoreError::BadConfig);
+        }
+        let grids = snapshot.grids();
+        let first = grids.first().ok_or(StoreError::EmptySnapshot)?;
+        for (index, g) in grids.iter().enumerate() {
+            if g.volume() != first.volume() || g.dims() != first.dims() {
+                return Err(StoreError::MismatchedGrid { index });
+            }
+        }
+        let mut order: Vec<usize> = (0..grids.len()).collect();
+        order.sort_by_key(|&i| grids[i].mac().octets());
+        for w in order.windows(2) {
+            if grids[w[0]].mac() == grids[w[1]].mac() {
+                return Err(StoreError::DuplicateMac(grids[w[0]].mac()));
+            }
+        }
+
+        let layout = VoxelLayout::new(first.volume(), first.dims())
+            .ok_or(StoreError::MismatchedGrid { index: 0 })?;
+        let macs: Vec<MacAddress> = order.iter().map(|&i| grids[i].mac()).collect();
+        let flat: Vec<Vec<f64>> = order.iter().map(|&i| grids[i].values().to_vec()).collect();
+        let octrees: Vec<VoxelOctree> = flat
+            .iter()
+            .map(|v| VoxelOctree::build(layout, v).expect("layout matches grid by construction"))
+            .collect();
+
+        let b = config.brick_edge;
+        let (nx, ny, nz) = layout.dims();
+        let brick_dims = (nx.div_ceil(b), ny.div_ceil(b), nz.div_ceil(b));
+        let total_bricks = brick_dims.0 * brick_dims.1 * brick_dims.2;
+        let brick_vol = b * b * b;
+
+        let mut shards: Vec<Shard> = (0..config.shard_count)
+            .map(|s| {
+                let local = (total_bricks + config.shard_count - 1 - s) / config.shard_count;
+                Shard {
+                    per_ap: vec![vec![f64::NAN; local * brick_vol]; macs.len()],
+                }
+            })
+            .collect();
+        for brick_id in 0..total_bricks {
+            let shard_idx = brick_id % config.shard_count;
+            let slot = brick_id / config.shard_count;
+            let bx = brick_id % brick_dims.0;
+            let by = (brick_id / brick_dims.0) % brick_dims.1;
+            let bz = brick_id / (brick_dims.0 * brick_dims.1);
+            for (ap, values) in flat.iter().enumerate() {
+                let dst = &mut shards[shard_idx].per_ap[ap];
+                for lz in 0..b.min(nz - bz * b) {
+                    for ly in 0..b.min(ny - by * b) {
+                        for lx in 0..b.min(nx - bx * b) {
+                            let (ix, iy, iz) = (bx * b + lx, by * b + ly, bz * b + lz);
+                            let src = iz * nx * ny + iy * nx + ix;
+                            let off = lz * b * b + ly * b + lx;
+                            dst[slot * brick_vol + off] = values[src];
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(RemStore {
+            layout,
+            macs,
+            flat,
+            octrees,
+            shards,
+            brick_edge: b,
+            brick_dims,
+        })
+    }
+
+    /// The shared lattice layout.
+    pub fn layout(&self) -> &VoxelLayout {
+        &self.layout
+    }
+
+    /// The served volume.
+    pub fn volume(&self) -> Aabb {
+        self.layout.volume()
+    }
+
+    /// AP MAC addresses, sorted ascending.
+    pub fn macs(&self) -> &[MacAddress] {
+        &self.macs
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cells per brick edge.
+    pub fn brick_edge(&self) -> usize {
+        self.brick_edge
+    }
+
+    /// Index of `mac` in [`RemStore::macs`], `None` when unknown.
+    fn ap_index(&self, mac: MacAddress) -> Option<usize> {
+        self.macs.binary_search_by_key(&mac.octets(), |m| m.octets()).ok()
+    }
+
+    /// Global brick id and in-brick offset of a flat cell index.
+    fn brick_of(&self, cell: usize) -> (usize, usize) {
+        let b = self.brick_edge;
+        let (ix, iy, iz) = self.layout.cell_coords(cell);
+        let (bdx, bdy, _) = self.brick_dims;
+        let brick = (iz / b) * bdx * bdy + (iy / b) * bdx + (ix / b);
+        let off = (iz % b) * b * b + (iy % b) * b + (ix % b);
+        (brick, off)
+    }
+
+    /// Shard index owning the brick of a flat cell index — the routing
+    /// key the batch engine uses for point-shaped queries.
+    pub(crate) fn shard_of_cell(&self, cell: usize) -> usize {
+        self.brick_of(cell).0 % self.shards.len()
+    }
+
+    /// Reads one (cell, ap) value through the bricked shard layout.
+    fn brick_value(&self, cell: usize, ap: usize) -> f64 {
+        let (brick, off) = self.brick_of(cell);
+        let shard = &self.shards[brick % self.shards.len()];
+        let slot = brick / self.shards.len();
+        let brick_vol = self.brick_edge * self.brick_edge * self.brick_edge;
+        shard.per_ap[ap][slot * brick_vol + off]
+    }
+
+    /// Point lookup: predicted RSS of `ap` at `pos`, `None` outside the
+    /// volume, for an unknown AP, or where the map has no finite value.
+    /// Served from the bricked shards (the hot path the bench drives).
+    pub fn point(&self, pos: Vec3, ap: MacAddress) -> Option<f64> {
+        let ap = self.ap_index(ap)?;
+        let cell = self.layout.cell_index_of(pos)?;
+        let v = self.brick_value(cell, ap);
+        v.is_finite().then_some(v)
+    }
+
+    /// Best AP at `pos`: the strongest finite prediction, ties toward the
+    /// lowest MAC. All APs of one cell live in the same brick, so this
+    /// stays a single-shard read.
+    pub fn best_ap(&self, pos: Vec3) -> Option<(MacAddress, f64)> {
+        let cell = self.layout.cell_index_of(pos)?;
+        let mut best: Option<(MacAddress, f64)> = None;
+        for (ap, &mac) in self.macs.iter().enumerate() {
+            let v = self.brick_value(cell, ap);
+            if v.is_finite() && best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((mac, v));
+            }
+        }
+        best
+    }
+
+    /// Exact finite-value aggregates of `ap` over `region` (octree path).
+    /// [`BoxStats::empty`] for an unknown AP.
+    pub fn box_stats(&self, region: &Aabb, ap: MacAddress) -> BoxStats {
+        match self.ap_index(ap) {
+            Some(i) => self.octrees[i].box_stats(region, &self.flat[i]),
+            None => BoxStats::empty(),
+        }
+    }
+
+    /// Flat cell indices where `ap` delivers at least `threshold_dbm`
+    /// (octree isosurface path). Empty for an unknown AP.
+    pub fn coverage_cells(&self, threshold_dbm: f64, ap: MacAddress) -> Vec<usize> {
+        match self.ap_index(ap) {
+            Some(i) => self.octrees[i].cells_above(threshold_dbm, &self.flat[i]),
+            None => Vec::new(),
+        }
+    }
+
+    /// Answers one query. Every [`Response`] is a pure function of the
+    /// store and the query — the batch engine relies on that to scatter
+    /// work across workers without changing any answer.
+    pub fn answer(&self, query: &Query) -> Response {
+        match *query {
+            Query::Point { pos, ap } => Response::Value(self.point(pos, ap)),
+            Query::BestAp { pos } => Response::Best(self.best_ap(pos)),
+            Query::BoxStats { region, ap } => Response::Stats(self.box_stats(&region, ap)),
+            Query::Coverage { threshold_dbm, ap } => {
+                let cells = self.coverage_cells(threshold_dbm, ap).len();
+                let total = match self.ap_index(ap) {
+                    Some(i) => self.octrees[i].root_stats().count,
+                    None => 0,
+                };
+                let fraction = if total == 0 {
+                    0.0
+                } else {
+                    cells as f64 / total as f64
+                };
+                Response::Covered { cells, fraction }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerorem_core::rem::RemGrid;
+
+    fn synth_grid(mac_index: u32, dims: (usize, usize, usize), phase: f64) -> RemGrid {
+        let (nx, ny, nz) = dims;
+        let values = (0..nx * ny * nz)
+            .map(|i| -35.0 - ((i as f64 + phase) * 0.613).sin() * 30.0)
+            .collect();
+        RemGrid::from_parts(
+            MacAddress::from_index(mac_index),
+            Aabb::paper_volume(),
+            dims,
+            values,
+        )
+        .unwrap()
+    }
+
+    fn two_ap_store(config: StoreConfig) -> RemStore {
+        let snap = RemSnapshot::new(vec![
+            synth_grid(2, (13, 11, 7), 5.0),
+            synth_grid(1, (13, 11, 7), 0.0),
+        ]);
+        RemStore::build(&snap, config).unwrap()
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        let err = RemStore::build(&RemSnapshot::new(vec![]), StoreConfig::default()).unwrap_err();
+        assert_eq!(err, StoreError::EmptySnapshot);
+        let mismatched = RemSnapshot::new(vec![
+            synth_grid(1, (4, 4, 4), 0.0),
+            synth_grid(2, (5, 4, 4), 0.0),
+        ]);
+        let err = RemStore::build(&mismatched, StoreConfig::default()).unwrap_err();
+        assert_eq!(err, StoreError::MismatchedGrid { index: 1 });
+        let dup = RemSnapshot::new(vec![
+            synth_grid(1, (4, 4, 4), 0.0),
+            synth_grid(1, (4, 4, 4), 3.0),
+        ]);
+        let err = RemStore::build(&dup, StoreConfig::default()).unwrap_err();
+        assert_eq!(err, StoreError::DuplicateMac(MacAddress::from_index(1)));
+        let snap = RemSnapshot::new(vec![synth_grid(1, (4, 4, 4), 0.0)]);
+        let err = RemStore::build(
+            &snap,
+            StoreConfig {
+                brick_edge: 0,
+                shard_count: 1,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, StoreError::BadConfig);
+    }
+
+    #[test]
+    fn macs_are_sorted_regardless_of_snapshot_order() {
+        let store = two_ap_store(StoreConfig::default());
+        assert_eq!(
+            store.macs(),
+            &[MacAddress::from_index(1), MacAddress::from_index(2)]
+        );
+    }
+
+    #[test]
+    fn brick_reads_match_flat_reads_for_every_cell_and_config() {
+        // Brick edges that divide the dims unevenly, shard counts from 1
+        // (degenerate) past the brick count.
+        for &(brick_edge, shard_count) in
+            &[(1, 1), (3, 2), (4, 4), (8, 3), (5, 7), (16, 64)]
+        {
+            let store = two_ap_store(StoreConfig {
+                brick_edge,
+                shard_count,
+            });
+            for ap in 0..store.macs.len() {
+                for cell in 0..store.layout.cell_count() {
+                    let flat = store.flat[ap][cell];
+                    let brick = store.brick_value(cell, ap);
+                    assert_eq!(
+                        flat.to_bits(),
+                        brick.to_bits(),
+                        "cell {cell} ap {ap} edge {brick_edge} shards {shard_count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_queries_answer_from_shards() {
+        let store = two_ap_store(StoreConfig::default());
+        let mac = MacAddress::from_index(1);
+        let pos = Vec3::new(1.0, 1.3, 0.9);
+        let cell = store.layout.cell_index_of(pos).unwrap();
+        assert_eq!(store.point(pos, mac), Some(store.flat[0][cell]));
+        // Outside the volume and unknown APs are None.
+        assert_eq!(store.point(Vec3::new(-1.0, 0.0, 0.0), mac), None);
+        assert_eq!(store.point(pos, MacAddress::from_index(99)), None);
+    }
+
+    #[test]
+    fn best_ap_is_the_argmax_with_low_mac_ties() {
+        let store = two_ap_store(StoreConfig::default());
+        let pos = Vec3::new(2.0, 2.0, 1.0);
+        let cell = store.layout.cell_index_of(pos).unwrap();
+        let (mac, v) = store.best_ap(pos).unwrap();
+        let v1 = store.flat[0][cell];
+        let v2 = store.flat[1][cell];
+        assert_eq!(v, v1.max(v2));
+        let expect = if v1 >= v2 {
+            MacAddress::from_index(1)
+        } else {
+            MacAddress::from_index(2)
+        };
+        assert_eq!(mac, expect, "ties go to the lower MAC");
+        assert!(store.best_ap(Vec3::new(9.0, 9.0, 9.0)).is_none());
+    }
+
+    #[test]
+    fn region_queries_delegate_to_the_octree() {
+        let store = two_ap_store(StoreConfig::default());
+        let mac = MacAddress::from_index(2);
+        let region = Aabb::new(Vec3::new(0.4, 0.4, 0.3), Vec3::new(2.9, 2.7, 1.8)).unwrap();
+        let stats = store.box_stats(&region, mac);
+        assert!(stats.count > 0);
+        assert!(stats.min <= stats.max);
+        // Unknown AP → empty aggregate, not a panic.
+        assert_eq!(store.box_stats(&region, MacAddress::from_index(9)).count, 0);
+
+        let cells = store.coverage_cells(-40.0, mac);
+        assert!(cells.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+        let Response::Covered { cells: n, fraction } = store.answer(&Query::Coverage {
+            threshold_dbm: -40.0,
+            ap: mac,
+        }) else {
+            panic!("wrong response shape")
+        };
+        assert_eq!(n, cells.len());
+        assert!((0.0..=1.0).contains(&fraction));
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`Aabb`] — axis-aligned boxes: the scan volume, walls, and anchor
 //!   placement all build on it.
 //! * [`grid`] — waypoint lattice generation and fleet partitioning helpers.
+//! * [`octree`] — per-node-aggregate octree over voxel lattices: the
+//!   serving layer's index for box statistics, coverage isosurfaces, and
+//!   LOD summaries.
 //!
 //! # Examples
 //!
@@ -28,6 +31,7 @@
 
 mod aabb;
 pub mod grid;
+pub mod octree;
 mod pose;
 mod vec3;
 

@@ -6,6 +6,10 @@
 //! aerorem map      --in samples.csv [--mac aa:bb:..] [--resolution 0.25] --out rem.csv
 //! aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]
 //! aerorem demo     [--seed N] [--exec serial|parallel]
+//! aerorem snapshot save --in samples.csv --out rem.snap [--resolution 0.25] [--aps 8]
+//! aerorem snapshot load --in rem.snap
+//! aerorem serve-bench [--in rem.snap] [--queries 200000] [--shards 4] [--batch 8192]
+//!                     [--dist zipfian|uniform] [--seed N] [--exec serial|parallel]
 //! ```
 //!
 //! `survey` runs the simulated campaign and writes the collected samples;
@@ -13,7 +17,10 @@
 //! on samples from real hardware. `demo` runs the paper's full pipeline
 //! end to end and prints per-stage wall-clock instrumentation — run it
 //! once with `--exec serial` and once with `--exec parallel` to measure
-//! the speedup on your machine.
+//! the speedup on your machine. `snapshot` freezes fitted REMs into the
+//! versioned binary format of `docs/SNAPSHOT_FORMAT.md` (and inspects
+//! such files); `serve-bench` drives a seeded point-query workload
+//! through the sharded `aerorem-serve` store and reports queries/s.
 
 #![forbid(unsafe_code)]
 
@@ -27,10 +34,14 @@ use aerorem::core::instrument::Instrumentation;
 use aerorem::core::models::{evaluate_all, ModelKind};
 use aerorem::core::pipeline::{PipelineConfig, RemPipeline};
 use aerorem::core::rem::RemGrid;
+use aerorem::core::snapshot::RemSnapshot;
 use aerorem::mission::campaign::{Campaign, CampaignConfig};
 use aerorem::mission::csv;
 use aerorem::mission::plan::FleetPlan;
 use aerorem::propagation::ap::MacAddress;
+use aerorem::serve::{
+    point_workload, Distribution, RemStore, Response, StoreConfig, WorkloadConfig,
+};
 use aerorem::spatial::Aabb;
 use rand::SeedableRng;
 
@@ -39,17 +50,33 @@ fn main() -> ExitCode {
     let Some((command, rest)) = args.split_first() else {
         return usage("no command given");
     };
+    // `snapshot` carries a save/load subcommand before its flags; peel it
+    // off so the generic flag parser sees only `--key value` pairs.
+    let (subcommand, rest) = if command == "snapshot" {
+        match rest.split_first() {
+            Some((sub, tail)) => (Some(sub.as_str()), tail),
+            None => return usage("snapshot needs a subcommand: save|load"),
+        }
+    } else {
+        (None, rest)
+    };
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => return usage(&e),
     };
-    let result = match command.as_str() {
-        "survey" => survey(&flags),
-        "evaluate" => evaluate(&flags),
-        "map" => map(&flags),
-        "coverage" => coverage(&flags),
-        "demo" => demo(&flags),
-        other => return usage(&format!("unknown command {other:?}")),
+    let result = match (command.as_str(), subcommand) {
+        ("survey", _) => survey(&flags),
+        ("evaluate", _) => evaluate(&flags),
+        ("map", _) => map(&flags),
+        ("coverage", _) => coverage(&flags),
+        ("demo", _) => demo(&flags),
+        ("snapshot", Some("save")) => snapshot_save(&flags),
+        ("snapshot", Some("load")) => snapshot_load(&flags),
+        ("snapshot", Some(other)) => {
+            return usage(&format!("unknown snapshot subcommand {other:?} (save|load)"))
+        }
+        ("serve-bench", _) => serve_bench(&flags),
+        (other, _) => return usage(&format!("unknown command {other:?}")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -349,6 +376,152 @@ fn coverage(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn snapshot_save(flags: &Flags) -> Result<(), String> {
+    let samples = load_samples(flags)?;
+    let out = required(flags, "out")?;
+    let resolution: f64 = flag(flags, "resolution", 0.25)?;
+    let max_aps: usize = flag(flags, "aps", 8)?;
+    let mut inst = Instrumentation::new();
+    let (model, layout) = inst.time("fit_model", || fit_best_model(&samples))?;
+    let grids: Vec<RemGrid> = inst
+        .time("generate_rems", || {
+            layout
+                .macs()
+                .into_iter()
+                .take(max_aps)
+                .map(|m| {
+                    RemGrid::generate(model.as_ref(), &layout, Aabb::paper_volume(), resolution, m)
+                })
+                .collect::<Result<_, _>>()
+        })
+        .map_err(|e| e.to_string())?;
+    let snap = RemSnapshot::new(grids);
+    inst.time("encode_save", || snap.save(out))
+        .map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    let voxels: usize = snap.grids().iter().map(RemGrid::len).sum();
+    eprintln!(
+        "wrote {} grid(s), {voxels} voxels, {bytes} bytes to {out}",
+        snap.len()
+    );
+    eprint!("{}", inst.report());
+    Ok(())
+}
+
+fn snapshot_load(flags: &Flags) -> Result<(), String> {
+    let path = required(flags, "in")?;
+    let snap = RemSnapshot::load(path).map_err(|e| e.to_string())?;
+    let Some(first) = snap.grids().first() else {
+        println!("{path}: empty snapshot (0 grids)");
+        return Ok(());
+    };
+    println!(
+        "{path}: {} grid(s) over volume {}",
+        snap.len(),
+        first.volume()
+    );
+    println!("{:<20} {:>12} {:>10} {:>10}", "mac", "dims", "min dBm", "max dBm");
+    for g in snap.grids() {
+        let (nx, ny, nz) = g.dims();
+        println!(
+            "{:<20} {:>12} {:>10.1} {:>10.1}",
+            g.mac().to_string(),
+            format!("{nx}x{ny}x{nz}"),
+            g.min_dbm(),
+            g.max_dbm()
+        );
+    }
+    Ok(())
+}
+
+fn serve_bench(flags: &Flags) -> Result<(), String> {
+    let queries: usize = flag(flags, "queries", 200_000)?;
+    let shards: usize = flag(flags, "shards", 4)?;
+    let batch: usize = flag(flags, "batch", 8192)?;
+    let dist: Distribution = flag(flags, "dist", Distribution::Zipfian)?;
+    let seed: u64 = flag(flags, "seed", 2206)?;
+    let policy: ExecPolicy = flag(flags, "exec", ExecPolicy::default())?;
+    if batch == 0 {
+        return Err("--batch must be >= 1".into());
+    }
+    let snapshot = match flags.get("in") {
+        Some(path) => RemSnapshot::load(path).map_err(|e| e.to_string())?,
+        None => {
+            eprintln!("no --in given; serving a synthetic 3-AP snapshot");
+            synthetic_snapshot()
+        }
+    };
+    let mut inst = Instrumentation::new();
+    let store = inst
+        .time("build_store", || {
+            RemStore::build(
+                &snapshot,
+                StoreConfig {
+                    brick_edge: 8,
+                    shard_count: shards,
+                },
+            )
+        })
+        .map_err(|e| e.to_string())?;
+    let workload = inst.time("generate_workload", || {
+        point_workload(
+            &store,
+            &WorkloadConfig {
+                queries,
+                seed,
+                distribution: dist,
+                exponent: 1.0,
+            },
+        )
+    });
+    let hits = inst.time("serve", || {
+        let mut hits = 0usize;
+        for chunk in workload.chunks(batch) {
+            for r in store.submit_batch(chunk, policy) {
+                if matches!(r, Response::Value(Some(_))) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    inst.count("queries", queries as u64);
+    eprintln!(
+        "{} store: {} cells x {} APs, {} shard(s), brick edge {}",
+        store.volume(),
+        store.layout().cell_count(),
+        store.macs().len(),
+        store.shard_count(),
+        store.brick_edge()
+    );
+    println!(
+        "{queries} {dist} point queries ({hits} in-volume hits), batch {batch}, exec {policy}"
+    );
+    if let Some(qps) = inst.throughput("serve", "queries") {
+        println!("throughput: {qps:.0} queries/s");
+    }
+    eprint!("{}", inst.report());
+    Ok(())
+}
+
+/// A small deterministic snapshot so `serve-bench` runs standalone.
+fn synthetic_snapshot() -> RemSnapshot {
+    let dims = (32, 32, 16);
+    let grids = (1..=3u32)
+        .map(|mac| {
+            let values = (0..dims.0 * dims.1 * dims.2)
+                .map(|i| {
+                    let t = i as f64 * 0.000_737 + mac as f64 * 1.37;
+                    -35.0 - 25.0 * (t.sin() * t.cos()).abs() - 2.0 * mac as f64
+                })
+                .collect();
+            RemGrid::from_parts(MacAddress::from_index(mac), Aabb::paper_volume(), dims, values)
+                .expect("synthetic grid shape")
+        })
+        .collect();
+    RemSnapshot::new(grids)
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
@@ -356,7 +529,11 @@ fn usage(err: &str) -> ExitCode {
          aerorem evaluate --in samples.csv [--seed N] [--min-samples 16]\n  \
          aerorem map      --in samples.csv [--mac aa:bb:cc:dd:ee:ff] [--resolution 0.25] --out rem.csv\n  \
          aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]\n  \
-         aerorem demo     [--seed N] [--exec serial|parallel]"
+         aerorem demo     [--seed N] [--exec serial|parallel]\n  \
+         aerorem snapshot save --in samples.csv --out rem.snap [--resolution 0.25] [--aps 8]\n  \
+         aerorem snapshot load --in rem.snap\n  \
+         aerorem serve-bench [--in rem.snap] [--queries 200000] [--shards 4] [--batch 8192]\n  \
+         \u{20}                   [--dist zipfian|uniform] [--seed N] [--exec serial|parallel]"
     );
     ExitCode::from(2)
 }

@@ -42,7 +42,8 @@
 //! | [`uav`] | quadrotor dynamics, battery, commander firmware model |
 //! | [`mission`] | waypoint planning, base-station client, campaign runner |
 //! | [`ml`] | kNN / MLP / baselines / grid search / IDW / kriging, from scratch |
-//! | [`core`] | the pipeline: preprocessing, Figure-8 model zoo, REM grids, coverage |
+//! | [`core`] | the pipeline: preprocessing, Figure-8 model zoo, REM grids, coverage, snapshots |
+//! | [`serve`] | REM-as-a-service: sharded voxel store, octree queries, batch engine |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +56,7 @@ pub use aerorem_numerics as numerics;
 pub use aerorem_propagation as propagation;
 pub use aerorem_radio as radio;
 pub use aerorem_scanner as scanner;
+pub use aerorem_serve as serve;
 pub use aerorem_simkit as simkit;
 pub use aerorem_spatial as spatial;
 pub use aerorem_uav as uav;

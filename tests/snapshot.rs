@@ -1,0 +1,157 @@
+//! Property-based tests for the versioned REM snapshot codec
+//! (`docs/SNAPSHOT_FORMAT.md`): save→load bit-identity over arbitrary
+//! grid shapes and payload bit patterns, and rejection of corrupted or
+//! truncated inputs with typed errors — never a panic.
+
+use aerorem::core::rem::RemGrid;
+use aerorem::core::snapshot::{RemSnapshot, SnapshotError, FILE_HEADER_LEN};
+use aerorem::propagation::ap::MacAddress;
+use aerorem::spatial::{Aabb, Vec3};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Builds a snapshot with `aps` grids of the given dimensions whose voxel
+/// values are *arbitrary f64 bit patterns* (including NaNs, infinities,
+/// and subnormals) drawn from a seeded generator, over a random valid
+/// volume. Exercises the codec far outside the dBm range real REMs use.
+fn random_snapshot(seed: u64, aps: usize, dims: (usize, usize, usize)) -> RemSnapshot {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let min = Vec3::new(
+        rng.gen_range(-10.0..10.0),
+        rng.gen_range(-10.0..10.0),
+        rng.gen_range(-10.0..10.0),
+    );
+    let max = Vec3::new(
+        min.x + rng.gen_range(0.1..5.0),
+        min.y + rng.gen_range(0.1..5.0),
+        min.z + rng.gen_range(0.1..5.0),
+    );
+    let volume = Aabb::new(min, max).expect("positive extent on every axis");
+    let cells = dims.0 * dims.1 * dims.2;
+    let grids = (0..aps)
+        .map(|i| {
+            let values = (0..cells).map(|_| f64::from_bits(rng.gen())).collect();
+            RemGrid::from_parts(MacAddress::from_index(i as u32 + 1), volume, dims, values)
+                .expect("value count matches dims")
+        })
+        .collect();
+    RemSnapshot::new(grids)
+}
+
+/// Bitwise equality between two snapshots, NaN-tolerant where `==` is not.
+fn bit_identical(a: &RemSnapshot, b: &RemSnapshot) -> bool {
+    a.len() == b.len()
+        && a.grids().iter().zip(b.grids()).all(|(ga, gb)| {
+            ga.mac() == gb.mac()
+                && ga.dims() == gb.dims()
+                && ga.volume().min().to_bits() == gb.volume().min().to_bits()
+                && ga.volume().max().to_bits() == gb.volume().max().to_bits()
+                && ga.values().len() == gb.values().len()
+                && ga
+                    .values()
+                    .iter()
+                    .zip(gb.values())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+}
+
+trait Vec3Bits {
+    fn to_bits(self) -> [u64; 3];
+}
+
+impl Vec3Bits for Vec3 {
+    fn to_bits(self) -> [u64; 3] {
+        [self.x.to_bits(), self.y.to_bits(), self.z.to_bits()]
+    }
+}
+
+proptest! {
+    // --- round trip: encode is injective up to bits, decode inverts it ---
+
+    #[test]
+    fn save_load_is_bit_identical(
+        seed in 0u64..500,
+        aps in 0usize..4,
+        nx in 1usize..6,
+        ny in 1usize..6,
+        nz in 1usize..6,
+    ) {
+        let snap = random_snapshot(seed, aps, (nx, ny, nz));
+        let decoded = RemSnapshot::from_bytes(&snap.to_bytes())
+            .expect("own encoding must decode");
+        prop_assert!(bit_identical(&snap, &decoded));
+        // And through the filesystem path as well.
+        let path = std::env::temp_dir().join(format!("aerorem_snap_{seed}_{aps}_{nx}{ny}{nz}.snap"));
+        snap.save(&path).expect("save");
+        let loaded = RemSnapshot::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(bit_identical(&snap, &loaded));
+    }
+
+    // --- corruption: every single-byte flip anywhere is detected ---
+    //
+    // The format leaves no unprotected bytes: the magic/version/endian
+    // fields are checked literally, both grid headers and payloads carry
+    // CRC-32s, and the grid count is cross-checked against the actual
+    // byte length (Truncated / TrailingBytes). So ANY one-byte change
+    // must surface as a typed error.
+
+    #[test]
+    fn any_single_byte_flip_is_rejected(
+        seed in 0u64..200,
+        aps in 1usize..3,
+        pos_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let snap = random_snapshot(seed, aps, (3, 2, 2));
+        let mut bytes = snap.to_bytes();
+        let pos = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= mask;
+        let err = RemSnapshot::from_bytes(&bytes)
+            .expect_err("corrupted snapshot must not decode");
+        // The file header's fixed fields produce their dedicated errors.
+        match pos {
+            0..=7 => prop_assert!(matches!(err, SnapshotError::BadMagic { .. })),
+            8..=9 => prop_assert!(matches!(err, SnapshotError::UnsupportedVersion { .. })),
+            10..=11 => prop_assert!(matches!(err, SnapshotError::BadEndianTag { .. })),
+            _ => {} // grid count / headers / payloads: any typed error is fine
+        }
+    }
+
+    // --- truncation: every proper prefix is rejected, without panicking ---
+
+    #[test]
+    fn any_truncation_is_rejected(
+        seed in 0u64..200,
+        aps in 1usize..3,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let snap = random_snapshot(seed, aps, (2, 3, 2));
+        let bytes = snap.to_bytes();
+        let cut = ((cut_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let err = RemSnapshot::from_bytes(&bytes[..cut])
+            .expect_err("truncated snapshot must not decode");
+        if cut < FILE_HEADER_LEN {
+            // Not even a complete file header.
+            prop_assert!(matches!(
+                err,
+                SnapshotError::Truncated(_) | SnapshotError::BadMagic { .. }
+            ));
+        }
+    }
+
+    // --- trailing garbage after the declared grids is rejected ---
+
+    #[test]
+    fn trailing_bytes_are_rejected(
+        seed in 0u64..100,
+        extra in 1usize..64,
+    ) {
+        let snap = random_snapshot(seed, 1, (2, 2, 2));
+        let mut bytes = snap.to_bytes();
+        bytes.extend(std::iter::repeat_n(0xAB, extra));
+        let err = RemSnapshot::from_bytes(&bytes)
+            .expect_err("oversized snapshot must not decode");
+        prop_assert!(matches!(err, SnapshotError::TrailingBytes { extra: e } if e == extra));
+    }
+}
