@@ -27,11 +27,13 @@ clippy:
 bench-build:
 	cargo bench --no-run
 
-# Smoke-sized run of the PR-3 bench pair: every bit-identity assertion
-# executes, but the workloads are small and BENCH_3.json is left alone.
+# Smoke-sized run of the custom-harness benches: every bit-identity
+# assertion executes (including the PR-7 executor scaling sweep), but the
+# workloads are small and the committed artifacts are left alone.
 bench-check:
 	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench train_select
 	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench sim_campaign
+	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench scaling
 
 # Serving-layer gate (PR 6): the aerorem-serve unit tests under both
 # execution-policy arms, plus a smoke-sized run of the serve bench —
@@ -43,15 +45,19 @@ serve-check:
 	AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench serve
 
 # Regenerates the committed bench artifacts at full size: BENCH_2.json
-# (lattice fill) and BENCH_3.json (training + campaign + serving).
+# (lattice fill), BENCH_3.json (training + campaign + serving), and
+# BENCH_4.json (executor scaling).
 bench:
 	cargo bench -p aerorem-bench --bench rem_lattice
 	cargo bench -p aerorem-bench --bench train_select
 	cargo bench -p aerorem-bench --bench sim_campaign
 	cargo bench -p aerorem-bench --bench serve
+	cargo bench -p aerorem-bench --bench scaling
 
-# Gates fresh BENCH_3.json stage times against the committed baseline
-# (>25 % wall-time regressions fail; see scripts/bench_diff).
+# Gates fresh BENCH_3.json / BENCH_4.json stage times against the
+# committed baselines (>25 % wall-time regressions fail) and each stage's
+# parallel arm against its serial pair (parallel must never lose; see
+# scripts/bench_diff).
 bench-diff:
 	./scripts/bench_diff
 

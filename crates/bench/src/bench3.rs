@@ -129,13 +129,30 @@ fn split_sections(text: &str) -> Vec<(String, String)> {
 
 /// Merges `body` — a balanced, escape-free JSON object literal — into the
 /// report at `path` under `sections.<name>`, preserving every other
-/// section already present, and rewrites the artifact.
+/// section already present, and rewrites the artifact with the PR-3 title.
 ///
 /// # Panics
 ///
 /// Panics when `body` is not an object literal, contains escapes, or the
 /// file cannot be written.
 pub fn write_section(path: &Path, name: &str, body: &str) {
+    write_section_titled(
+        path,
+        "aerorem training & simulation hot paths (PR 3)",
+        name,
+        body,
+    );
+}
+
+/// [`write_section`] with an explicit top-level `"bench"` title, so other
+/// artifacts (`BENCH_4.json`'s scaling report) can share the writer and its
+/// one-row-per-line format contract without inheriting the PR-3 header.
+///
+/// # Panics
+///
+/// Panics when `body` is not an object literal, contains escapes, or the
+/// file cannot be written.
+pub fn write_section_titled(path: &Path, title: &str, name: &str, body: &str) {
     let trimmed = body.trim();
     assert!(
         trimmed.starts_with('{') && trimmed.ends_with('}'),
@@ -143,6 +160,10 @@ pub fn write_section(path: &Path, name: &str, body: &str) {
     );
     assert!(!body.contains('\\'), "section body must be escape-free");
     json_escape_free(name);
+    assert!(
+        title.chars().all(|c| c != '"' && c != '\\'),
+        "bench title must be escape-free: {title:?}"
+    );
     let mut sections = fs::read_to_string(path)
         .map(|t| split_sections(&t))
         .unwrap_or_default();
@@ -150,9 +171,7 @@ pub fn write_section(path: &Path, name: &str, body: &str) {
         Some(slot) => slot.1 = trimmed.to_string(),
         None => sections.push((name.to_string(), trimmed.to_string())),
     }
-    let mut out = String::from(
-        "{\n  \"bench\": \"aerorem training & simulation hot paths (PR 3)\",\n  \"sections\": {\n",
-    );
+    let mut out = format!("{{\n  \"bench\": \"{title}\",\n  \"sections\": {{\n");
     for (i, (n, b)) in sections.iter().enumerate() {
         out.push_str(&format!("    \"{n}\": {b}"));
         out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
@@ -218,6 +237,17 @@ mod tests {
         assert!(split_sections("").is_empty());
         assert!(split_sections("{\"other\": 1}").is_empty());
         assert!(split_sections("\"sections\" nonsense").is_empty());
+    }
+
+    #[test]
+    fn titled_variant_controls_the_header() {
+        let path = tmp("titled");
+        let _ = fs::remove_file(&path);
+        write_section_titled(&path, "scaling report", "sweep", "{\"v\": 1}");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\n  \"bench\": \"scaling report\",\n"));
+        assert!(text.contains("\"sweep\""));
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

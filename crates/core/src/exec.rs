@@ -8,4 +8,7 @@
 //! them under the historical `aerorem_core::exec` path; see the numerics
 //! module for the determinism contract.
 
-pub use aerorem_numerics::exec::{map_vec, try_map_vec, ExecPolicy};
+pub use aerorem_numerics::exec::{
+    map_chunks, map_vec, map_vec_with, plan, try_map_chunks, try_map_vec, try_map_vec_with,
+    ExecPlan, ExecPolicy, Granularity, ScratchPool,
+};

@@ -231,8 +231,15 @@ pub fn preprocess_with(
 
     // Dominant channel per MAC (APs beacon on one channel; ties broken by
     // channel number for determinism). Each MAC is grouped independently.
-    let mac_channels: BTreeMap<MacAddress, u8> =
-        exec::map_vec(policy, retained.clone(), |mac| {
+    // Each MAC scans all kept samples (O(macs × samples)), so one MAC is
+    // an expensive item: per-item chunks keep the claimer balanced.
+    let mac_pool = exec::ScratchPool::new(|| ());
+    let mac_channels: BTreeMap<MacAddress, u8> = exec::map_vec_with(
+        policy,
+        exec::Granularity::per_item(),
+        &mac_pool,
+        &retained,
+        |(), &mac| {
             let mut chans: BTreeMap<u8, usize> = BTreeMap::new();
             for s in kept.iter().filter(|s| s.mac == mac) {
                 *chans.entry(s.channel.number()).or_insert(0) += 1;
@@ -243,9 +250,10 @@ pub fn preprocess_with(
                 .map(|(ch, _)| ch)
                 .expect("retained mac has samples");
             (mac, best)
-        })
-        .into_iter()
-        .collect();
+        },
+    )
+    .into_iter()
+    .collect();
 
     let layout = FeatureLayout {
         mac_encoder,
@@ -253,13 +261,21 @@ pub fn preprocess_with(
         mac_channels,
     };
 
-    // Per-sample feature rows: independent, order-preserving.
-    let rows = exec::map_vec(policy, kept.clone(), |s| {
-        let row = layout
-            .encode_row(s.position, s.mac, s.channel)
-            .expect("retained samples encode");
-        (row, f64::from(s.rssi_dbm))
-    });
+    // Per-sample feature rows: independent, order-preserving. Encoding one
+    // row is cheap, so rows-scale chunks amortize the executor overhead.
+    let row_pool = exec::ScratchPool::new(|| ());
+    let rows = exec::map_vec_with(
+        policy,
+        exec::Granularity::rows(),
+        &row_pool,
+        &kept,
+        |(), s| {
+            let row = layout
+                .encode_row(s.position, s.mac, s.channel)
+                .expect("retained samples encode");
+            (row, f64::from(s.rssi_dbm))
+        },
+    );
     let mut x = Vec::with_capacity(rows.len());
     let mut y = Vec::with_capacity(rows.len());
     for (row, target) in rows {

@@ -12,6 +12,8 @@
 
 use std::time::{Duration, Instant};
 
+use aerorem_numerics::exec::ExecPlan;
+
 /// Stage timings, counters, and labels collected over one pipeline run.
 ///
 /// Stages and counters keep insertion order; timing the same stage twice
@@ -62,6 +64,23 @@ impl Instrumentation {
             Some((_, v)) => *v = value,
             None => self.labels.push((key.to_string(), value)),
         }
+    }
+
+    /// Records a parallel stage's execution plan as the labels
+    /// `{stage}_workers` and `{stage}_chunk`, so granularity regressions
+    /// (a stage degrading to one worker, chunks collapsing to per-item)
+    /// are visible in every `aerorem demo` report without a profiler.
+    pub fn record_exec(&mut self, stage: &str, plan: ExecPlan) {
+        self.label(&format!("{stage}_workers"), plan.workers.to_string());
+        self.label(&format!("{stage}_chunk"), plan.chunk.to_string());
+    }
+
+    /// The execution plan previously recorded for `stage`, if any —
+    /// `(workers, chunk)` parsed back from the labels.
+    pub fn exec_plan(&self, stage: &str) -> Option<(usize, usize)> {
+        let workers = self.get_label(&format!("{stage}_workers"))?.parse().ok()?;
+        let chunk = self.get_label(&format!("{stage}_chunk"))?.parse().ok()?;
+        Some((workers, chunk))
     }
 
     /// The recorded stages in insertion order.
@@ -189,6 +208,23 @@ mod tests {
         inst.record("instant", Duration::ZERO);
         inst.count("n", 5);
         assert_eq!(inst.throughput("instant", "n"), None);
+    }
+
+    #[test]
+    fn exec_plans_round_trip_through_labels() {
+        let mut inst = Instrumentation::new();
+        inst.record_exec(
+            "rem_encode",
+            ExecPlan {
+                workers: 4,
+                chunk: 1024,
+                chunks: 49,
+            },
+        );
+        assert_eq!(inst.exec_plan("rem_encode"), Some((4, 1024)));
+        assert_eq!(inst.get_label("rem_encode_workers"), Some("4"));
+        assert_eq!(inst.get_label("rem_encode_chunk"), Some("1024"));
+        assert_eq!(inst.exec_plan("missing"), None);
     }
 
     #[test]

@@ -167,15 +167,24 @@ pub fn evaluate_all_with<R: Rng>(
     let (train_view, test_view) = data.split_views(0.75, rng)?;
     let (train_x, train_y) = train_view.to_matrix();
     let (test_x, test_y) = test_view.to_matrix();
-    exec::try_map_vec(policy, kinds.to_vec(), |kind| {
-        let mut model = kind.build(layout)?;
-        model.fit_batch(&train_x, &train_y)?;
-        let preds = model.predict_batch(&test_x)?;
-        Ok(ModelScore {
-            kind,
-            rmse_dbm: stats::rmse(&preds, &test_y),
-        })
-    })
+    // One model = one chunk: each fit dwarfs the executor's bookkeeping,
+    // and per-item chunks balance the zoo's wildly uneven model costs.
+    let pool = exec::ScratchPool::new(|| ());
+    exec::try_map_vec_with(
+        policy,
+        exec::Granularity::per_item(),
+        &pool,
+        kinds,
+        |(), &kind| {
+            let mut model = kind.build(layout)?;
+            model.fit_batch(&train_x, &train_y)?;
+            let preds = model.predict_batch(&test_x)?;
+            Ok(ModelScore {
+                kind,
+                rmse_dbm: stats::rmse(&preds, &test_y),
+            })
+        },
+    )
 }
 
 #[cfg(test)]

@@ -19,9 +19,20 @@ use crate::instrument::Instrumentation;
 /// Minimum voxels per chunk in the batched lattice fill. Chunks are the
 /// unit of parallelism *and* of batch prediction: large enough to amortize
 /// per-batch setup (buffer reuse, matrix-level kernels), small enough to
-/// keep every worker thread busy on paper-scale lattices. The actual chunk
-/// length is policy-aware — see [`RemGrid::chunk_len`].
+/// keep every worker thread busy on paper-scale lattices.
 const MIN_BATCH_CHUNK: usize = 1024;
+
+/// Preferred voxels per chunk once lattices grow large: caps chunk size so
+/// the dynamic claimer keeps workers balanced on multi-million-voxel maps.
+const MAX_BATCH_CHUNK: usize = 4096;
+
+/// Chunk-sizing hint for the lattice fill. The resulting partition is a
+/// pure function of the voxel count — identical under both policies and on
+/// every machine — which is what keeps the batched fill bit-identical
+/// across [`ExecPolicy`] arms: `predict_batch` is contractually
+/// bit-identical per row, so only the partition could differ, and it never
+/// does.
+const REM_FILL_GRAN: exec::Granularity = exec::Granularity::new(MIN_BATCH_CHUNK, MAX_BATCH_CHUNK);
 
 /// A regular 3D lattice of predicted RSS (dBm) for one transmitter.
 ///
@@ -96,7 +107,7 @@ impl RemGrid {
     ) -> Result<Self, MlError> {
         let dims = Self::lattice_dims(volume, resolution_m);
         let chunks = Self::encode_chunks(layout, volume, mac, dims, policy)?;
-        let values = Self::predict_chunks(model, chunks, policy)?;
+        let values = Self::predict_chunks(model, &chunks, policy)?;
         Ok(RemGrid {
             mac,
             volume,
@@ -162,11 +173,17 @@ impl RemGrid {
         inst: &mut Instrumentation,
     ) -> Result<Self, MlError> {
         let dims = Self::lattice_dims(volume, resolution_m);
-        let rows = (dims.0 * dims.1 * dims.2) as u64;
+        let total = dims.0 * dims.1 * dims.2;
+        let rows = total as u64;
+        inst.record_exec("rem_encode", exec::plan(policy, total, REM_FILL_GRAN));
         let chunks =
             inst.time("rem_encode", || Self::encode_chunks(layout, volume, mac, dims, policy))?;
+        inst.record_exec(
+            "rem_predict",
+            exec::plan(policy, chunks.len(), exec::Granularity::per_item()),
+        );
         inst.count("rem_encode_rows", rows);
-        let values = inst.time("rem_predict", || Self::predict_chunks(model, chunks, policy))?;
+        let values = inst.time("rem_predict", || Self::predict_chunks(model, &chunks, policy))?;
         inst.count("rem_predict_rows", rows);
         Ok(RemGrid {
             mac,
@@ -202,32 +219,11 @@ impl RemGrid {
         )
     }
 
-    /// Voxels per chunk for a lattice of `total` voxels under `policy`.
-    ///
-    /// Serial fills (and parallel fills on a single-threaded pool, where
-    /// chunking is pure overhead) use one chunk: one contiguous encode, one
-    /// `predict_batch` call — the fastest shape for estimators with
-    /// per-batch setup such as kNN's shared scratch buffers. Parallel fills
-    /// split into roughly four chunks per worker so the pool stays busy,
-    /// but never below [`MIN_BATCH_CHUNK`] voxels per chunk. Chunking only
-    /// groups `predict_batch` calls — results reassemble in voxel order and
-    /// `predict_batch` is contractually bit-identical per row — so every
-    /// chunk length yields the identical grid.
-    fn chunk_len(total: usize, policy: ExecPolicy) -> usize {
-        let workers = match policy {
-            ExecPolicy::Serial => 1,
-            ExecPolicy::Parallel => policy.threads(),
-        };
-        if workers <= 1 {
-            total.max(1)
-        } else {
-            MIN_BATCH_CHUNK.max(total.div_ceil(workers * 4))
-        }
-    }
-
     /// Stage 1 of the batched fill: encodes the lattice into per-chunk
-    /// contiguous feature matrices (chunks are independent, so they encode
-    /// in parallel and reassemble in voxel order).
+    /// contiguous feature matrices through the chunked executor. The chunk
+    /// partition comes from [`REM_FILL_GRAN`] — a pure function of the
+    /// voxel count — so both policies encode identical chunks and
+    /// reassemble them in voxel order.
     fn encode_chunks(
         layout: &FeatureLayout,
         volume: Aabb,
@@ -236,12 +232,10 @@ impl RemGrid {
         policy: ExecPolicy,
     ) -> Result<Vec<FeatureMatrix>, MlError> {
         let total = dims.0 * dims.1 * dims.2;
-        let chunk = Self::chunk_len(total, policy);
-        let starts: Vec<usize> = (0..total).step_by(chunk).collect();
-        exec::try_map_vec(policy, starts, move |start| {
-            let len = chunk.min(total - start);
-            let mut fm = FeatureMatrix::with_capacity(layout.dim(), len);
-            for i in start..start + len {
+        let indices: Vec<usize> = (0..total).collect();
+        exec::try_map_chunks(policy, REM_FILL_GRAN, &indices, |_, chunk| {
+            let mut fm = FeatureMatrix::with_capacity(layout.dim(), chunk.len());
+            for &i in chunk {
                 let p = Self::voxel_center(volume, dims, i);
                 fm.push_row_with(|out| layout.encode_query_into(p, mac, out))?;
             }
@@ -249,14 +243,23 @@ impl RemGrid {
         })
     }
 
-    /// Stage 2 of the batched fill: predicts each chunk through
-    /// [`Regressor::predict_batch`] and flattens back into voxel order.
+    /// Stage 2 of the batched fill: predicts each chunk matrix through
+    /// [`Regressor::predict_batch`] (one matrix = one work item, since each
+    /// already holds [`MIN_BATCH_CHUNK`]+ rows) and flattens back into
+    /// voxel order.
     fn predict_chunks(
         model: &dyn Regressor,
-        chunks: Vec<FeatureMatrix>,
+        chunks: &[FeatureMatrix],
         policy: ExecPolicy,
     ) -> Result<Vec<f64>, MlError> {
-        let predicted = exec::try_map_vec(policy, chunks, |fm| model.predict_batch(&fm))?;
+        let pool = exec::ScratchPool::new(|| ());
+        let predicted = exec::try_map_vec_with(
+            policy,
+            exec::Granularity::per_item(),
+            &pool,
+            chunks,
+            |(), fm| model.predict_batch(fm),
+        )?;
         Ok(predicted.into_iter().flatten().collect())
     }
 
@@ -629,13 +632,21 @@ mod tests {
     }
 
     #[test]
-    fn chunk_len_is_policy_aware() {
-        // Serial fills take one contiguous chunk regardless of size.
-        assert_eq!(RemGrid::chunk_len(50_000, ExecPolicy::Serial), 50_000);
-        assert_eq!(RemGrid::chunk_len(0, ExecPolicy::Serial), 1);
-        // Parallel fills never go below the amortization floor.
-        let par = RemGrid::chunk_len(1_000_000, ExecPolicy::Parallel);
-        assert!((MIN_BATCH_CHUNK..=1_000_000).contains(&par));
+    fn fill_granularity_is_policy_independent() {
+        // The chunk partition must be a pure function of the voxel count:
+        // identical under both policies, bounded by the amortization floor
+        // and the load-balance cap.
+        for total in [1usize, 100, 50_000, 1_000_000] {
+            let serial = exec::plan(ExecPolicy::Serial, total, REM_FILL_GRAN);
+            let parallel = exec::plan(ExecPolicy::Parallel, total, REM_FILL_GRAN);
+            assert_eq!(serial.chunk, parallel.chunk, "total={total}");
+            assert_eq!(serial.chunks, parallel.chunks, "total={total}");
+            assert!(
+                (MIN_BATCH_CHUNK..=MAX_BATCH_CHUNK).contains(&serial.chunk),
+                "total={total} chunk={}",
+                serial.chunk
+            );
+        }
     }
 
     #[test]

@@ -131,21 +131,34 @@ impl Rule for Entropy {
     }
 }
 
-/// Float reductions chained onto a rayon parallel iterator. `.sum()` /
-/// `.reduce()` / `.fold()` over floats combine in scheduler order, so two
-/// runs can differ in the last bits. The workspace's contract is
-/// order-preserving `map → collect` (see `numerics::exec::map_vec`) with a
-/// serial, blocked reduction afterwards.
+/// Float reductions inside a parallel pipeline. `.sum()` / `.reduce()` /
+/// `.fold()` over floats combine in whatever order the scheduler hands out
+/// work, so two runs can differ in the last bits. The workspace's contract
+/// is order-preserving `map → collect` (see `numerics::exec::map_vec`) with
+/// a serial, blocked reduction afterwards.
+///
+/// Besides raw rayon adapters this also watches the chunked executor entry
+/// points (`exec::map_chunks` and friends): a reduction written inside one
+/// of their closures runs on worker threads, so it must be justified with a
+/// `lint:allow` stating why its combine order is fixed (per-chunk serial
+/// sums over a policy-independent partition qualify; anything keyed on
+/// worker identity or arrival order does not).
 pub struct ParFloatReduce;
 
-/// Method names that start a parallel pipeline.
-const PAR_SOURCES: [&str; 6] = [
+/// Method names that start a parallel pipeline: rayon adapters plus the
+/// workspace's chunked executor entry points, whose closures run on worker
+/// threads.
+const PAR_SOURCES: [&str; 10] = [
     "par_iter",
     "par_iter_mut",
     "into_par_iter",
     "par_chunks",
     "par_chunks_exact",
     "par_bridge",
+    "map_chunks",
+    "try_map_chunks",
+    "map_vec_with",
+    "try_map_vec_with",
 ];
 
 /// Reducers that combine in nondeterministic order on a parallel iterator.

@@ -102,6 +102,32 @@ fn f(xs: &[f64]) -> f64 {
     assert!(lint_lib("core", clean).is_empty());
 }
 
+#[test]
+fn par_float_reduce_flags_reductions_inside_chunked_executor_closures() {
+    // The chunked executor entry points run their closures on worker
+    // threads; a float reduction written inside one must be audited.
+    let src = r#"
+fn f(xs: &[f64], pool: &ScratchPool<()>) -> Vec<f64> {
+    exec::map_chunks(policy, gran, xs, |_, chunk| chunk.iter().sum::<f64>());
+    exec::map_vec_with(policy, gran, pool, xs, |(), x| ws.iter().map(|w| w * x).fold(0.0, add))
+}
+"#;
+    let v = lint_lib("core", src);
+    assert_eq!(rules_of(&v), ["par-float-reduce", "par-float-reduce"]);
+}
+
+#[test]
+fn par_float_reduce_allows_chunked_executor_without_reduction() {
+    // Plain per-item maps through the executor — the common case — stay
+    // clean; only reductions need the audit.
+    let clean = r#"
+fn f(xs: &[f64], pool: &ScratchPool<()>) -> Vec<f64> {
+    exec::map_vec_with(policy, gran, pool, xs, |(), x| x * 2.0)
+}
+"#;
+    assert!(lint_lib("core", clean).is_empty());
+}
+
 // ---------------------------------------------------------------- panic-path
 
 #[test]

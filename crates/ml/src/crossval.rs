@@ -107,21 +107,30 @@ where
     let folds = kfold_indices(data.len(), k, rng)?;
     let folds = &folds;
     let make = &make;
-    exec::try_map_vec(policy, (0..k).collect::<Vec<usize>>(), |held_out| {
-        let test = data.view(folds[held_out].clone());
-        let train_idx: Vec<usize> = folds
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != held_out)
-            .flat_map(|(_, f)| f.iter().copied())
-            .collect();
-        let (train_x, train_y) = data.view(train_idx).to_matrix();
-        let (test_x, test_y) = test.to_matrix();
-        let mut model = make();
-        model.fit_batch(&train_x, &train_y)?;
-        let preds = model.predict_batch(&test_x)?;
-        Ok(stats::rmse(&preds, &test_y))
-    })
+    // One fold = one chunk: each fold's fit dwarfs the chunk bookkeeping.
+    let pool = exec::ScratchPool::new(|| ());
+    let fold_ids: Vec<usize> = (0..k).collect();
+    exec::try_map_vec_with(
+        policy,
+        exec::Granularity::per_item(),
+        &pool,
+        &fold_ids,
+        |(), &held_out| {
+            let test = data.view(folds[held_out].clone());
+            let train_idx: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != held_out)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            let (train_x, train_y) = data.view(train_idx).to_matrix();
+            let (test_x, test_y) = test.to_matrix();
+            let mut model = make();
+            model.fit_batch(&train_x, &train_y)?;
+            let preds = model.predict_batch(&test_x)?;
+            Ok(stats::rmse(&preds, &test_y))
+        },
+    )
 }
 
 #[cfg(test)]
@@ -154,11 +163,7 @@ mod tests {
 
     #[test]
     fn cv_on_constant_targets_is_zero_error() {
-        let data = Dataset::new(
-            (0..12).map(|i| vec![i as f64]).collect(),
-            vec![5.0; 12],
-        )
-        .unwrap();
+        let data = Dataset::new((0..12).map(|i| vec![i as f64]).collect(), vec![5.0; 12]).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let rmses = cross_validate(&data, 3, &mut rng, GlobalMean::new).unwrap();
         for r in rmses {

@@ -74,8 +74,8 @@ impl Dataset {
         }
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
-        let n_train = ((self.len() as f64 * train_fraction).round() as usize)
-            .clamp(1, self.len() - 1);
+        let n_train =
+            ((self.len() as f64 * train_fraction).round() as usize).clamp(1, self.len() - 1);
         let take = |ids: &[usize]| Dataset {
             x: ids.iter().map(|&i| self.x[i].clone()).collect(),
             y: ids.iter().map(|&i| self.y[i]).collect(),
@@ -106,7 +106,10 @@ impl Dataset {
             indices.iter().all(|&i| i < self.len()),
             "view index out of bounds"
         );
-        DatasetView { data: self, indices }
+        DatasetView {
+            data: self,
+            indices,
+        }
     }
 
     /// Splits into borrowed `(train, test)` views with the given training
@@ -137,12 +140,18 @@ impl Dataset {
         }
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
-        let n_train = ((self.len() as f64 * train_fraction).round() as usize)
-            .clamp(1, self.len() - 1);
+        let n_train =
+            ((self.len() as f64 * train_fraction).round() as usize).clamp(1, self.len() - 1);
         let test = idx.split_off(n_train);
         Ok((
-            DatasetView { data: self, indices: idx },
-            DatasetView { data: self, indices: test },
+            DatasetView {
+                data: self,
+                indices: idx,
+            },
+            DatasetView {
+                data: self,
+                indices: test,
+            },
         ))
     }
 

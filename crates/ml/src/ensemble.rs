@@ -251,10 +251,7 @@ mod tests {
     fn unseen_group_gets_global_mean() {
         let (x, y) = two_group_data();
         // Group block of width 3, but only groups 0 and 1 ever appear.
-        let x3: Vec<Vec<f64>> = x
-            .iter()
-            .map(|r| vec![r[0], r[1], r[2], 0.0])
-            .collect();
+        let x3: Vec<Vec<f64>> = x.iter().map(|r| vec![r[0], r[1], r[2], 0.0]).collect();
         let mut m = PerGroupKnn::new(1..4, 2, Weighting::Distance, 2.0).unwrap();
         m.fit(&x3, &y).unwrap();
         let global = y.iter().sum::<f64>() / y.len() as f64;

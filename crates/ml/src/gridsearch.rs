@@ -108,12 +108,17 @@ where
     let (fit_x, fit_y) = fit_view.to_matrix();
     let (val_x, val_y) = val_view.to_matrix();
 
-    let candidates = &candidates;
-    let results: Vec<Option<CandidateScore>> = exec::map_vec(
+    // One candidate = one chunk: a fit + validation pass is orders of
+    // magnitude heavier than the executor's per-chunk bookkeeping, and
+    // per-item chunks give the dynamic claimer maximal load balance across
+    // heterogeneous model costs (an MLP fit vs a kNN tree build).
+    let pool = exec::ScratchPool::new(|| ());
+    let results: Vec<Option<CandidateScore>> = exec::map_vec_with(
         policy,
-        (0..candidates.len()).collect::<Vec<usize>>(),
-        |i| {
-            let (name, make) = &candidates[i];
+        exec::Granularity::per_item(),
+        &pool,
+        &candidates,
+        |(), (name, make)| {
             let mut model = make();
             model.fit_batch(&fit_x, &fit_y).ok()?;
             let preds = model.predict_batch(&val_x).ok()?;
@@ -140,7 +145,10 @@ pub fn knn_grid(ks: &[usize]) -> Vec<Candidate<crate::knn::KnnRegressor>> {
     use crate::knn::{KnnRegressor, Weighting};
     let mut out: Vec<Candidate<crate::knn::KnnRegressor>> = Vec::new();
     for &k in ks {
-        for (wname, w) in [("uniform", Weighting::Uniform), ("distance", Weighting::Distance)] {
+        for (wname, w) in [
+            ("uniform", Weighting::Uniform),
+            ("distance", Weighting::Distance),
+        ] {
             for p in [1.0, 2.0] {
                 let name = format!("k={k} w={wname} p={p}");
                 out.push((
@@ -164,8 +172,10 @@ pub fn mlp_grid() -> Vec<Candidate<crate::mlp::Mlp>> {
     let mut out: Vec<Candidate<crate::mlp::Mlp>> = Vec::new();
     for width in [8usize, 16, 32] {
         for (aname, act) in [("sigmoid", Activation::Sigmoid), ("relu", Activation::Relu)] {
-            for (oname, opt) in [("adam", Optimizer::adam(0.01)), ("sgd", Optimizer::Sgd { lr: 0.01 })]
-            {
+            for (oname, opt) in [
+                ("adam", Optimizer::adam(0.01)),
+                ("sgd", Optimizer::Sgd { lr: 0.01 }),
+            ] {
                 let name = format!("mlp {width}x{aname} {oname}");
                 out.push((
                     name,

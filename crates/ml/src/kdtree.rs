@@ -1,28 +1,44 @@
-//! A flattened arena KD-tree for k-nearest-neighbour queries in low
+//! A flattened, leaf-based KD-tree for k-nearest-neighbour queries in low
 //! dimensions.
 //!
 //! The paper's kNN feature space mixes 3 spatial coordinates with ~80
 //! one-hot dimensions, where KD-trees degrade to brute force — so
 //! [`crate::knn::KnnRegressor`] picks its backend by dimensionality, and the
 //! `knn_backends` bench quantifies the crossover. This tree is exact: it
-//! returns the same neighbours as brute force.
+//! returns the same neighbours as brute force, including on exact distance
+//! ties, because every comparison in the search uses the full
+//! `(squared distance, index)` total order.
 //!
 //! # Layout
 //!
-//! Points live in one flat row-major `Vec<f64>` and nodes in one pre-order
-//! `Vec` of 16-byte [`ArenaNode`]s addressed by `u32` index (no `Box`
-//! pointer chasing): a node's near subtree is adjacent in memory, so a
-//! descent touches a contiguous prefix of the arena. All distances go
-//! through the shared [`aerorem_numerics::kernels::sq_euclidean`] kernel so
-//! tree, brute-force, per-item, and batched paths agree bit-for-bit.
+//! The tree is **leaf-based**: points are permuted into *slot order* so
+//! every leaf owns a contiguous slot range of up to [`LEAF_SIZE`] points,
+//! and internal nodes store only a split axis and coordinate. The permuted
+//! points live **dimension-major** (structure-of-arrays): `cols[d * n +
+//! slot]` is coordinate `d` of the point in `slot`, so a leaf scan streams
+//! contiguous memory per dimension and runs through the block kernel
+//! [`aerorem_numerics::kernels::sq_euclidean_cols_into`], which is
+//! bit-identical per point to the scalar [`sq_euclidean`] every other
+//! distance path uses — tree, brute-force, per-item, and batched paths all
+//! agree bit-for-bit.
+//!
+//! A second, row-major copy in original insertion order backs the
+//! zero-copy [`KdTree::point`] / [`KdTree::points_flat`] accessors.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use aerorem_numerics::kernels::sq_euclidean;
+use aerorem_numerics::kernels::{sq_euclidean, sq_euclidean_cols_into};
 
-/// Sentinel child index meaning "no child".
+/// Sentinel child index meaning "no child" and, in a node's `axis` field,
+/// "this node is a leaf".
 const NO_NODE: u32 = u32::MAX;
+
+/// Maximum points per leaf. Around the point where one block-kernel scan of
+/// a leaf costs the same as the node descent it replaces: big enough that
+/// the SoA kernel gets contiguous runs to vectorize, small enough that a
+/// query still prunes most of the tree.
+const LEAF_SIZE: usize = 16;
 
 /// A (squared-distance, index) candidate in the bounded max-heap.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,22 +64,24 @@ impl Ord for Candidate {
     }
 }
 
-/// One implicit-array tree node: a point index, a split axis, and two child
-/// slots ([`NO_NODE`] when absent).
+/// One arena node. Internal nodes split on `axis` at coordinate `split`
+/// with child node ids in `left`/`right`; leaves (`axis == NO_NODE`) own
+/// the contiguous slot range `left..right` of the SoA point storage.
 #[derive(Debug, Clone, Copy)]
-struct ArenaNode {
-    point: u32,
+struct Node {
     axis: u32,
+    split: f64,
     left: u32,
     right: u32,
 }
 
 /// Reusable per-query search state for [`KdTree::nearest_into`], letting the
 /// batched prediction path run thousands of queries without reallocating the
-/// candidate heap.
+/// candidate heap or the leaf distance buffer.
 #[derive(Debug, Default, Clone)]
 pub struct NeighborScratch {
     heap: BinaryHeap<Candidate>,
+    dists: Vec<f64>,
 }
 
 /// An exact KD-tree over owned points in a flat arena.
@@ -80,9 +98,14 @@ pub struct NeighborScratch {
 /// ```
 #[derive(Debug, Clone)]
 pub struct KdTree {
-    /// Flat row-major point storage, `len() * dim` values, original order.
+    /// Flat row-major point storage, `len() * dim` values, original order
+    /// (backs the public accessors).
     data: Vec<f64>,
-    nodes: Vec<ArenaNode>,
+    /// Dimension-major permuted storage: `cols[d * len() + slot]`.
+    cols: Vec<f64>,
+    /// Maps a slot in `cols` back to the original point index.
+    slot_to_index: Vec<u32>,
+    nodes: Vec<Node>,
     root: u32,
     dim: usize,
 }
@@ -115,10 +138,21 @@ impl KdTree {
             return None;
         }
         let mut indices: Vec<usize> = (0..n).collect();
-        let mut nodes = Vec::with_capacity(n);
-        let root = build_arena(&data, dim, &mut indices, 0, &mut nodes);
+        let mut nodes = Vec::with_capacity(2 * n.div_ceil(LEAF_SIZE));
+        let root = build_arena(&data, dim, &mut indices, 0, 0, &mut nodes);
+        // After the build the index permutation *is* the slot order; lay the
+        // permuted points out dimension-major for the leaf-scan kernel.
+        let mut cols = vec![0.0; n * dim];
+        for (slot, &pi) in indices.iter().enumerate() {
+            for d in 0..dim {
+                cols[d * n + slot] = data[pi * dim + d];
+            }
+        }
+        let slot_to_index = indices.iter().map(|&pi| pi as u32).collect();
         Some(KdTree {
             data,
+            cols,
+            slot_to_index,
             nodes,
             root,
             dim,
@@ -168,9 +202,9 @@ impl KdTree {
     }
 
     /// Allocation-free variant of [`KdTree::nearest`]: the candidate heap
-    /// lives in `scratch` and results replace the contents of `out`, so a
-    /// batched caller reuses both across queries. Produces exactly the same
-    /// results as [`KdTree::nearest`].
+    /// and leaf distance buffer live in `scratch` and results replace the
+    /// contents of `out`, so a batched caller reuses both across queries.
+    /// Produces exactly the same results as [`KdTree::nearest`].
     ///
     /// # Panics
     ///
@@ -188,62 +222,94 @@ impl KdTree {
             return;
         }
         scratch.heap.clear();
-        self.search(self.root, query, k, &mut scratch.heap);
-        out.extend(
-            scratch
-                .heap
-                .drain()
-                .map(|c| (c.index, c.dist2.sqrt())),
-        );
+        self.search(self.root, query, k, &mut scratch.heap, &mut scratch.dists);
+        out.extend(scratch.heap.drain().map(|c| (c.index, c.dist2.sqrt())));
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
     }
 
-    fn search(&self, node: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<Candidate>) {
+    fn search(
+        &self,
+        node: u32,
+        query: &[f64],
+        k: usize,
+        heap: &mut BinaryHeap<Candidate>,
+        dists: &mut Vec<f64>,
+    ) {
         if node == NO_NODE {
             return;
         }
         let n = self.nodes[node as usize];
-        let point = n.point as usize;
-        let p = self.point(point);
-        let dist2 = sq_euclidean(p, query);
-        if heap.len() < k {
-            heap.push(Candidate { dist2, index: point });
-        } else if let Some(worst) = heap.peek() {
-            if dist2 < worst.dist2 {
-                heap.pop();
-                heap.push(Candidate { dist2, index: point });
+        if n.axis == NO_NODE {
+            // Leaf: one SoA block scan over the slot range, then tie-exact
+            // heap maintenance. The kernel output is bit-identical per point
+            // to the scalar sq_euclidean all other paths use.
+            let (lo, hi) = (n.left as usize, n.right as usize);
+            dists.resize(hi - lo, 0.0);
+            sq_euclidean_cols_into(&self.cols, self.len(), query, lo, hi, dists);
+            for (jj, &dist2) in dists.iter().enumerate() {
+                let cand = Candidate {
+                    dist2,
+                    index: self.slot_to_index[lo + jj] as usize,
+                };
+                if heap.len() < k {
+                    heap.push(cand);
+                } else if let Some(&worst) = heap.peek() {
+                    // Full (dist2, index) order: on exact distance ties the
+                    // lower index wins, matching the brute-force truncation.
+                    if cand < worst {
+                        heap.pop();
+                        heap.push(cand);
+                    }
+                }
             }
+            return;
         }
-        let axis = n.axis as usize;
-        let delta = query[axis] - p[axis];
+        let delta = query[n.axis as usize] - n.split;
         let (near, far) = if delta < 0.0 {
             (n.left, n.right)
         } else {
             (n.right, n.left)
         };
-        self.search(near, query, k, heap);
-        // Prune the far side unless the splitting plane is within the
-        // current worst distance.
+        self.search(near, query, k, heap, dists);
+        // Visit the far side unless every point there is provably worse than
+        // the current worst candidate. `delta²` lower-bounds any far-side
+        // distance, and the comparison is non-strict: at exact equality a
+        // far-side point could tie the worst distance with a smaller index,
+        // which the (dist2, index) order must still admit.
         let worst = heap.peek().map_or(f64::INFINITY, |c| c.dist2);
-        if heap.len() < k || delta * delta < worst {
-            self.search(far, query, k, heap);
+        if heap.len() < k || delta * delta <= worst {
+            self.search(far, query, k, heap, dists);
         }
     }
 }
 
-/// Recursive arena build: stable-sorts the index slice along the depth's
-/// axis, takes the upper median as the node, and recurses. Identical
-/// structure to the old pointer-based build (same stable sort, same median),
-/// just stored pre-order in a flat `Vec`.
+/// Recursive arena build over a slot range. Ranges of up to [`LEAF_SIZE`]
+/// points become leaves; larger ranges stable-sort their index subslice
+/// along the depth's axis and split at the upper median, so slots
+/// `[lo, lo+mid)` hold coordinates `<=` the split value and the rest hold
+/// `>=` — which is what makes `|query[axis] - split|` a valid far-side
+/// distance bound even with duplicate coordinates. The final permutation of
+/// `indices` is the slot order. Nodes are stored pre-order.
 fn build_arena(
     data: &[f64],
     dim: usize,
     indices: &mut [usize],
+    lo: usize,
     depth: usize,
-    nodes: &mut Vec<ArenaNode>,
+    nodes: &mut Vec<Node>,
 ) -> u32 {
     if indices.is_empty() {
         return NO_NODE;
+    }
+    let id = nodes.len();
+    if indices.len() <= LEAF_SIZE {
+        nodes.push(Node {
+            axis: NO_NODE,
+            split: 0.0,
+            left: lo as u32,
+            right: (lo + indices.len()) as u32,
+        });
+        return id as u32;
     }
     let axis = depth % dim;
     indices.sort_by(|&a, &b| {
@@ -252,17 +318,16 @@ fn build_arena(
             .expect("finite coordinates")
     });
     let mid = indices.len() / 2;
-    let point = indices[mid];
-    let id = nodes.len();
-    nodes.push(ArenaNode {
-        point: point as u32,
+    let split = data[indices[mid] * dim + axis];
+    nodes.push(Node {
         axis: axis as u32,
+        split,
         left: NO_NODE,
         right: NO_NODE,
     });
-    let (left_slice, rest) = indices.split_at_mut(mid);
-    let left = build_arena(data, dim, left_slice, depth + 1, nodes);
-    let right = build_arena(data, dim, &mut rest[1..], depth + 1, nodes);
+    let (left_slice, right_slice) = indices.split_at_mut(mid);
+    let left = build_arena(data, dim, left_slice, lo, depth + 1, nodes);
+    let right = build_arena(data, dim, right_slice, lo + mid, depth + 1, nodes);
     nodes[id].left = left;
     nodes[id].right = right;
     id as u32
@@ -428,6 +493,31 @@ mod tests {
     }
 
     #[test]
+    fn exact_distance_ties_resolve_by_index_like_brute_force() {
+        // A lattice of duplicated coordinates makes distance ties at the k
+        // boundary routine; the tree must pick the same tied indices brute
+        // force does (lowest index first), for queries on and off points.
+        let mut points = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                for _copy in 0..2 {
+                    points.push(vec![f64::from(x), f64::from(y)]);
+                }
+            }
+        }
+        let tree = KdTree::build(points.clone()).unwrap();
+        for q in [[1.0, 1.0], [1.5, 1.5], [0.0, 2.0], [3.5, 0.5], [2.0, 2.5]] {
+            for k in [1, 2, 3, 5, 8, 13, 32] {
+                assert_eq!(
+                    tree.nearest(&q, k),
+                    brute_force_nearest(&points, &q, k),
+                    "q={q:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn topk_select_identical_to_full_sort() {
         let mut rng = StdRng::seed_from_u64(0x0709);
         let dim = 5;
@@ -496,5 +586,26 @@ mod tests {
         let nn = tree.nearest(&[1.0], 3);
         let dists: Vec<f64> = nn.iter().map(|n| n.1).collect();
         assert_eq!(dists, vec![1.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn multi_leaf_trees_stay_exact_across_sizes() {
+        // Sizes chosen to straddle the leaf threshold and its multiples so
+        // both the single-leaf and deep-split code paths are exercised.
+        let mut rng = StdRng::seed_from_u64(0x1EAF);
+        for n in [1usize, 2, 15, 16, 17, 33, 64, 257] {
+            let points: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect())
+                .collect();
+            let tree = KdTree::build(points.clone()).unwrap();
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            for k in [1, 4, n] {
+                assert_eq!(
+                    tree.nearest(&q, k),
+                    brute_force_nearest(&points, &q, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
     }
 }

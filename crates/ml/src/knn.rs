@@ -14,11 +14,10 @@
 //! `Vec<Vec<f64>>` copy alongside the tree.
 
 use crate::kdtree::{
-    brute_force_nearest_flat, brute_force_topk_into, top_k_from_candidates, KdTree,
-    NeighborScratch,
+    brute_force_nearest_flat, brute_force_topk_into, top_k_from_candidates, KdTree, NeighborScratch,
 };
 use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
-use aerorem_numerics::kernels::sq_euclidean;
+use aerorem_numerics::kernels::{sq_euclidean, taxicab};
 
 /// Neighbour weighting scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -163,9 +162,11 @@ impl KnnRegressor {
         }
         if (p - 1.0).abs() < 1e-12 {
             // Taxicab fast path: IEEE 754 `pow(x, 1)` returns `x` exactly,
-            // so dropping both `powf` calls is bit-identical to the general
-            // formula below while removing its dominant cost.
-            return a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+            // so dropping both `powf` calls leaves the per-term values
+            // unchanged, and the shared eight-lane kernel fixes the
+            // accumulation order workspace-wide (for `dim < 8` it is
+            // bit-identical to the plain sequential sum).
+            return taxicab(a, b);
         }
         a.iter()
             .zip(b)
@@ -200,9 +201,7 @@ impl KnnRegressor {
     fn aggregate(&self, nn: &[(usize, f64)]) -> f64 {
         debug_assert!(!nn.is_empty(), "fitted set is non-empty");
         match self.weighting {
-            Weighting::Uniform => {
-                nn.iter().map(|&(i, _)| self.y[i]).sum::<f64>() / nn.len() as f64
-            }
+            Weighting::Uniform => nn.iter().map(|&(i, _)| self.y[i]).sum::<f64>() / nn.len() as f64,
             Weighting::Distance => {
                 // Exact matches dominate (scikit-learn semantics).
                 let mut exact_sum = 0.0;
@@ -363,16 +362,26 @@ mod tests {
 
     #[test]
     fn taxicab_fast_path_matches_the_general_formula_bits() {
-        let a: Vec<f64> = (0..14).map(|i| (i as f64 * 0.37).sin() * 9.0).collect();
-        let b: Vec<f64> = (0..14).map(|i| (i as f64 * 0.61).cos() * 7.0).collect();
         let model = KnnRegressor::new(1, Weighting::Uniform, 1.0).unwrap();
-        let general: f64 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x - y).abs().powf(1.0))
-            .sum::<f64>()
-            .powf(1.0);
-        assert_eq!(model.minkowski(&a, &b), general);
+        for dim in [3usize, 7, 14] {
+            let a: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin() * 9.0).collect();
+            let b: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.61).cos() * 7.0).collect();
+            // The fast path is the shared eight-lane kernel, bit for bit.
+            assert_eq!(model.minkowski(&a, &b), taxicab(&a, &b), "dim {dim}");
+            let general: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y).abs().powf(1.0))
+                .sum::<f64>()
+                .powf(1.0);
+            if dim < 8 {
+                // Below a full lane group the kernel IS the sequential sum.
+                assert_eq!(model.minkowski(&a, &b), general, "dim {dim}");
+            } else {
+                let got = model.minkowski(&a, &b);
+                assert!((got - general).abs() <= 1e-12 * general.abs(), "dim {dim}");
+            }
+        }
     }
 
     fn line_data() -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -578,7 +587,11 @@ mod tests {
         }
 
         let x10: Vec<Vec<f64>> = (0..60)
-            .map(|i| (0..10).map(|j| ((i * 7 + j * 3) % 11) as f64 * 0.4).collect())
+            .map(|i| {
+                (0..10)
+                    .map(|j| ((i * 7 + j * 3) % 11) as f64 * 0.4)
+                    .collect()
+            })
             .collect();
         let y10: Vec<f64> = (0..60).map(|i| -50.0 - i as f64).collect();
         let mut brute = KnnRegressor::new(5, Weighting::Distance, 2.0)

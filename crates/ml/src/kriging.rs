@@ -98,6 +98,14 @@ struct BinPartial {
 
 /// Accumulates all pairs `(i, j)` with `lo <= i < hi`, `i < j` into
 /// per-bin partial sums.
+///
+/// The pair loop runs over the flat row-major slice with `chunks_exact`
+/// (no per-row bounds checks) and pre-filters pairs on *squared* distance
+/// before taking any square root: `d² > max_lag²·(1+1e-12)` guarantees
+/// `√d² > max_lag` even through the rounding of the threshold multiply, so
+/// the guard can never disagree with the exact `h >= max_lag` test that
+/// still gates every surviving pair — out-of-range pairs (the majority in
+/// a large survey) skip the `sqrt` entirely without changing a single bit.
 fn variogram_block(
     points: &FeatureMatrix,
     values: &[f64],
@@ -112,21 +120,62 @@ fn variogram_block(
         sum_lag: vec![0.0; n_bins],
         count: vec![0; n_bins],
     };
+    let dim = points.dim();
+    let flat = points.as_slice();
+    let skip2 = max_lag * max_lag * (1.0 + 1e-12);
     for i in lo..hi {
-        let xi = points.row(i);
+        let xi = &flat[i * dim..(i + 1) * dim];
         let vi = values[i];
-        for (j, &vj) in values.iter().enumerate().skip(i + 1) {
-            let h = sq_euclidean(xi, points.row(j)).sqrt();
-            if h >= max_lag {
-                continue;
+        let rest = flat[(i + 1) * dim..]
+            .chunks_exact(dim)
+            .zip(&values[i + 1..]);
+        if dim == 3 {
+            // 3-D positions dominate this workload; the explicit form sums
+            // the three squares in the same sequential order as the shared
+            // kernel's sub-lane tail, so it is bit-identical to it.
+            let (x0, x1, x2) = (xi[0], xi[1], xi[2]);
+            for (xj, &vj) in rest {
+                let d0 = x0 - xj[0];
+                let d1 = x1 - xj[1];
+                let d2 = x2 - xj[2];
+                let sq = d0 * d0 + d1 * d1 + d2 * d2;
+                if sq > skip2 {
+                    continue;
+                }
+                accumulate_pair(&mut p, sq, vi, vj, max_lag, width, n_bins);
             }
-            let bin = ((h / width) as usize).min(n_bins - 1);
-            p.sum_gamma[bin] += 0.5 * (vi - vj).powi(2);
-            p.sum_lag[bin] += h;
-            p.count[bin] += 1;
+        } else {
+            for (xj, &vj) in rest {
+                let sq = sq_euclidean(xi, xj);
+                if sq > skip2 {
+                    continue;
+                }
+                accumulate_pair(&mut p, sq, vi, vj, max_lag, width, n_bins);
+            }
         }
     }
     p
+}
+
+/// Bins one surviving pair, applying the exact `h >= max_lag` cut.
+#[inline(always)]
+fn accumulate_pair(
+    p: &mut BinPartial,
+    sq: f64,
+    vi: f64,
+    vj: f64,
+    max_lag: f64,
+    width: f64,
+    n_bins: usize,
+) {
+    let h = sq.sqrt();
+    if h >= max_lag {
+        return;
+    }
+    let bin = ((h / width) as usize).min(n_bins - 1);
+    p.sum_gamma[bin] += 0.5 * (vi - vj).powi(2);
+    p.sum_lag[bin] += h;
+    p.count[bin] += 1;
 }
 
 /// Estimates the empirical semivariogram with `n_bins` equal-width lag bins
@@ -162,10 +211,13 @@ pub fn empirical_variogram_matrix(
     }
     validate_matrix_y(points, values)?;
     let width = max_lag / n_bins as f64;
-    let starts: Vec<usize> = (0..points.rows()).step_by(VARIOGRAM_BLOCK).collect();
-    let partials = exec::map_vec(policy, starts, |lo| {
-        let hi = (lo + VARIOGRAM_BLOCK).min(points.rows());
-        variogram_block(points, values, n_bins, max_lag, width, lo, hi)
+    // Chunk the row range through the chunked executor, using the values
+    // slice as the item list (chunk offset == first row of the block). The
+    // pinned granularity reproduces the fixed VARIOGRAM_BLOCK partition on
+    // every machine and policy.
+    let gran = exec::Granularity::new(VARIOGRAM_BLOCK, VARIOGRAM_BLOCK);
+    let partials = exec::map_chunks(policy, gran, values, |lo, chunk| {
+        variogram_block(points, values, n_bins, max_lag, width, lo, lo + chunk.len())
     });
     // Reduce in block order: the summation order is a pure function of the
     // input, independent of the execution policy.
@@ -229,7 +281,11 @@ pub fn fit_variogram_with(
     if bins.is_empty() {
         return Err(MlError::EmptyTrainingSet);
     }
-    let max_gamma = bins.iter().map(|b| b.gamma).fold(0.0f64, f64::max).max(1e-9);
+    let max_gamma = bins
+        .iter()
+        .map(|b| b.gamma)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
     let max_lag = bins.iter().map(|b| b.lag).fold(0.0f64, f64::max).max(1e-9);
     let mut grid = Vec::with_capacity(6 * 6 * 8);
     for nug_frac in [0.0, 0.05, 0.1, 0.2, 0.35, 0.5] {
@@ -244,13 +300,23 @@ pub fn fit_variogram_with(
             }
         }
     }
-    let scored = exec::map_vec(policy, grid, |v| {
-        let err: f64 = bins
-            .iter()
-            .map(|b| b.pairs as f64 * (v.gamma(b.lag) - b.gamma).powi(2))
-            .sum();
-        (v, err)
-    });
+    // Scoring one candidate touches every bin but allocates nothing, so
+    // chunks of a few dozen amortize the executor's per-chunk bookkeeping.
+    let pool = exec::ScratchPool::new(|| ());
+    let scored = exec::map_vec_with(
+        policy,
+        exec::Granularity::new(16, 48),
+        &pool,
+        &grid,
+        |(), v| {
+            let err: f64 = bins
+                .iter()
+                .map(|b| b.pairs as f64 * (v.gamma(b.lag) - b.gamma).powi(2))
+                // lint:allow(par-float-reduce) — serial sum over `bins` in index order within one work item; no cross-worker combine
+                .sum();
+            (*v, err)
+        },
+    );
     let mut best = Variogram {
         kind,
         nugget: 0.0,
@@ -721,7 +787,8 @@ mod tests {
         let mut a = OrdinaryKriging::new(KrigingConfig::default());
         a.fit(&x, &y).unwrap();
         let mut b = OrdinaryKriging::new(KrigingConfig::default());
-        b.fit_batch(&FeatureMatrix::from_rows(&x).unwrap(), &y).unwrap();
+        b.fit_batch(&FeatureMatrix::from_rows(&x).unwrap(), &y)
+            .unwrap();
         assert_eq!(a.variogram(), b.variogram());
         for q in [[0.3, 1.1], [2.7, 0.2], [1.9, 2.4]] {
             assert_eq!(a.predict_one(&q).unwrap(), b.predict_one(&q).unwrap());
@@ -733,7 +800,10 @@ mod tests {
         let ok = OrdinaryKriging::new(KrigingConfig::default());
         assert_eq!(ok.predict_one(&[0.0]), Err(MlError::NotFitted));
         let mut ok = OrdinaryKriging::new(KrigingConfig::default());
-        assert!(ok.fit(&[vec![1.0]], &[1.0]).is_err(), "one point is not enough");
+        assert!(
+            ok.fit(&[vec![1.0]], &[1.0]).is_err(),
+            "one point is not enough"
+        );
         let mut ok = OrdinaryKriging::new(KrigingConfig::default());
         ok.fit(&[vec![0.0], vec![1.0]], &[0.0, 1.0]).unwrap();
         assert!(matches!(

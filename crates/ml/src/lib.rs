@@ -95,7 +95,10 @@ impl fmt::Display for MlError {
             MlError::NotFitted => write!(f, "estimator used before fit"),
             MlError::EmptyTrainingSet => write!(f, "training set is empty"),
             MlError::DimensionMismatch { expected, found } => {
-                write!(f, "feature dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, found {found}"
+                )
             }
             MlError::InvalidHyperparameter { name, reason } => {
                 write!(f, "invalid hyperparameter {name}: {reason}")

@@ -569,7 +569,9 @@ mod tests {
     #[test]
     fn learns_nonlinear_function() {
         // A sigmoid hidden layer can fit a smooth bump.
-        let x: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 120.0 * 4.0 - 2.0]).collect();
+        let x: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![i as f64 / 120.0 * 4.0 - 2.0])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| (-r[0] * r[0]).exp()).collect();
         let mut net = Mlp::new(MlpConfig {
             epochs: 800,
@@ -682,7 +684,13 @@ mod tests {
         // Multi-dim input plus a deep net so the matmul path crosses layer
         // boundaries; exact equality, not tolerance.
         let x: Vec<Vec<f64>> = (0..60)
-            .map(|i| vec![i as f64 / 60.0, (i % 7) as f64 * 0.1, if i % 2 == 0 { 1.0 } else { 0.0 }])
+            .map(|i| {
+                vec![
+                    i as f64 / 60.0,
+                    (i % 7) as f64 * 0.1,
+                    if i % 2 == 0 { 1.0 } else { 0.0 },
+                ]
+            })
             .collect();
         let y: Vec<f64> = x.iter().map(|r| -70.0 + 5.0 * r[0] - 2.0 * r[1]).collect();
         let mut net = Mlp::new(MlpConfig {

@@ -21,7 +21,25 @@ use aerorem_numerics::ExecPolicy;
 use crate::query::{Query, Response};
 use crate::store::RemStore;
 
+/// Minimum queries per shard before the parallel arm pays for itself.
+///
+/// Answering one point query costs well under a microsecond, so a worker
+/// thread must receive thousands of them to amortize its spawn/join cost.
+/// Below this per-shard load the batch runs inline on the caller's thread
+/// even under `ExecPolicy::Parallel` — responses are identical either way
+/// (the two arms are bit-identical by contract), only the wall time
+/// changes. BENCH_3 measured the crossover: 1024-query batches lost to
+/// serial on nearly every variant, 65536-query batches won.
+pub const SERVE_MIN_QUERIES_PER_SHARD: usize = 2048;
+
 impl RemStore {
+    /// Whether a batch of `batch_len` queries is large enough for the
+    /// parallel arm to beat inline serial execution on this store — the
+    /// predicate behind [`RemStore::submit_batch`]'s small-batch fallback.
+    pub fn parallel_worthwhile(&self, batch_len: usize) -> bool {
+        batch_len / self.shard_count().max(1) >= SERVE_MIN_QUERIES_PER_SHARD
+    }
+
     /// Worker index for `query` given `workers` total — shard-affine for
     /// point-shaped queries, round-robin (by batch slot) otherwise.
     fn route(&self, query: &Query, slot: usize, workers: usize) -> usize {
@@ -39,12 +57,15 @@ impl RemStore {
     /// `queries[i]`.
     ///
     /// Under [`ExecPolicy::Serial`] (or a single-threaded pool) the batch
-    /// runs inline on the caller's thread. Otherwise one scoped worker
-    /// thread per available core drains its routed share of the batch.
-    /// Both arms return bit-identical responses.
+    /// runs inline on the caller's thread — as do small parallel batches
+    /// below [`SERVE_MIN_QUERIES_PER_SHARD`] queries per shard, where
+    /// thread spawn/join overhead would exceed the query work. Otherwise
+    /// one scoped worker thread per available core drains its routed share
+    /// of the batch. All arms return bit-identical responses.
     pub fn submit_batch(&self, queries: &[Query], policy: ExecPolicy) -> Vec<Response> {
         let workers = match policy {
             ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel if !self.parallel_worthwhile(queries.len()) => 1,
             ExecPolicy::Parallel => policy.threads(),
         }
         .min(queries.len())
@@ -176,6 +197,28 @@ mod tests {
         let store = store();
         assert!(store.submit_batch(&[], ExecPolicy::Parallel).is_empty());
         assert!(store.submit_batch(&[], ExecPolicy::Serial).is_empty());
+    }
+
+    #[test]
+    fn small_batches_fall_back_to_serial_at_the_pinned_threshold() {
+        // The fixture has 3 shards, so the crossover sits at exactly
+        // 3 * SERVE_MIN_QUERIES_PER_SHARD queries.
+        let store = store();
+        let crossover = 3 * SERVE_MIN_QUERIES_PER_SHARD;
+        assert!(!store.parallel_worthwhile(0));
+        assert!(!store.parallel_worthwhile(1024));
+        assert!(!store.parallel_worthwhile(crossover - 1));
+        assert!(store.parallel_worthwhile(crossover));
+        assert!(store.parallel_worthwhile(crossover + 1));
+
+        // A sub-threshold batch under Parallel takes the inline serial
+        // path; the responses must still bit-match the Serial arm.
+        let batch = mixed_batch(&store);
+        assert!(batch.len() < crossover);
+        assert_eq!(
+            store.submit_batch(&batch, ExecPolicy::Parallel),
+            store.submit_batch(&batch, ExecPolicy::Serial),
+        );
     }
 
     #[test]

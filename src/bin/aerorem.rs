@@ -267,14 +267,20 @@ fn report_recovery(inst: &Instrumentation) {
 }
 
 /// Prints rows-per-second for the batched REM stages when both the stage
-/// timing and the row counter are present.
+/// timing and the row counter are present, along with the execution plan
+/// (worker count and effective chunk size) each stage actually ran under.
 fn report_lattice_throughput(inst: &Instrumentation) {
     for (stage, counter) in [
         ("rem_encode", "rem_encode_rows"),
         ("rem_predict", "rem_predict_rows"),
     ] {
         if let Some(rate) = inst.throughput(stage, counter) {
-            println!("{stage}: {rate:.0} voxels/s");
+            match inst.exec_plan(stage) {
+                Some((workers, chunk)) => println!(
+                    "{stage}: {rate:.0} voxels/s ({workers} workers, chunk {chunk})"
+                ),
+                None => println!("{stage}: {rate:.0} voxels/s"),
+            }
         }
     }
 }
