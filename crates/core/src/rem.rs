@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use aerorem_ml::kriging::{KrigingCacheStats, KrigingScratch, OrdinaryKriging};
 use aerorem_ml::{FeatureMatrix, MlError, Regressor};
 use aerorem_propagation::ap::MacAddress;
 use aerorem_spatial::{Aabb, Vec3};
@@ -379,6 +380,12 @@ impl RemGrid {
     /// layer tells a network planner where the map can be trusted and where
     /// more UAV sampling is needed.
     ///
+    /// This is the serial per-voxel reference: one scratch (and therefore
+    /// one factor cache) is hoisted across the whole lattice walk instead
+    /// of being reallocated per voxel. The policy-parallel hot path is
+    /// [`RemGrid::generate_with_variance`], which must match this output
+    /// bit for bit.
+    ///
     /// # Errors
     ///
     /// Propagates estimator errors.
@@ -387,36 +394,24 @@ impl RemGrid {
     ///
     /// Panics if `resolution_m` is not positive and finite.
     pub fn generate_with_confidence(
-        model: &aerorem_ml::kriging::OrdinaryKriging,
+        model: &OrdinaryKriging,
         layout: &FeatureLayout,
         volume: Aabb,
         resolution_m: f64,
         mac: MacAddress,
     ) -> Result<(Self, Self), MlError> {
-        assert!(
-            resolution_m > 0.0 && resolution_m.is_finite(),
-            "resolution must be positive"
-        );
-        let size = volume.size();
-        let nx = ((size.x / resolution_m).round() as usize).max(2);
-        let ny = ((size.y / resolution_m).round() as usize).max(2);
-        let nz = ((size.z / resolution_m).round() as usize).max(2);
+        let (nx, ny, nz) = Self::lattice_dims(volume, resolution_m);
         let mut values = Vec::with_capacity(nx * ny * nz);
         let mut sigmas = Vec::with_capacity(nx * ny * nz);
-        for iz in 0..nz {
-            for iy in 0..ny {
-                for ix in 0..nx {
-                    let p = volume.lerp_point(
-                        (ix as f64 + 0.5) / nx as f64,
-                        (iy as f64 + 0.5) / ny as f64,
-                        (iz as f64 + 0.5) / nz as f64,
-                    );
-                    let row = layout.encode_query(p, mac)?;
-                    let (pred, var) = model.predict_with_variance(&row)?;
-                    values.push(pred);
-                    sigmas.push(var.sqrt());
-                }
-            }
+        let mut scratch = KrigingScratch::new();
+        let mut row = Vec::new();
+        for i in 0..nx * ny * nz {
+            let p = Self::voxel_center(volume, (nx, ny, nz), i);
+            row.clear();
+            layout.encode_query_into(p, mac, &mut row)?;
+            let (pred, var) = model.predict_with_variance_with(&row, &mut scratch)?;
+            values.push(pred);
+            sigmas.push(var.sqrt());
         }
         let dims = (nx, ny, nz);
         Ok((
@@ -432,6 +427,106 @@ impl RemGrid {
                 dims,
                 values: sigmas,
             },
+        ))
+    }
+
+    /// [`RemGrid::generate_with_confidence`] at hardware speed: one
+    /// policy-parallel pass produces the prediction grid and the
+    /// uncertainty grid (kriging standard deviation, dB) together. The
+    /// lattice is encoded into [`REM_FILL_GRAN`] chunks, each chunk is
+    /// solved through [`OrdinaryKriging::predict_with_variance_with`] with
+    /// one [`KrigingScratch`] per worker thread — so each worker carries a
+    /// factor cache across its chunks and consecutive voxels sharing a
+    /// neighbour set skip straight to the O(k²) back-substitution.
+    ///
+    /// Bit-identical to [`RemGrid::generate_with_confidence`] under both
+    /// [`ExecPolicy`] arms: the chunk partition is policy-independent and
+    /// cache hits are bit-identical to misses by construction.
+    ///
+    /// Records `rem_krige_predict` / `rem_krige_variance` stages plus
+    /// `rem_krige_cache_hits` / `rem_krige_cache_misses` counters on
+    /// `inst`, and returns the aggregated cache stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_m` is not positive and finite.
+    pub fn generate_with_variance(
+        model: &OrdinaryKriging,
+        layout: &FeatureLayout,
+        volume: Aabb,
+        resolution_m: f64,
+        mac: MacAddress,
+        policy: ExecPolicy,
+        inst: &mut Instrumentation,
+    ) -> Result<(Self, Self, KrigingCacheStats), MlError> {
+        let dims = Self::lattice_dims(volume, resolution_m);
+        let total = dims.0 * dims.1 * dims.2;
+        inst.record_exec("rem_encode", exec::plan(policy, total, REM_FILL_GRAN));
+        let chunks =
+            inst.time("rem_encode", || Self::encode_chunks(layout, volume, mac, dims, policy))?;
+        inst.count("rem_encode_rows", total as u64);
+        // One chunk = one work item (it already holds MIN_BATCH_CHUNK+
+        // rows); the worker's scratch persists across the chunks it claims.
+        inst.record_exec(
+            "rem_krige_predict",
+            exec::plan(policy, chunks.len(), exec::Granularity::per_item()),
+        );
+        let pool = exec::ScratchPool::new(KrigingScratch::new);
+        let pairs: Vec<(Vec<f64>, Vec<f64>)> = inst.time("rem_krige_predict", || {
+            exec::try_map_vec_with(
+                policy,
+                exec::Granularity::per_item(),
+                &pool,
+                &chunks,
+                |scratch, fm| {
+                    let mut vals = Vec::with_capacity(fm.rows());
+                    let mut vars = Vec::with_capacity(fm.rows());
+                    for q in fm.iter() {
+                        let (p, v) = model.predict_with_variance_with(q, scratch)?;
+                        vals.push(p);
+                        vars.push(v);
+                    }
+                    Ok((vals, vars))
+                },
+            )
+        })?;
+        let mut stats = KrigingCacheStats::default();
+        for _ in 0..pool.idle() {
+            stats.merge(pool.take().cache_stats());
+        }
+        inst.count("rem_krige_predict_rows", total as u64);
+        inst.count("rem_krige_cache_hits", stats.hits);
+        inst.count("rem_krige_cache_misses", stats.misses);
+        // Materialize the two grids: flatten chunk outputs in voxel order
+        // and map variances to standard deviations.
+        let (values, sigmas) = inst.time("rem_krige_variance", || {
+            let mut values = Vec::with_capacity(total);
+            let mut sigmas = Vec::with_capacity(total);
+            for (vals, vars) in &pairs {
+                values.extend_from_slice(vals);
+                sigmas.extend(vars.iter().map(|v| v.sqrt()));
+            }
+            (values, sigmas)
+        });
+        inst.count("rem_krige_variance_rows", total as u64);
+        Ok((
+            RemGrid {
+                mac,
+                volume,
+                dims,
+                values,
+            },
+            RemGrid {
+                mac,
+                volume,
+                dims,
+                values: sigmas,
+            },
+            stats,
         ))
     }
 
@@ -744,6 +839,72 @@ mod tests {
         assert!(sigma.max_dbm() > 0.0);
         // The value layer still reflects the field.
         assert!(rem.mean_dbm() < -50.0);
+    }
+
+    /// A fitted kriging model over a deterministic low-dimensional world
+    /// (one MAC keeps the feature dimension inside the KD-tree gate).
+    fn fitted_kriging_world() -> (
+        aerorem_ml::kriging::OrdinaryKriging,
+        FeatureLayout,
+        Aabb,
+    ) {
+        use aerorem_ml::kriging::{KrigingConfig, OrdinaryKriging};
+        let volume = Aabb::paper_volume();
+        let mut set = SampleSet::new();
+        for i in 0..80 {
+            let pos = volume.lerp_point(
+                (i % 5) as f64 / 4.0,
+                ((i / 5) % 4) as f64 / 3.0,
+                (i / 20) as f64 / 3.0,
+            );
+            set.push(Sample {
+                uav: UavId(0),
+                waypoint_index: i,
+                position: pos,
+                true_position: pos,
+                ssid: Ssid::new("net"),
+                mac: MacAddress::from_index(1),
+                channel: WifiChannel::new(6).unwrap(),
+                rssi_dbm: (-60.0 - 5.0 * pos.x - 2.0 * pos.y) as i32,
+                timestamp: SimTime::ZERO,
+            });
+        }
+        let (data, layout, _) = preprocess(&set, &PreprocessConfig::paper()).unwrap();
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&data.x, &data.y).unwrap();
+        (ok, layout, volume)
+    }
+
+    #[test]
+    fn variance_fill_matches_per_voxel_confidence_bits() {
+        let (ok, layout, volume) = fitted_kriging_world();
+        let mac = MacAddress::from_index(1);
+        let (ref_rem, ref_sigma) =
+            RemGrid::generate_with_confidence(&ok, &layout, volume, 0.2, mac).unwrap();
+        let mut grids = Vec::new();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+            let mut inst = Instrumentation::new();
+            let (rem, sigma, stats) = RemGrid::generate_with_variance(
+                &ok, &layout, volume, 0.2, mac, policy, &mut inst,
+            )
+            .unwrap();
+            assert_eq!(rem, ref_rem, "{policy}: prediction grid drifted");
+            assert_eq!(sigma, ref_sigma, "{policy}: uncertainty grid drifted");
+            // Every non-exact voxel goes through the cached solver, and a
+            // fine lattice over a coarse survey must actually hit.
+            assert!(stats.total() > 0);
+            assert!(stats.hits > 0, "{policy}: no factor-cache hits on a lattice");
+            assert_eq!(inst.counter("rem_krige_cache_hits"), Some(stats.hits));
+            assert_eq!(inst.counter("rem_krige_cache_misses"), Some(stats.misses));
+            assert!(inst.stage("rem_krige_predict").is_some());
+            assert!(inst.stage("rem_krige_variance").is_some());
+            assert_eq!(
+                inst.counter("rem_krige_predict_rows"),
+                Some(rem.len() as u64)
+            );
+            grids.push((rem, sigma));
+        }
+        assert_eq!(grids[0], grids[1], "serial ≡ parallel");
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl KdTree {
         }
         let mut indices: Vec<usize> = (0..n).collect();
         let mut nodes = Vec::with_capacity(2 * n.div_ceil(LEAF_SIZE));
-        let root = build_arena(&data, dim, &mut indices, 0, 0, &mut nodes);
+        let root = build_arena(&data, dim, &mut indices, 0, &mut nodes);
         // After the build the index permutation *is* the slot order; lay the
         // permuted points out dimension-major for the leaf-scan kernel.
         let mut cols = vec![0.0; n * dim];
@@ -285,17 +285,27 @@ impl KdTree {
 
 /// Recursive arena build over a slot range. Ranges of up to [`LEAF_SIZE`]
 /// points become leaves; larger ranges stable-sort their index subslice
-/// along the depth's axis and split at the upper median, so slots
+/// along the chosen axis and split at the upper median, so slots
 /// `[lo, lo+mid)` hold coordinates `<=` the split value and the rest hold
 /// `>=` — which is what makes `|query[axis] - split|` a valid far-side
 /// distance bound even with duplicate coordinates. The final permutation of
 /// `indices` is the slot order. Nodes are stored pre-order.
+///
+/// The split axis is the one with the **largest coordinate spread** in the
+/// node's point subset (ties to the lowest axis), not a round-robin of
+/// `depth % dim`. Round-robin is pathological for the one-hot feature
+/// blocks this workspace feeds the tree: a query's delta on a one-hot axis
+/// it shares with the split is exactly 0, so such a level can never prune
+/// and every search walks both subtrees. Spread selection splits each
+/// one-hot axis at most once — separating the categories with a far-side
+/// bound of 1 — and spends the remaining depth on the spatial axes where
+/// pruning actually works. Axis choice only shapes the tree; the search
+/// remains exact, so results are bit-identical to brute force either way.
 fn build_arena(
     data: &[f64],
     dim: usize,
     indices: &mut [usize],
     lo: usize,
-    depth: usize,
     nodes: &mut Vec<Node>,
 ) -> u32 {
     if indices.is_empty() {
@@ -311,7 +321,22 @@ fn build_arena(
         });
         return id as u32;
     }
-    let axis = depth % dim;
+    let mut axis = 0usize;
+    let mut best_spread = f64::NEG_INFINITY;
+    for d in 0..dim {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &i in indices.iter() {
+            let v = data[i * dim + d];
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let spread = max - min;
+        if spread > best_spread {
+            best_spread = spread;
+            axis = d;
+        }
+    }
     indices.sort_by(|&a, &b| {
         data[a * dim + axis]
             .partial_cmp(&data[b * dim + axis])
@@ -326,8 +351,8 @@ fn build_arena(
         right: NO_NODE,
     });
     let (left_slice, right_slice) = indices.split_at_mut(mid);
-    let left = build_arena(data, dim, left_slice, lo, depth + 1, nodes);
-    let right = build_arena(data, dim, right_slice, lo + mid, depth + 1, nodes);
+    let left = build_arena(data, dim, left_slice, lo, nodes);
+    let right = build_arena(data, dim, right_slice, lo + mid, nodes);
     nodes[id].left = left;
     nodes[id].right = right;
     id as u32

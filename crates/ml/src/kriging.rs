@@ -14,9 +14,9 @@
 
 use aerorem_numerics::exec::{self, ExecPolicy};
 use aerorem_numerics::kernels::sq_euclidean;
-use aerorem_numerics::Matrix;
+use aerorem_numerics::{LuFactors, Matrix};
 
-use crate::kdtree::brute_force_topk_into;
+use crate::kdtree::{brute_force_topk_into, KdTree, NeighborScratch};
 use crate::{validate_matrix_y, validate_xy, FeatureMatrix, MlError, Regressor};
 
 /// Parametric semivariogram families.
@@ -300,12 +300,15 @@ pub fn fit_variogram_with(
             }
         }
     }
-    // Scoring one candidate touches every bin but allocates nothing, so
-    // chunks of a few dozen amortize the executor's per-chunk bookkeeping.
+    // Scoring one candidate touches every bin but allocates nothing, and
+    // the dense grid is only 288 candidates — below the floor, the whole
+    // grid is one chunk and the executor takes its inline serial path
+    // (spawning workers for microseconds of arithmetic costs more than the
+    // scan itself; BENCH_3 `train_select` measured the parallel arm losing).
     let pool = exec::ScratchPool::new(|| ());
     let scored = exec::map_vec_with(
         policy,
-        exec::Granularity::new(16, 48),
+        exec::Granularity::new(512, 1024),
         &pool,
         &grid,
         |(), v| {
@@ -386,20 +389,150 @@ impl Default for KrigingConfig {
 pub struct OrdinaryKriging {
     config: KrigingConfig,
     variogram: Option<Variogram>,
-    x: Option<FeatureMatrix>,
+    index: Option<NeighborIndex>,
     y: Vec<f64>,
 }
 
-/// Reusable per-query buffers for the kriging solve: neighbour candidates,
-/// the selected neighbours, the `(n+1)×(n+1)` system matrix, and its RHS.
-/// The batched prediction path keeps one of these across all queries, so the
-/// system matrix is allocated once instead of once per voxel.
+/// Feature dimension at or below which `fit` builds the leaf-based SoA
+/// [`KdTree`] for neighbour search (the same cutoff as the kNN backend):
+/// low-dimensional spatial features prune well, while the paper-scale
+/// ~80-MAC one-hot encodings degenerate to a full scan with extra
+/// bookkeeping, so they keep the flat brute-force kernel.
+const KDTREE_MAX_DIM: usize = 8;
+
+/// Chunk-sizing hint for the batched kriging paths. One kriging query costs
+/// a neighbour search plus at least an O(k²) back-substitution, so modest
+/// chunks amortize the executor's bookkeeping; the cap keeps millions of
+/// voxels claimable for load balance. A pure function of the row count, so
+/// both policies run identical chunk partitions.
+const KRIGING_BATCH_GRAN: exec::Granularity = exec::Granularity::new(64, 4096);
+
+/// The fitted neighbour-search backend: the training rows, stored once.
+#[derive(Debug, Clone)]
+enum NeighborIndex {
+    /// Leaf-based SoA KD-tree (low-dimensional features). Returns exactly
+    /// the same `(index, distance)` pairs as the brute-force scan,
+    /// including tie order — proven in the `kdtree` unit tests.
+    Tree(KdTree),
+    /// Flat brute-force top-k scan (high-dimensional features).
+    Brute(FeatureMatrix),
+}
+
+impl NeighborIndex {
+    fn dim(&self) -> usize {
+        match self {
+            NeighborIndex::Tree(t) => t.dim(),
+            NeighborIndex::Brute(m) => m.dim(),
+        }
+    }
+
+    /// Training row `i`, original insertion order under both backends.
+    fn row(&self, i: usize) -> &[f64] {
+        match self {
+            NeighborIndex::Tree(t) => t.point(i),
+            NeighborIndex::Brute(m) => m.row(i),
+        }
+    }
+
+    /// Flat row-major training storage, original insertion order.
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            NeighborIndex::Tree(t) => t.points_flat(),
+            NeighborIndex::Brute(m) => m.as_slice(),
+        }
+    }
+
+    /// The `k` nearest training rows to `q`, nearest first, ties by index —
+    /// the identical contract from both backends.
+    fn nearest_into(&self, q: &[f64], k: usize, scratch: &mut KrigingScratch) {
+        match self {
+            NeighborIndex::Tree(t) => t.nearest_into(q, k, &mut scratch.tree, &mut scratch.nn),
+            NeighborIndex::Brute(m) => {
+                brute_force_topk_into(m.as_slice(), m.dim(), q, k, &mut scratch.cand, &mut scratch.nn);
+            }
+        }
+    }
+}
+
+/// Factor-cache hit/miss counters for the kriging solver, harvested from
+/// [`KrigingScratch::cache_stats`] or returned by the batched prediction
+/// paths. Counters only — cache behavior never changes a predicted bit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KrigingCacheStats {
+    /// Queries whose neighbour index-set matched the cached factorization.
+    pub hits: u64,
+    /// Queries that assembled and factorized a fresh system.
+    pub misses: u64,
+}
+
+impl KrigingCacheStats {
+    /// Total cached-path queries (hits + misses).
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of queries served from the cached factorization, in
+    /// `[0, 1]`; `0.0` when nothing was counted.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Accumulates another counter pair into this one.
+    pub fn merge(&mut self, other: KrigingCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Reusable per-query state for the kriging solve: neighbour-search
+/// buffers, the `(k+1)×(k+1)` system matrix and its RHS, and the
+/// **factor cache** — the LU factorization of the last assembled system,
+/// keyed on the (index-sorted) neighbour set. Consecutive lattice voxels
+/// overwhelmingly share neighbour sets, so a cache hit skips both system
+/// assembly and the O(k³) factorization, leaving an O(k²)
+/// back-substitution. Hits are bit-identical to misses by construction:
+/// an identical neighbour set assembles an identical matrix, which
+/// factorizes to identical bits.
+///
+/// A scratch belongs to **one fitted model**: the cache key carries a
+/// fingerprint of the model's training storage and is invalidated when it
+/// changes, so reusing a scratch across models degrades to misses rather
+/// than corrupting output.
 #[derive(Debug, Default, Clone)]
-struct KrigingScratch {
+pub struct KrigingScratch {
     cand: Vec<(usize, f64)>,
+    tree: NeighborScratch,
     nn: Vec<(usize, f64)>,
     a: Option<Matrix>,
     b: Vec<f64>,
+    sol: Vec<f64>,
+    /// Index-sorted neighbour set the cached factors were assembled from.
+    key: Vec<usize>,
+    /// Fingerprint of the model the cached factors belong to.
+    token: (usize, usize),
+    factors: LuFactors,
+    key_valid: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl KrigingScratch {
+    /// A fresh scratch with an empty factor cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Factor-cache hit/miss counters accumulated by this scratch.
+    pub fn cache_stats(&self) -> KrigingCacheStats {
+        KrigingCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
 }
 
 impl OrdinaryKriging {
@@ -408,7 +541,7 @@ impl OrdinaryKriging {
         OrdinaryKriging {
             config,
             variogram: None,
-            x: None,
+            index: None,
             y: Vec::new(),
         }
     }
@@ -430,72 +563,173 @@ impl OrdinaryKriging {
     ///
     /// Same error conditions as [`Regressor::predict_one`].
     pub fn predict_with_variance(&self, q: &[f64]) -> Result<(f64, f64), MlError> {
-        self.predict_with_variance_scratch(q, &mut KrigingScratch::default())
+        self.predict_with_variance_with(q, &mut KrigingScratch::default())
     }
 
-    /// Shared prediction core: both the per-item and batched paths run this
-    /// exact code, so they agree bit-for-bit. The scratch carries the
-    /// neighbour buffers, the `(n+1)×(n+1)` system matrix, and its RHS.
-    fn predict_with_variance_scratch(
+    /// Identifies this model's training storage for the scratch-held factor
+    /// cache: cached factors are only reused while the fingerprint matches.
+    fn cache_token(&self, index: &NeighborIndex) -> (usize, usize) {
+        let flat = index.as_slice();
+        (flat.as_ptr() as usize, flat.len())
+    }
+
+    /// Shared prediction core: every kriging path — per-item, batched,
+    /// serial, parallel — runs this exact code with some scratch, so all of
+    /// them agree bit-for-bit. The scratch carries the neighbour buffers,
+    /// the system matrix, and the factor cache (see [`KrigingScratch`]);
+    /// callers that keep one scratch across many nearby queries amortize
+    /// the O(k³) factorization down to an O(k²) solve per query.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Regressor::predict_one`].
+    pub fn predict_with_variance_with(
         &self,
         q: &[f64],
         scratch: &mut KrigingScratch,
     ) -> Result<(f64, f64), MlError> {
-        let x = self.x.as_ref().ok_or(MlError::NotFitted)?;
+        let index = self.index.as_ref().ok_or(MlError::NotFitted)?;
         let vgram = self.variogram.ok_or(MlError::NotFitted)?;
-        if q.len() != x.dim() {
+        if q.len() != index.dim() {
             return Err(MlError::DimensionMismatch {
-                expected: x.dim(),
+                expected: index.dim(),
                 found: q.len(),
             });
         }
-        let KrigingScratch { cand, nn, a, b } = scratch;
-        brute_force_topk_into(
-            x.as_slice(),
-            x.dim(),
-            q,
-            self.config.max_neighbors,
-            cand,
-            nn,
-        );
-        if let Some(&(i, d)) = nn.first() {
+        index.nearest_into(q, self.config.max_neighbors, scratch);
+        if let Some(&(i, d)) = scratch.nn.first() {
             if d < 1e-12 {
                 return Ok((self.y[i], 0.0));
             }
         }
-        let n = nn.len();
-        match a.as_mut() {
-            Some(m) if m.rows() == n + 1 => m.fill(0.0),
-            _ => *a = Some(Matrix::zeros(n + 1, n + 1)),
-        }
-        let a = a.as_mut().expect("system matrix initialized above");
-        b.clear();
-        b.resize(n + 1, 0.0);
-        for (ri, &(i, _)) in nn.iter().enumerate() {
-            for (rj, &(j, _)) in nn.iter().enumerate() {
-                let h = sq_euclidean(x.row(i), x.row(j)).sqrt();
-                a[(ri, rj)] = vgram.gamma(h);
+        // Canonical neighbour order: sorting by training index makes the
+        // assembled system a pure function of the neighbour *set*, so two
+        // queries sharing a set share the matrix — and therefore its
+        // factorization — bit for bit. (Distances travel with the indices;
+        // the RHS below stays query-specific.)
+        scratch.nn.sort_unstable_by_key(|&(i, _)| i);
+        let n = scratch.nn.len();
+        let token = self.cache_token(index);
+        let hit = scratch.key_valid
+            && scratch.token == token
+            && scratch.key.len() == n
+            && scratch.key.iter().zip(&scratch.nn).all(|(&k, &(i, _))| k == i);
+        if hit {
+            scratch.hits += 1;
+        } else {
+            scratch.misses += 1;
+            scratch.key_valid = false;
+            let a = match scratch.a.as_mut() {
+                Some(m) if m.rows() == n + 1 => {
+                    m.fill(0.0);
+                    m
+                }
+                _ => scratch.a.insert(Matrix::zeros(n + 1, n + 1)),
+            };
+            for (ri, &(i, _)) in scratch.nn.iter().enumerate() {
+                // γ is symmetric in the distance, and the distance kernel is
+                // bitwise symmetric in its arguments, so fill both triangles
+                // from one evaluation. γ(0) = 0 keeps the diagonal at the
+                // jitter value alone.
+                for (rj, &(j, _)) in scratch.nn.iter().enumerate().skip(ri + 1) {
+                    let h = sq_euclidean(index.row(i), index.row(j)).sqrt();
+                    let g = vgram.gamma(h);
+                    a[(ri, rj)] = g;
+                    a[(rj, ri)] = g;
+                }
+                a[(ri, ri)] = 1e-10;
+                a[(ri, n)] = 1.0;
+                a[(n, ri)] = 1.0;
             }
-            a[(ri, n)] = 1.0;
-            a[(n, ri)] = 1.0;
-            b[ri] = vgram.gamma(nn[ri].1);
+            a.lu_factor_into(&mut scratch.factors)
+                .map_err(|e| MlError::Numerical(format!("kriging system: {e}")))?;
+            scratch.key.clear();
+            scratch.key.extend(scratch.nn.iter().map(|&(i, _)| i));
+            scratch.token = token;
+            scratch.key_valid = true;
         }
-        b[n] = 1.0;
-        for ri in 0..n {
-            a[(ri, ri)] += 1e-10;
+        // The RHS is query-specific — γ from the query to each neighbour —
+        // and costs O(k); only the factorization behind it is cached.
+        scratch.b.clear();
+        scratch.b.resize(n + 1, 0.0);
+        for (ri, &(_, d)) in scratch.nn.iter().enumerate() {
+            scratch.b[ri] = vgram.gamma(d);
         }
-        let sol = a
-            .solve(b)
+        scratch.b[n] = 1.0;
+        scratch
+            .factors
+            .solve_factored_into(&scratch.b, &mut scratch.sol)
             .map_err(|e| MlError::Numerical(format!("kriging system: {e}")))?;
-        let pred: f64 = nn
+        let sol = &scratch.sol;
+        let pred: f64 = scratch
+            .nn
             .iter()
             .enumerate()
             .map(|(ri, &(i, _))| sol[ri] * self.y[i])
             .sum();
         // Kriging variance: sigma^2 = sum_i w_i gamma(q, x_i) + mu.
-        let variance: f64 = (0..n).map(|ri| sol[ri] * b[ri]).sum::<f64>() + sol[n];
+        let variance: f64 = (0..n).map(|ri| sol[ri] * scratch.b[ri]).sum::<f64>() + sol[n];
         Ok((pred, variance.max(0.0)))
     }
+
+    /// Batched [`OrdinaryKriging::predict_with_variance`] under the default
+    /// execution policy: one prediction vector and one variance vector,
+    /// row-aligned with `xs`. Bit-identical to the per-item path.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Regressor::predict_one`], first failing
+    /// row in input order.
+    pub fn predict_with_variance_batch(
+        &self,
+        xs: &FeatureMatrix,
+    ) -> Result<(Vec<f64>, Vec<f64>), MlError> {
+        self.predict_with_variance_batch_with(xs, ExecPolicy::default())
+            .map(|(preds, vars, _)| (preds, vars))
+    }
+
+    /// [`OrdinaryKriging::predict_with_variance_batch`] with an explicit
+    /// execution policy, also returning the factor-cache counters
+    /// aggregated over all workers.
+    ///
+    /// Rows fan out through the chunked executor with one
+    /// [`KrigingScratch`] per worker thread, so each worker carries its own
+    /// factor cache across its chunks. Results are bit-identical across
+    /// policies and to the per-item path: the cache only changes *when*
+    /// factorizations run, never their bits. The hit counters, by contrast,
+    /// are legitimately execution-dependent (each worker warms its own
+    /// cache) — they are observability, not output.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Regressor::predict_one`], first failing
+    /// row in input order.
+    pub fn predict_with_variance_batch_with(
+        &self,
+        xs: &FeatureMatrix,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<f64>, Vec<f64>, KrigingCacheStats), MlError> {
+        let rows: Vec<usize> = (0..xs.rows()).collect();
+        let pool = exec::ScratchPool::new(KrigingScratch::default);
+        let pairs = exec::try_map_vec_with(policy, KRIGING_BATCH_GRAN, &pool, &rows, |s, &i| {
+            self.predict_with_variance_with(xs.row(i), s)
+        })?;
+        let stats = drain_cache_stats(&pool);
+        let (preds, vars) = pairs.into_iter().unzip();
+        Ok((preds, vars, stats))
+    }
+}
+
+/// Sums the factor-cache counters of every scratch a finished batch run
+/// returned to `pool`, consuming the scratches.
+fn drain_cache_stats<F: Fn() -> KrigingScratch>(
+    pool: &exec::ScratchPool<KrigingScratch, F>,
+) -> KrigingCacheStats {
+    let mut stats = KrigingCacheStats::default();
+    for _ in 0..pool.idle() {
+        stats.merge(pool.take().cache_stats());
+    }
+    stats
 }
 
 impl OrdinaryKriging {
@@ -529,7 +763,17 @@ impl OrdinaryKriging {
             bins = empirical_variogram_matrix(&xm, y, self.config.n_bins, max_lag * 1.01, policy)?;
         }
         self.variogram = Some(fit_variogram_with(&bins, self.config.variogram, policy)?);
-        self.x = Some(xm);
+        // Build the neighbour backend once per fit: the KD-tree owns the
+        // single flat copy of the training rows and replaces the per-query
+        // brute-force scan wherever the dimension gate lets it prune.
+        self.index = Some(if xm.dim() <= KDTREE_MAX_DIM {
+            match KdTree::build_flat(xm.as_slice().to_vec(), xm.dim()) {
+                Some(tree) => NeighborIndex::Tree(tree),
+                None => NeighborIndex::Brute(xm),
+            }
+        } else {
+            NeighborIndex::Brute(xm)
+        });
         self.y = y.to_vec();
         Ok(())
     }
@@ -555,13 +799,8 @@ impl Regressor for OrdinaryKriging {
     }
 
     fn predict_batch(&self, xs: &FeatureMatrix) -> Result<Vec<f64>, MlError> {
-        let mut scratch = KrigingScratch::default();
-        xs.iter()
-            .map(|q| {
-                self.predict_with_variance_scratch(q, &mut scratch)
-                    .map(|(pred, _)| pred)
-            })
-            .collect()
+        self.predict_with_variance_batch_with(xs, ExecPolicy::default())
+            .map(|(preds, _, _)| preds)
     }
 }
 
@@ -792,6 +1031,169 @@ mod tests {
         assert_eq!(a.variogram(), b.variogram());
         for q in [[0.3, 1.1], [2.7, 0.2], [1.9, 2.4]] {
             assert_eq!(a.predict_one(&q).unwrap(), b.predict_one(&q).unwrap());
+        }
+    }
+
+    /// A 2-D fitted model (KD-tree backend) over a deterministic grid.
+    fn fitted_2d() -> OrdinaryKriging {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..9 {
+            for j in 0..9 {
+                x.push(vec![i as f64 * 0.45, j as f64 * 0.4]);
+                y.push(-60.0 - (i as f64) * 1.3 - 0.7 * (j as f64));
+            }
+        }
+        let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+        ok.fit(&x, &y).unwrap();
+        ok
+    }
+
+    #[test]
+    fn factor_cache_hits_are_bit_identical_to_misses() {
+        let ok = fitted_2d();
+        // Two clusters of tightly packed queries: within a cluster the
+        // neighbour set is shared (hits after the first), across clusters it
+        // changes (miss).
+        let mut queries = Vec::new();
+        for c in [[0.93, 0.81], [2.83, 2.61]] {
+            for i in 0..6 {
+                queries.push(vec![c[0] + i as f64 * 1e-3, c[1] - i as f64 * 1e-3]);
+            }
+        }
+        let mut cached = KrigingScratch::new();
+        for q in &queries {
+            // Fresh scratch per query: every solve is a cold miss.
+            let cold = ok
+                .predict_with_variance_with(q, &mut KrigingScratch::new())
+                .unwrap();
+            let warm = ok.predict_with_variance_with(q, &mut cached).unwrap();
+            assert_eq!(cold.0.to_bits(), warm.0.to_bits(), "prediction at {q:?}");
+            assert_eq!(cold.1.to_bits(), warm.1.to_bits(), "variance at {q:?}");
+        }
+        let stats = cached.cache_stats();
+        assert_eq!(stats.total(), queries.len() as u64);
+        assert!(stats.hits >= 8, "clustered queries must hit: {stats:?}");
+        assert!(stats.misses >= 2, "cluster changes must miss: {stats:?}");
+        assert!(stats.hit_rate() > 0.5 && stats.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn variance_batch_matches_per_item_bits_under_both_policies() {
+        let ok = fitted_2d();
+        // Interleave clustered rows (factor-cache hits) with scattered rows
+        // (misses) so both cache paths run under every policy.
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            if i % 3 == 0 {
+                rows.push(vec![i as f64 * 0.09, 3.0 - i as f64 * 0.07]);
+            } else {
+                rows.push(vec![1.5 + (i % 2) as f64 * 1e-3, 1.4]);
+            }
+        }
+        let fm = FeatureMatrix::from_rows(&rows).unwrap();
+        let mut per_item = Vec::new();
+        for q in &rows {
+            per_item.push(
+                ok.predict_with_variance_with(q, &mut KrigingScratch::new())
+                    .unwrap(),
+            );
+        }
+        let mut by_policy = Vec::new();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+            let (preds, vars, stats) = ok.predict_with_variance_batch_with(&fm, policy).unwrap();
+            assert_eq!(preds.len(), rows.len());
+            assert_eq!(vars.len(), rows.len());
+            for (i, &(p, v)) in per_item.iter().enumerate() {
+                assert_eq!(preds[i].to_bits(), p.to_bits(), "{policy} pred row {i}");
+                assert_eq!(vars[i].to_bits(), v.to_bits(), "{policy} var row {i}");
+            }
+            assert!(stats.hits > 0, "{policy}: clustered rows must hit the cache");
+            assert!(stats.misses > 0, "{policy}: fresh sets must miss");
+            by_policy.push((preds, vars));
+        }
+        assert_eq!(by_policy[0], by_policy[1], "serial ≡ parallel");
+        // The plain batch wrapper and the Regressor path share the core.
+        let (wp, wv) = ok.predict_with_variance_batch(&fm).unwrap();
+        assert_eq!((wp, wv), by_policy[0]);
+        let trait_preds = ok.predict_batch(&fm).unwrap();
+        assert_eq!(trait_preds, by_policy[0].0);
+    }
+
+    #[test]
+    fn scratch_reused_across_models_degrades_to_miss_not_corruption() {
+        let a = fitted_2d();
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 6) as f64 * 0.5, (i / 6) as f64 * 0.45])
+            .collect();
+        let y: Vec<f64> = (0..30).map(|i| -75.0 + (i % 7) as f64 * 1.1).collect();
+        let mut b = OrdinaryKriging::new(KrigingConfig::default());
+        b.fit(&x, &y).unwrap();
+        let q = [1.05, 0.95];
+        let mut shared = KrigingScratch::new();
+        let a_ref = a.predict_with_variance(&q).unwrap();
+        let b_ref = b.predict_with_variance(&q).unwrap();
+        // Alternating models through one (misused) scratch must still give
+        // each model's own answer: the cache token invalidates the factors.
+        for _ in 0..3 {
+            assert_eq!(a.predict_with_variance_with(&q, &mut shared).unwrap(), a_ref);
+            assert_eq!(b.predict_with_variance_with(&q, &mut shared).unwrap(), b_ref);
+        }
+        assert_eq!(shared.cache_stats().hits, 0);
+    }
+
+    mod variance_batch_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Batched predictions AND variances are bit-identical to the
+            // fresh-scratch per-item path under both policies, across
+            // random worlds and query mixes — including duplicated queries
+            // (factor-cache hits) and scattered ones (misses).
+            #[test]
+            fn batched_equals_per_item_bits(
+                seed in 0u64..1000,
+                n_train in 12usize..60,
+                n_query in 1usize..50,
+                dup_every in 1usize..5,
+            ) {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let x: Vec<Vec<f64>> = (0..n_train)
+                    .map(|_| vec![rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)])
+                    .collect();
+                let y: Vec<f64> = (0..n_train).map(|_| rng.gen_range(-90.0..-50.0)).collect();
+                let mut ok = OrdinaryKriging::new(KrigingConfig::default());
+                ok.fit(&x, &y).unwrap();
+                let mut rows = Vec::new();
+                for i in 0..n_query {
+                    if i % dup_every == 0 || rows.is_empty() {
+                        rows.push(vec![rng.gen_range(-0.5..4.5), rng.gen_range(-0.5..4.5)]);
+                    } else {
+                        // Nudge the previous query: same neighbour set with
+                        // overwhelming probability — a factor-cache hit.
+                        let prev = rows.last().unwrap().clone();
+                        rows.push(vec![prev[0] + 1e-4, prev[1] - 1e-4]);
+                    }
+                }
+                let fm = FeatureMatrix::from_rows(&rows).unwrap();
+                let mut reference = Vec::new();
+                for q in &rows {
+                    reference.push(
+                        ok.predict_with_variance_with(q, &mut KrigingScratch::new()).unwrap(),
+                    );
+                }
+                for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+                    let (preds, vars, stats) =
+                        ok.predict_with_variance_batch_with(&fm, policy).unwrap();
+                    prop_assert_eq!(stats.total(), reference.len() as u64);
+                    for (i, &(p, v)) in reference.iter().enumerate() {
+                        prop_assert_eq!(preds[i].to_bits(), p.to_bits(), "{} pred {}", policy, i);
+                        prop_assert_eq!(vars[i].to_bits(), v.to_bits(), "{} var {}", policy, i);
+                    }
+                }
+            }
         }
     }
 

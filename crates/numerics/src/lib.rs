@@ -50,4 +50,4 @@ pub mod stats;
 
 pub use exec::ExecPolicy;
 pub use features::FeatureMatrix;
-pub use matrix::{Matrix, NumericsError};
+pub use matrix::{LuFactors, Matrix, NumericsError};

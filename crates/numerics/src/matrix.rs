@@ -456,18 +456,16 @@ impl Matrix {
 
     /// Solves `A x = b` for general square `A` via partially pivoted LU.
     ///
+    /// Implemented as [`Matrix::lu_factor`] followed by
+    /// [`LuFactors::solve_factored`]; callers that solve against the same
+    /// matrix repeatedly should hold the factors and amortize the O(n³)
+    /// elimination across O(n²) back-substitutions.
+    ///
     /// # Errors
     ///
     /// Returns [`NumericsError::Singular`] for (numerically) singular `A`,
     /// [`NumericsError::DimensionMismatch`] for non-square `A` or wrong-length `b`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
-        if !self.is_square() {
-            return Err(NumericsError::DimensionMismatch {
-                op: "solve",
-                lhs: (self.rows, self.cols),
-                rhs: (self.rows, self.cols),
-            });
-        }
         if b.len() != self.rows {
             return Err(NumericsError::DimensionMismatch {
                 op: "solve",
@@ -475,9 +473,58 @@ impl Matrix {
                 rhs: (b.len(), 1),
             });
         }
+        let mut f = LuFactors::default();
+        self.lu_factor_into(&mut f)?;
+        let mut x = Vec::new();
+        f.solve_factored_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Factorizes a square matrix as `P A = L U` with partial pivoting,
+    /// allocating fresh factor storage. See [`Matrix::lu_factor_into`] for
+    /// the buffer-reusing variant and the bit-compatibility contract with
+    /// [`Matrix::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Singular`] for (numerically) singular `A`,
+    /// [`NumericsError::DimensionMismatch`] for non-square `A`.
+    pub fn lu_factor(&self) -> Result<LuFactors, NumericsError> {
+        let mut f = LuFactors::default();
+        self.lu_factor_into(&mut f)?;
+        Ok(f)
+    }
+
+    /// [`Matrix::lu_factor`] into caller-held storage, reusing `out`'s
+    /// buffers — the hot path for factor caches that refactorize many
+    /// same-sized systems.
+    ///
+    /// The elimination is the exact pivot-and-update sequence the historical
+    /// in-place `solve` ran (strict `>` pivot selection, `1e-300` singularity
+    /// threshold, `factor == 0.0` row skip), with the multiplier stored in
+    /// the eliminated sub-diagonal slot instead of its ~0 residual; the
+    /// residual is never read again, so `lu_factor` + `solve_factored`
+    /// reproduces `solve` bit for bit — the `lu_factor_solve_matches_solve*`
+    /// tests pin that equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Singular`] for (numerically) singular `A`,
+    /// [`NumericsError::DimensionMismatch`] for non-square `A`.
+    pub fn lu_factor_into(&self, out: &mut LuFactors) -> Result<(), NumericsError> {
+        if !self.is_square() {
+            return Err(NumericsError::DimensionMismatch {
+                op: "lu_factor",
+                lhs: (self.rows, self.cols),
+                rhs: (self.rows, self.cols),
+            });
+        }
         let n = self.rows;
-        let mut a = self.data.clone();
-        let mut x: Vec<f64> = b.to_vec();
+        out.n = n;
+        out.lu.clear();
+        out.lu.extend_from_slice(&self.data);
+        out.perm.clear();
+        let a = &mut out.lu;
         // Gaussian elimination with partial pivoting.
         for col in 0..n {
             // pivot
@@ -493,33 +540,28 @@ impl Matrix {
             if pivot_val < 1e-300 {
                 return Err(NumericsError::Singular { op: "lu_solve" });
             }
+            out.perm.push(pivot_row);
             if pivot_row != col {
                 for j in 0..n {
                     a.swap(col * n + j, pivot_row * n + j);
                 }
-                x.swap(col, pivot_row);
             }
             let pivot = a[col * n + col];
             for r in (col + 1)..n {
                 let factor = a[r * n + col] / pivot;
+                // Keep the multiplier; the eliminated slot's residual is
+                // never read by the pivot search (later columns only) or the
+                // back substitution (upper triangle only).
+                a[r * n + col] = factor;
                 if factor == 0.0 {
                     continue;
                 }
-                for j in col..n {
+                for j in (col + 1)..n {
                     a[r * n + j] -= factor * a[col * n + j];
                 }
-                x[r] -= factor * x[col];
             }
         }
-        // back substitution
-        for i in (0..n).rev() {
-            let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= a[i * n + j] * x[j];
-            }
-            x[i] = sum / a[i * n + i];
-        }
-        Ok(x)
+        Ok(())
     }
 
     /// Inverts a square matrix via LU solves against identity columns.
@@ -536,12 +578,14 @@ impl Matrix {
             });
         }
         let n = self.rows;
+        let f = self.lu_factor()?;
         let mut inv = Matrix::zeros(n, n);
         let mut e = vec![0.0; n];
+        let mut col = Vec::new();
         for j in 0..n {
             e.fill(0.0);
             e[j] = 1.0;
-            let col = self.solve(&e)?;
+            f.solve_factored_into(&e, &mut col)?;
             for i in 0..n {
                 inv[(i, j)] = col[i];
             }
@@ -567,6 +611,95 @@ impl Matrix {
     pub fn trace(&self) -> f64 {
         assert!(self.is_square(), "trace requires a square matrix");
         (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+}
+
+/// A partially pivoted LU factorization of a square matrix, produced by
+/// [`Matrix::lu_factor`]: `L` (unit diagonal, multipliers below) and `U`
+/// packed into one `n × n` buffer, plus the pivot-row sequence.
+///
+/// Solving through held factors costs O(n²) per right-hand side instead of
+/// re-running the O(n³) elimination, and `solve_factored` is bit-identical
+/// to [`Matrix::solve`] on the same matrix — the contract the kriging
+/// factor cache is built on.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct LuFactors {
+    /// Packed row-major `L\U` storage, `n * n` values.
+    lu: Vec<f64>,
+    /// `perm[col]` is the row swapped into `col` at elimination step `col`.
+    perm: Vec<usize>,
+    n: usize,
+}
+
+impl LuFactors {
+    /// The factored system's dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` through the held factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when
+    /// `b.len() != self.n()`.
+    pub fn solve_factored(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let mut x = Vec::new();
+        self.solve_factored_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`LuFactors::solve_factored`] into a caller-held buffer (contents
+    /// replaced), so repeated solves allocate nothing.
+    ///
+    /// The pivot swaps are replayed on `b` in elimination order, then the
+    /// forward pass applies the stored multipliers column by column —
+    /// exactly the operation sequence (same operands, same order, same
+    /// `factor == 0.0` skip) the historical in-place `solve` interleaved
+    /// with its elimination, so the result is bit-identical to
+    /// [`Matrix::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when
+    /// `b.len() != self.n()`.
+    pub fn solve_factored_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), NumericsError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                op: "solve_factored",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        x.clear();
+        x.extend_from_slice(b);
+        for (col, &piv) in self.perm.iter().enumerate() {
+            if piv != col {
+                x.swap(col, piv);
+            }
+        }
+        // Forward substitution, L x = P b (unit diagonal).
+        for col in 0..n {
+            for r in (col + 1)..n {
+                let factor = self.lu[r * n + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution, U x = y. The fold runs the same left-to-right
+        // subtraction sequence as the historical indexed loop.
+        for i in (0..n).rev() {
+            let row = &self.lu[i * n..(i + 1) * n];
+            let sum = row[i + 1..]
+                .iter()
+                .zip(&x[i + 1..])
+                .fold(x[i], |s, (&u, &xj)| s - u * xj);
+            x[i] = sum / row[i];
+        }
+        Ok(())
     }
 }
 
@@ -739,6 +872,112 @@ mod tests {
         assert!(matches!(
             a.solve(&[1.0, 2.0]),
             Err(NumericsError::Singular { .. })
+        ));
+        assert!(matches!(
+            a.lu_factor(),
+            Err(NumericsError::Singular { .. })
+        ));
+    }
+
+    /// The historical in-place `solve`: elimination interleaved with the
+    /// right-hand-side updates. `lu_factor` + `solve_factored` must
+    /// reproduce its output bit for bit.
+    fn reference_solve(m: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let n = m.rows();
+        let mut a = m.as_slice().to_vec();
+        let mut x: Vec<f64> = b.to_vec();
+        for col in 0..n {
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(NumericsError::Singular { op: "lu_solve" });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= a[i * n + j] * x[j];
+            }
+            x[i] = sum / a[i * n + i];
+        }
+        Ok(x)
+    }
+
+    #[test]
+    fn lu_factor_solve_matches_solve_bits_on_random_systems() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x2207);
+        for round in 0..60 {
+            let n = rng.gen_range(1..=24);
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = rng.gen_range(-3.0..3.0);
+                }
+            }
+            // Sprinkle exact zeros so both the pivot swaps and the
+            // `factor == 0.0` skip paths fire.
+            for _ in 0..n {
+                let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                a[(i, j)] = 0.0;
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let reference = reference_solve(&a, &b);
+            let factored = a.lu_factor().map(|f| f.solve_factored(&b).unwrap());
+            match (reference, factored) {
+                (Ok(want), Ok(got)) => {
+                    assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.to_bits(), w.to_bits(), "round {round} n {n}");
+                    }
+                    let via_solve = a.solve(&b).unwrap();
+                    for (g, w) in via_solve.iter().zip(&want) {
+                        assert_eq!(g.to_bits(), w.to_bits(), "solve() wrapper, round {round}");
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (r, f) => panic!("outcome diverged on round {round}: {r:?} vs {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn factored_solves_reuse_across_rhs() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 0.5, -1.0], &[3.0, 0.0, 0.0]]).unwrap();
+        let f = a.lu_factor().unwrap();
+        assert_eq!(f.n(), 3);
+        let mut x = Vec::new();
+        for b in [[1.0, 2.0, 3.0], [0.0, -1.0, 0.5], [4.0, 4.0, 4.0]] {
+            f.solve_factored_into(&b, &mut x).unwrap();
+            assert_eq!(x, a.solve(&b).unwrap(), "factored solve drifted for {b:?}");
+        }
+        assert!(matches!(
+            f.solve_factored(&[1.0, 2.0]),
+            Err(NumericsError::DimensionMismatch { .. })
         ));
     }
 

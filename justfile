@@ -25,12 +25,14 @@ bench-build:
     cargo bench --no-run
 
 # Smoke-sized run of the custom-harness benches: every bit-identity
-# assertion executes (including the PR-7 executor scaling sweep), but the
-# workloads are small and the committed artifacts are left alone.
+# assertion executes (including the PR-7 executor scaling sweep and the
+# PR-8 kriging fill), but the workloads are small and the committed
+# artifacts are left alone.
 bench-check:
     AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench train_select
     AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench sim_campaign
     AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench scaling
+    AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench kriging_fill
 
 # Serving-layer gate (PR 6): the aerorem-serve unit tests under both
 # execution-policy arms, plus a smoke-sized run of the serve bench —
@@ -42,19 +44,20 @@ serve-check:
     AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench serve
 
 # Regenerates the committed bench artifacts at full size: BENCH_2.json
-# (lattice fill), BENCH_3.json (training + campaign + serving), and
-# BENCH_4.json (executor scaling).
+# (lattice fill), BENCH_3.json (training + campaign + serving),
+# BENCH_4.json (executor scaling), and BENCH_5.json (kriging hot path).
 bench:
     cargo bench -p aerorem-bench --bench rem_lattice
     cargo bench -p aerorem-bench --bench train_select
     cargo bench -p aerorem-bench --bench sim_campaign
     cargo bench -p aerorem-bench --bench serve
     cargo bench -p aerorem-bench --bench scaling
+    cargo bench -p aerorem-bench --bench kriging_fill
 
-# Gates fresh BENCH_3.json / BENCH_4.json stage times against the
-# committed baselines (>25 % wall-time regressions fail) and each stage's
-# parallel arm against its serial pair (parallel must never lose; see
-# scripts/bench_diff).
+# Gates fresh BENCH_3.json / BENCH_4.json / BENCH_5.json stage times
+# against the committed baselines (>25 % wall-time regressions fail) and
+# each stage's parallel arm against its serial pair (parallel must never
+# lose; see scripts/bench_diff).
 bench-diff:
     ./scripts/bench_diff
 

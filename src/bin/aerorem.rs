@@ -4,6 +4,7 @@
 //! aerorem survey   [--seed N] [--waypoints 72] [--uavs 2] --out samples.csv
 //! aerorem evaluate --in samples.csv [--seed N]
 //! aerorem map      --in samples.csv [--mac aa:bb:..] [--resolution 0.25] --out rem.csv
+//!                  [--confidence sigma.csv] [--exec serial|parallel]
 //! aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]
 //! aerorem demo     [--seed N] [--exec serial|parallel]
 //! aerorem snapshot save --in samples.csv --out rem.snap [--resolution 0.25] [--aps 8]
@@ -14,7 +15,10 @@
 //!
 //! `survey` runs the simulated campaign and writes the collected samples;
 //! the other commands are pure data processing and would work identically
-//! on samples from real hardware. `demo` runs the paper's full pipeline
+//! on samples from real hardware. `map --confidence` switches the
+//! estimator to ordinary kriging and writes the kriging standard
+//! deviation (dB) as a second grid, reporting the factor-cache hit rate
+//! of the fill. `demo` runs the paper's full pipeline
 //! end to end and prints per-stage wall-clock instrumentation — run it
 //! once with `--exec serial` and once with `--exec parallel` to measure
 //! the speedup on your machine. `snapshot` freezes fitted REMs into the
@@ -38,6 +42,8 @@ use aerorem::core::snapshot::RemSnapshot;
 use aerorem::mission::campaign::{Campaign, CampaignConfig};
 use aerorem::mission::csv;
 use aerorem::mission::plan::FleetPlan;
+use aerorem::ml::kriging::{KrigingConfig, OrdinaryKriging};
+use aerorem::ml::Regressor;
 use aerorem::propagation::ap::MacAddress;
 use aerorem::serve::{
     point_workload, Distribution, RemStore, Response, StoreConfig, WorkloadConfig,
@@ -266,6 +272,24 @@ fn report_recovery(inst: &Instrumentation) {
     );
 }
 
+/// Prints the kriging factor-cache hit rate when a variance fill ran
+/// (`RemGrid::generate_with_variance` records the counters).
+fn report_kriging_cache(inst: &Instrumentation) {
+    let (Some(hits), Some(misses)) = (
+        inst.counter("rem_krige_cache_hits"),
+        inst.counter("rem_krige_cache_misses"),
+    ) else {
+        return;
+    };
+    let total = hits + misses;
+    if total > 0 {
+        println!(
+            "kriging factor cache: {hits}/{total} solves hit ({:.1}%)",
+            hits as f64 / total as f64 * 100.0
+        );
+    }
+}
+
 /// Prints rows-per-second for the batched REM stages when both the stage
 /// timing and the row counter are present, along with the execution plan
 /// (worker count and effective chunk size) each stage actually ran under.
@@ -273,6 +297,7 @@ fn report_lattice_throughput(inst: &Instrumentation) {
     for (stage, counter) in [
         ("rem_encode", "rem_encode_rows"),
         ("rem_predict", "rem_predict_rows"),
+        ("rem_krige_predict", "rem_krige_predict_rows"),
     ] {
         if let Some(rate) = inst.throughput(stage, counter) {
             match inst.exec_plan(stage) {
@@ -285,11 +310,13 @@ fn report_lattice_throughput(inst: &Instrumentation) {
     }
 }
 
-fn fit_best_model(
+/// Preprocesses with the paper's retention filter, relaxing it for small
+/// sample files.
+fn preprocess_flexible(
     samples: &aerorem::mission::SampleSet,
 ) -> Result<
     (
-        Box<dyn aerorem::ml::Regressor>,
+        aerorem::ml::dataset::Dataset,
         aerorem::core::features::FeatureLayout,
     ),
     String,
@@ -304,6 +331,19 @@ fn fit_best_model(
             )
         })
         .map_err(|e| e.to_string())?;
+    Ok((data, layout))
+}
+
+fn fit_best_model(
+    samples: &aerorem::mission::SampleSet,
+) -> Result<
+    (
+        Box<dyn aerorem::ml::Regressor>,
+        aerorem::core::features::FeatureLayout,
+    ),
+    String,
+> {
+    let (data, layout) = preprocess_flexible(samples)?;
     let mut model = ModelKind::KnnScaled16
         .build(&layout)
         .map_err(|e| e.to_string())?;
@@ -315,33 +355,68 @@ fn map(flags: &Flags) -> Result<(), String> {
     let samples = load_samples(flags)?;
     let out = required(flags, "out")?;
     let resolution: f64 = flag(flags, "resolution", 0.25)?;
+    let policy: ExecPolicy = flag(flags, "exec", ExecPolicy::default())?;
     let mut inst = Instrumentation::new();
-    let (model, layout) = inst.time("fit_model", || fit_best_model(&samples))?;
-    let mac = match flags.get("mac") {
-        Some(m) => m
-            .parse::<MacAddress>()
-            .map_err(|e| e.to_string())?,
-        None => {
-            let mac = layout.macs()[0];
-            eprintln!("no --mac given; mapping {mac}");
-            mac
+    let pick_mac = |layout: &aerorem::core::features::FeatureLayout| -> Result<MacAddress, String> {
+        match flags.get("mac") {
+            Some(m) => m.parse::<MacAddress>().map_err(|e| e.to_string()),
+            None => {
+                let mac = layout.macs()[0];
+                eprintln!("no --mac given; mapping {mac}");
+                Ok(mac)
+            }
         }
     };
-    let grid = RemGrid::generate_instrumented(
-        model.as_ref(),
-        &layout,
-        Aabb::paper_volume(),
-        resolution,
-        mac,
-        ExecPolicy::default(),
-        &mut inst,
-    )
-    .map_err(|e| e.to_string())?;
+    let grid = if let Some(sigma_out) = flags.get("confidence") {
+        // Confidence needs an estimator with a variance model, so this
+        // branch maps with ordinary kriging instead of the kNN default
+        // and writes the kriging standard deviation as a second grid.
+        let (data, layout) = preprocess_flexible(&samples)?;
+        let model = inst
+            .time("fit_model", || {
+                let mut model = OrdinaryKriging::new(KrigingConfig::default());
+                model.fit(&data.x, &data.y).map(|()| model)
+            })
+            .map_err(|e| e.to_string())?;
+        let mac = pick_mac(&layout)?;
+        let (grid, sigma, _) = RemGrid::generate_with_variance(
+            &model,
+            &layout,
+            Aabb::paper_volume(),
+            resolution,
+            mac,
+            policy,
+            &mut inst,
+        )
+        .map_err(|e| e.to_string())?;
+        std::fs::write(sigma_out, sigma.to_csv())
+            .map_err(|e| format!("writing {sigma_out}: {e}"))?;
+        eprintln!(
+            "wrote kriging confidence of {mac} to {sigma_out} (sigma {:.1}..{:.1} dB)",
+            sigma.min_dbm(),
+            sigma.max_dbm()
+        );
+        grid
+    } else {
+        let (model, layout) = inst.time("fit_model", || fit_best_model(&samples))?;
+        let mac = pick_mac(&layout)?;
+        RemGrid::generate_instrumented(
+            model.as_ref(),
+            &layout,
+            Aabb::paper_volume(),
+            resolution,
+            mac,
+            policy,
+            &mut inst,
+        )
+        .map_err(|e| e.to_string())?
+    };
     inst.count("rem_voxels", grid.len() as u64);
     std::fs::write(out, grid.to_csv()).map_err(|e| format!("writing {out}: {e}"))?;
     let (nx, ny, nz) = grid.dims();
     eprintln!(
-        "wrote {nx}x{ny}x{nz} REM of {mac} to {out} ({:.1}..{:.1} dBm)",
+        "wrote {nx}x{ny}x{nz} REM of {} to {out} ({:.1}..{:.1} dBm)",
+        grid.mac(),
         grid.min_dbm(),
         grid.max_dbm()
     );
@@ -352,6 +427,7 @@ fn map(flags: &Flags) -> Result<(), String> {
     }
     eprint!("{}", inst.report());
     report_lattice_throughput(&inst);
+    report_kriging_cache(&inst);
     Ok(())
 }
 
@@ -534,6 +610,7 @@ fn usage(err: &str) -> ExitCode {
         "usage:\n  aerorem survey   [--seed N] [--waypoints 72] [--uavs 2] --out samples.csv\n  \
          aerorem evaluate --in samples.csv [--seed N] [--min-samples 16]\n  \
          aerorem map      --in samples.csv [--mac aa:bb:cc:dd:ee:ff] [--resolution 0.25] --out rem.csv\n  \
+         \u{20}                [--confidence sigma.csv] [--exec serial|parallel]\n  \
          aerorem coverage --in samples.csv [--threshold -75] [--radius 1.2]\n  \
          aerorem demo     [--seed N] [--exec serial|parallel]\n  \
          aerorem snapshot save --in samples.csv --out rem.snap [--resolution 0.25] [--aps 8]\n  \
