@@ -447,7 +447,7 @@ fn main() {
         })
         .collect();
     let store = RemStore::build(
-        &RemSnapshot::new(grids),
+        &RemSnapshot::new(grids).expect("serve snapshot"),
         StoreConfig {
             brick_edge: 8,
             shard_count: 4,
@@ -470,7 +470,7 @@ fn main() {
             let run = || {
                 let mut out = Vec::with_capacity(workload.len());
                 for slice in workload.chunks(batch) {
-                    out.extend(store.submit_batch(slice, policy));
+                    out.extend(store.submit_batch(slice, policy).expect("batch answers"));
                 }
                 out
             };

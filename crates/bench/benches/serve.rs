@@ -85,7 +85,7 @@ fn synthetic_snapshot(sizes: &Sizes) -> RemSnapshot {
             .expect("synthetic grid shape")
         })
         .collect();
-    RemSnapshot::new(grids)
+    RemSnapshot::new(grids).expect("synthetic snapshot is non-empty")
 }
 
 /// Runs the whole workload through `submit_batch` in `batch`-sized
@@ -93,7 +93,7 @@ fn synthetic_snapshot(sizes: &Sizes) -> RemSnapshot {
 fn drain(store: &RemStore, workload: &[Query], batch: usize, policy: ExecPolicy) -> Vec<Response> {
     let mut out = Vec::with_capacity(workload.len());
     for chunk in workload.chunks(batch) {
-        out.extend(store.submit_batch(chunk, policy));
+        out.extend(store.submit_batch(chunk, policy).expect("batch answers"));
     }
     out
 }

@@ -47,6 +47,11 @@ pub const GRID_HEADER_LEN: usize = 84;
 /// Typed failure modes of snapshot encode/decode/IO.
 #[derive(Debug)]
 pub enum SnapshotError {
+    /// The snapshot holds no grids. A zero-grid snapshot has nothing to
+    /// serve and used to slip through the codec all the way to
+    /// `RemStore::build`; it is now rejected at construction *and* at
+    /// decode, so a daemon can never hot-swap in an empty store.
+    Empty,
     /// The file does not start with [`MAGIC`].
     BadMagic {
         /// The 8 bytes actually found.
@@ -98,6 +103,9 @@ pub enum SnapshotError {
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SnapshotError::Empty => {
+                write!(f, "snapshot holds no grids (at least one is required)")
+            }
             SnapshotError::BadMagic { found } => {
                 write!(f, "not a REM snapshot: magic {found:02x?} != {MAGIC:02x?}")
             }
@@ -161,7 +169,7 @@ impl From<std::io::Error> for SnapshotError {
 /// # use aerorem_core::rem::RemGrid;
 /// # use aerorem_core::snapshot::RemSnapshot;
 /// # fn demo(grids: Vec<RemGrid>) -> Result<(), Box<dyn std::error::Error>> {
-/// let snap = RemSnapshot::new(grids);
+/// let snap = RemSnapshot::new(grids)?;
 /// snap.save("rem.snap")?;
 /// let loaded = RemSnapshot::load("rem.snap")?;
 /// assert_eq!(loaded, snap);
@@ -175,8 +183,18 @@ pub struct RemSnapshot {
 
 impl RemSnapshot {
     /// Wraps a set of grids (one per AP; order is preserved on disk).
-    pub fn new(grids: Vec<RemGrid>) -> Self {
-        RemSnapshot { grids }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Empty`] for a zero-grid set: a snapshot is
+    /// a serving artifact, and an empty one has nothing to serve. The
+    /// decoder enforces the same invariant, so the two paths into a
+    /// `RemSnapshot` agree.
+    pub fn new(grids: Vec<RemGrid>) -> Result<Self, SnapshotError> {
+        if grids.is_empty() {
+            return Err(SnapshotError::Empty);
+        }
+        Ok(RemSnapshot { grids })
     }
 
     /// The grids, in stored order.
@@ -194,7 +212,9 @@ impl RemSnapshot {
         self.grids.len()
     }
 
-    /// Whether the snapshot holds no grids.
+    /// Whether the snapshot holds no grids — always `false`, since both
+    /// [`RemSnapshot::new`] and the decoder reject zero-grid sets; kept
+    /// for container-API symmetry with [`RemSnapshot::len`].
     pub fn is_empty(&self) -> bool {
         self.grids.is_empty()
     }
@@ -251,8 +271,9 @@ impl RemSnapshot {
     /// Decodes format-v1 bytes back into a snapshot.
     ///
     /// Every structural invariant is checked before any field is trusted:
-    /// magic, version, endianness canary, per-grid header CRC, shape
-    /// consistency, volume validity, payload CRC, and exact input length.
+    /// magic, version, endianness canary, non-zero grid count, per-grid
+    /// header CRC, shape consistency, volume validity, payload CRC, and
+    /// exact input length.
     ///
     /// # Errors
     ///
@@ -275,6 +296,9 @@ impl RemSnapshot {
             return Err(SnapshotError::BadEndianTag { found: tag });
         }
         let grid_count = r.take_u32()?;
+        if grid_count == 0 {
+            return Err(SnapshotError::Empty);
+        }
 
         let mut grids = Vec::with_capacity(grid_count.min(1024) as usize);
         for grid_idx in 0..grid_count {
@@ -386,7 +410,8 @@ mod tests {
             synth_grid(1, (7, 5, 3)),
             synth_grid(2, (2, 2, 2)),
             synth_grid(3, (11, 1, 1)),
-        ]);
+        ])
+        .unwrap();
         let bytes = snap.to_bytes();
         let loaded = RemSnapshot::from_bytes(&bytes).unwrap();
         assert_eq!(loaded, snap);
@@ -410,24 +435,35 @@ mod tests {
             values,
         )
         .unwrap();
-        let snap = RemSnapshot::new(vec![grid]);
+        let snap = RemSnapshot::new(vec![grid]).unwrap();
         let loaded = RemSnapshot::from_bytes(&snap.to_bytes()).unwrap();
         assert_eq!(loaded.grids()[0].values()[3].to_bits(), weird.to_bits());
         assert_eq!(loaded.grids()[0].values()[5], f64::NEG_INFINITY);
     }
 
     #[test]
-    fn empty_snapshot_round_trips() {
-        let snap = RemSnapshot::new(vec![]);
-        assert!(snap.is_empty());
-        let bytes = snap.to_bytes();
+    fn zero_grid_snapshots_are_rejected() {
+        assert!(matches!(
+            RemSnapshot::new(vec![]),
+            Err(SnapshotError::Empty)
+        ));
+        // A hand-built v1 file header declaring zero grids must be refused
+        // at decode too, so a daemon can never hot-swap in an empty store.
+        let mut bytes = Vec::with_capacity(FILE_HEADER_LEN);
+        bytes.extend_from_slice(b"AREMSNAP");
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
         assert_eq!(bytes.len(), FILE_HEADER_LEN);
-        assert_eq!(RemSnapshot::from_bytes(&bytes).unwrap(), snap);
+        assert!(matches!(
+            RemSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::Empty)
+        ));
     }
 
     #[test]
     fn header_layout_matches_the_spec() {
-        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]).unwrap();
         let bytes = snap.to_bytes();
         assert_eq!(&bytes[0..8], b"AREMSNAP");
         assert_eq!(u16::from_le_bytes([bytes[8], bytes[9]]), FORMAT_VERSION);
@@ -447,7 +483,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]).unwrap();
         let mut bytes = snap.to_bytes();
         bytes[0] = b'X';
         match RemSnapshot::from_bytes(&bytes) {
@@ -458,7 +494,7 @@ mod tests {
 
     #[test]
     fn future_version_is_rejected_not_misparsed() {
-        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]).unwrap();
         let mut bytes = snap.to_bytes();
         bytes[8] = 2; // version := 2
         match RemSnapshot::from_bytes(&bytes) {
@@ -469,7 +505,7 @@ mod tests {
 
     #[test]
     fn byte_swapped_endian_tag_is_rejected() {
-        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]).unwrap();
         let mut bytes = snap.to_bytes();
         bytes.swap(10, 11); // now decodes LE as 0x3412
         match RemSnapshot::from_bytes(&bytes) {
@@ -480,7 +516,7 @@ mod tests {
 
     #[test]
     fn flipped_header_bit_is_caught_by_header_crc() {
-        let snap = RemSnapshot::new(vec![synth_grid(1, (3, 3, 3))]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (3, 3, 3))]).unwrap();
         let mut bytes = snap.to_bytes();
         bytes[FILE_HEADER_LEN + 3] ^= 0x01; // inside the MAC field
         match RemSnapshot::from_bytes(&bytes) {
@@ -491,7 +527,7 @@ mod tests {
 
     #[test]
     fn flipped_payload_bit_is_caught_by_payload_crc() {
-        let snap = RemSnapshot::new(vec![synth_grid(1, (3, 3, 3))]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (3, 3, 3))]).unwrap();
         let mut bytes = snap.to_bytes();
         let n = bytes.len();
         bytes[n - 1] ^= 0x80; // sign bit of the last voxel
@@ -503,7 +539,7 @@ mod tests {
 
     #[test]
     fn truncation_at_every_byte_is_a_typed_error() {
-        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 3, 2))]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 3, 2))]).unwrap();
         let bytes = snap.to_bytes();
         for cut in 0..bytes.len() {
             let err = RemSnapshot::from_bytes(&bytes[..cut])
@@ -517,7 +553,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (2, 2, 2))]).unwrap();
         let mut bytes = snap.to_bytes();
         bytes.push(0);
         match RemSnapshot::from_bytes(&bytes) {
@@ -531,7 +567,7 @@ mod tests {
         let dir = std::env::temp_dir().join("aerorem-snapshot-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.snap");
-        let snap = RemSnapshot::new(vec![synth_grid(7, (4, 4, 4))]);
+        let snap = RemSnapshot::new(vec![synth_grid(7, (4, 4, 4))]).unwrap();
         snap.save(&path).unwrap();
         let loaded = RemSnapshot::load(&path).unwrap();
         assert_eq!(loaded, snap);

@@ -28,6 +28,17 @@ pub enum CodecError {
         /// Bytes actually remaining.
         remaining: usize,
     },
+    /// A length-prefixed field declared more bytes than the caller's cap
+    /// allows — hostile inputs must fail *before* any allocation is sized
+    /// from the declared length.
+    OverlongField {
+        /// Byte offset of the length prefix.
+        offset: usize,
+        /// Length the prefix declared.
+        declared: usize,
+        /// Caller-supplied maximum.
+        max: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -41,6 +52,14 @@ impl fmt::Display for CodecError {
                 f,
                 "unexpected end of input at byte {offset}: field needs {wanted} bytes, \
                  {remaining} remain"
+            ),
+            CodecError::OverlongField {
+                offset,
+                declared,
+                max,
+            } => write!(
+                f,
+                "length prefix at byte {offset} declares {declared} bytes, cap is {max}"
             ),
         }
     }
@@ -121,6 +140,19 @@ impl ByteWriter {
     /// Appends raw bytes verbatim.
     pub fn put_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes themselves —
+    /// the variable-length-field convention of the wire protocol
+    /// (`docs/WIRE_FORMAT.md`). Pairs with [`ByteReader::take_len_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than `u32::MAX` (no real field is).
+    pub fn put_len_bytes(&mut self, bytes: &[u8]) {
+        let len = u32::try_from(bytes.len()).expect("length-prefixed field over 4 GiB");
+        self.put_u32(len);
+        self.put_bytes(bytes);
     }
 
     /// The accumulated buffer.
@@ -233,6 +265,30 @@ impl<'a> ByteReader<'a> {
     pub fn take_f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.take_u64()?))
     }
+
+    /// Takes a `u32`-length-prefixed byte field written by
+    /// [`ByteWriter::put_len_bytes`], enforcing a caller-supplied cap on
+    /// the declared length *before* any bytes are consumed or allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::OverlongField`] when the prefix declares more
+    /// than `max` bytes (the cursor is left on the prefix), or
+    /// [`CodecError::UnexpectedEof`] when the prefix or the declared bytes
+    /// run past the end of input.
+    pub fn take_len_bytes(&mut self, max: usize) -> Result<&'a [u8], CodecError> {
+        let offset = self.pos;
+        let declared = self.take_u32()? as usize;
+        if declared > max {
+            self.pos = offset; // leave the reader where the bad field began
+            return Err(CodecError::OverlongField {
+                offset,
+                declared,
+                max,
+            });
+        }
+        self.take_bytes(declared)
+    }
 }
 
 /// The standard CRC-32 lookup table (reflected polynomial `0xEDB88320`),
@@ -338,6 +394,52 @@ mod tests {
             let got = ByteReader::new(&bytes).take_f64().unwrap();
             assert_eq!(got.to_bits(), v.to_bits());
         }
+    }
+
+    #[test]
+    fn len_prefixed_fields_round_trip_and_enforce_the_cap() {
+        let mut w = ByteWriter::new();
+        w.put_len_bytes(b"hello");
+        w.put_len_bytes(b"");
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 4 + 5 + 4);
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_len_bytes(16).unwrap(), b"hello");
+        assert_eq!(r.take_len_bytes(16).unwrap(), b"");
+        assert!(r.is_empty());
+
+        // Cap violations fail before any allocation and leave the cursor
+        // on the offending prefix.
+        let mut r = ByteReader::new(&bytes);
+        let err = r.take_len_bytes(4).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::OverlongField {
+                offset: 0,
+                declared: 5,
+                max: 4
+            }
+        );
+        assert!(err.to_string().contains("cap is 4"));
+        assert_eq!(r.position(), 0);
+
+        // A hostile prefix declaring gigabytes is rejected by the cap, not
+        // by attempting the read.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let huge = w.into_bytes();
+        let err = ByteReader::new(&huge).take_len_bytes(1024).unwrap_err();
+        assert!(matches!(err, CodecError::OverlongField { declared, .. }
+            if declared == u32::MAX as usize));
+
+        // Within the cap but past end-of-input is a plain EOF.
+        let mut w = ByteWriter::new();
+        w.put_u32(12);
+        w.put_bytes(b"short");
+        let cut = w.into_bytes();
+        let err = ByteReader::new(&cut).take_len_bytes(64).unwrap_err();
+        assert!(matches!(err, CodecError::UnexpectedEof { wanted: 12, .. }));
     }
 
     #[test]

@@ -16,10 +16,55 @@
 //! `ExecPolicy::Parallel` produce identical batches (test-enforced, and
 //! re-checked by the `serve` bench on every run).
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+
 use aerorem_numerics::ExecPolicy;
 
 use crate::query::{Query, Response};
 use crate::store::RemStore;
+
+/// Failure answering one batch. The batch is lost but the store — and any
+/// daemon serving it — stays alive and keeps answering later batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A worker panicked mid-batch; carries the panic message when the
+    /// payload was a string, a placeholder otherwise.
+    WorkerPanic(String),
+    /// A response slot was never filled: the routing invariant (every
+    /// query assigned to exactly one worker) broke.
+    MissingResponse {
+        /// Batch slot whose response went missing.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::WorkerPanic(msg) => {
+                write!(f, "a serve worker panicked while answering: {msg}")
+            }
+            ServeError::MissingResponse { slot } => {
+                write!(f, "no worker produced a response for batch slot {slot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Minimum queries per shard before the parallel arm pays for itself.
 ///
@@ -62,7 +107,17 @@ impl RemStore {
     /// thread spawn/join overhead would exceed the query work. Otherwise
     /// one scoped worker thread per available core drains its routed share
     /// of the batch. All arms return bit-identical responses.
-    pub fn submit_batch(&self, queries: &[Query], policy: ExecPolicy) -> Vec<Response> {
+    ///
+    /// # Errors
+    ///
+    /// A panic inside [`RemStore::answer`] — on any worker, in any arm —
+    /// is caught and surfaced as [`ServeError::WorkerPanic`]: that batch
+    /// fails, the process does not. The store stays usable afterwards.
+    pub fn submit_batch(
+        &self,
+        queries: &[Query],
+        policy: ExecPolicy,
+    ) -> Result<Vec<Response>, ServeError> {
         let workers = match policy {
             ExecPolicy::Serial => 1,
             ExecPolicy::Parallel if !self.parallel_worthwhile(queries.len()) => 1,
@@ -71,7 +126,10 @@ impl RemStore {
         .min(queries.len())
         .max(1);
         if workers == 1 {
-            return queries.iter().map(|q| self.answer(q)).collect();
+            return panic::catch_unwind(AssertUnwindSafe(|| {
+                queries.iter().map(|q| self.answer(q)).collect()
+            }))
+            .map_err(|payload| ServeError::WorkerPanic(panic_message(payload.as_ref())));
         }
 
         let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
@@ -80,7 +138,7 @@ impl RemStore {
         }
 
         let mut results: Vec<Option<Response>> = vec![None; queries.len()];
-        let worker_outputs = crossbeam::thread::scope(|scope| {
+        let joined = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = assignment
                 .iter()
                 .map(|slots| {
@@ -92,20 +150,22 @@ impl RemStore {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("serve worker panicked"))
-                .collect::<Vec<_>>()
+            // Join every handle so a panicking worker cannot leak into the
+            // scope teardown; panics surface here as per-handle Errs.
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         })
-        .expect("serve scope panicked");
-        for output in worker_outputs {
+        .map_err(|payload| ServeError::WorkerPanic(panic_message(payload.as_ref())))?;
+        for join in joined {
+            let output = join
+                .map_err(|payload| ServeError::WorkerPanic(panic_message(payload.as_ref())))?;
             for (slot, response) in output {
                 results[slot] = Some(response);
             }
         }
         results
             .into_iter()
-            .map(|r| r.expect("every slot routed to exactly one worker"))
+            .enumerate()
+            .map(|(slot, r)| r.ok_or(ServeError::MissingResponse { slot }))
             .collect()
     }
 }
@@ -137,7 +197,7 @@ mod tests {
             })
             .collect();
         RemStore::build(
-            &RemSnapshot::new(grids),
+            &RemSnapshot::new(grids).unwrap(),
             StoreConfig {
                 brick_edge: 4,
                 shard_count: 3,
@@ -178,7 +238,7 @@ mod tests {
     fn batch_answers_match_one_at_a_time() {
         let store = store();
         let batch = mixed_batch(&store);
-        let batched = store.submit_batch(&batch, ExecPolicy::Serial);
+        let batched = store.submit_batch(&batch, ExecPolicy::Serial).unwrap();
         let singly: Vec<Response> = batch.iter().map(|q| store.answer(q)).collect();
         assert_eq!(batched, singly);
     }
@@ -187,16 +247,16 @@ mod tests {
     fn serial_and_parallel_batches_are_bit_identical() {
         let store = store();
         let batch = mixed_batch(&store);
-        let serial = store.submit_batch(&batch, ExecPolicy::Serial);
-        let parallel = store.submit_batch(&batch, ExecPolicy::Parallel);
+        let serial = store.submit_batch(&batch, ExecPolicy::Serial).unwrap();
+        let parallel = store.submit_batch(&batch, ExecPolicy::Parallel).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn empty_batch_is_fine() {
         let store = store();
-        assert!(store.submit_batch(&[], ExecPolicy::Parallel).is_empty());
-        assert!(store.submit_batch(&[], ExecPolicy::Serial).is_empty());
+        assert!(store.submit_batch(&[], ExecPolicy::Parallel).unwrap().is_empty());
+        assert!(store.submit_batch(&[], ExecPolicy::Serial).unwrap().is_empty());
     }
 
     #[test]
@@ -216,9 +276,36 @@ mod tests {
         let batch = mixed_batch(&store);
         assert!(batch.len() < crossover);
         assert_eq!(
-            store.submit_batch(&batch, ExecPolicy::Parallel),
-            store.submit_batch(&batch, ExecPolicy::Serial),
+            store.submit_batch(&batch, ExecPolicy::Parallel).unwrap(),
+            store.submit_batch(&batch, ExecPolicy::Serial).unwrap(),
         );
+    }
+
+    #[test]
+    fn a_panicking_worker_fails_the_batch_not_the_process() {
+        let mut store = store();
+        store.panic_mac = Some(MacAddress::from_index(2));
+        let batch = mixed_batch(&store); // names AP 2 via BoxStats at least
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+            let err = store.submit_batch(&batch, policy).unwrap_err();
+            assert!(
+                matches!(err, ServeError::WorkerPanic(ref msg) if msg.contains("poisoned AP")),
+                "unexpected error under {policy}: {err}"
+            );
+        }
+        // The store survives the failed batch: queries that avoid the
+        // poisoned AP still answer, so a daemon holding this store lives on.
+        let safe = vec![
+            Query::BestAp {
+                pos: Vec3::new(1.0, 1.0, 1.0),
+            },
+            Query::Point {
+                pos: Vec3::new(1.0, 1.0, 1.0),
+                ap: MacAddress::from_index(1),
+            },
+        ];
+        let responses = store.submit_batch(&safe, ExecPolicy::Serial).unwrap();
+        assert_eq!(responses.len(), 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!     ├─ bricked shards      — point / best-AP lookups, shard-affine
 //!     └─ per-AP octrees      — box stats / coverage isosurfaces
 //!     ▼
-//! RemStore::submit_batch(&[Query], ExecPolicy) → Vec<Response>
+//! RemStore::submit_batch(&[Query], ExecPolicy) → Result<Vec<Response>, ServeError>
 //! ```
 //!
 //! Batches answer under either [`ExecPolicy`] arm with bit-identical
@@ -35,13 +35,14 @@
 //!     (8, 8, 4),
 //!     (0..256).map(|i| -40.0 - (i % 30) as f64).collect(),
 //! ).unwrap();
-//! let store = RemStore::build(&RemSnapshot::new(vec![grid]), StoreConfig::default()).unwrap();
+//! let snap = RemSnapshot::new(vec![grid]).unwrap();
+//! let store = RemStore::build(&snap, StoreConfig::default()).unwrap();
 //!
 //! let queries = [
 //!     Query::Point { pos: Vec3::new(1.0, 1.0, 1.0), ap: MacAddress::from_index(1) },
 //!     Query::BestAp { pos: Vec3::new(2.0, 2.0, 1.5) },
 //! ];
-//! let responses = store.submit_batch(&queries, ExecPolicy::Serial);
+//! let responses = store.submit_batch(&queries, ExecPolicy::Serial).unwrap();
 //! assert!(matches!(responses[0], Response::Value(Some(_))));
 //! assert!(matches!(responses[1], Response::Best(Some(_))));
 //! ```
@@ -49,12 +50,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod daemon;
 mod engine;
 pub mod query;
 pub mod store;
+pub mod wire;
 pub mod workload;
 
 pub use aerorem_numerics::ExecPolicy;
+pub use client::{ClientError, WireClient};
+pub use daemon::{Daemon, DaemonConfig, Listener, ServerHandle};
+pub use engine::{ServeError, SERVE_MIN_QUERIES_PER_SHARD};
 pub use query::{Query, Response};
 pub use store::{RemStore, StoreConfig, StoreError};
+pub use wire::{Frame, FrameKind, Message, WireError};
 pub use workload::{point_workload, Distribution, WorkloadConfig};

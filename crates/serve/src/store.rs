@@ -108,9 +108,10 @@ struct Shard {
 ///     (8, 8, 4),
 ///     (0..256).map(|i| -40.0 - (i % 30) as f64).collect(),
 /// ).unwrap();
-/// let store = RemStore::build(&RemSnapshot::new(vec![grid]), StoreConfig::default()).unwrap();
+/// let snap = RemSnapshot::new(vec![grid]).unwrap();
+/// let store = RemStore::build(&snap, StoreConfig::default()).unwrap();
 /// let q = Query::Point { pos: Vec3::new(1.0, 1.0, 1.0), ap: MacAddress::from_index(1) };
-/// let resp = store.submit_batch(&[q], ExecPolicy::Serial);
+/// let resp = store.submit_batch(&[q], ExecPolicy::Serial).unwrap();
 /// assert_eq!(resp.len(), 1);
 /// ```
 #[derive(Debug, Clone)]
@@ -126,6 +127,10 @@ pub struct RemStore {
     brick_edge: usize,
     /// Brick-grid dimensions (bricks per axis).
     brick_dims: (usize, usize, usize),
+    /// Test hook: queries naming this AP panic inside [`RemStore::answer`],
+    /// letting tests prove a worker panic fails the batch, not the process.
+    #[cfg(test)]
+    pub(crate) panic_mac: Option<MacAddress>,
 }
 
 impl RemStore {
@@ -211,6 +216,8 @@ impl RemStore {
             shards,
             brick_edge: b,
             brick_dims,
+            #[cfg(test)]
+            panic_mac: None,
         })
     }
 
@@ -316,6 +323,18 @@ impl RemStore {
     /// store and the query — the batch engine relies on that to scatter
     /// work across workers without changing any answer.
     pub fn answer(&self, query: &Query) -> Response {
+        #[cfg(test)]
+        {
+            let named = match *query {
+                Query::Point { ap, .. }
+                | Query::BoxStats { ap, .. }
+                | Query::Coverage { ap, .. } => Some(ap),
+                Query::BestAp { .. } => None,
+            };
+            if named.is_some() && named == self.panic_mac {
+                panic!("test hook: query named the poisoned AP");
+            }
+        }
         match *query {
             Query::Point { pos, ap } => Response::Value(self.point(pos, ap)),
             Query::BestAp { pos } => Response::Best(self.best_ap(pos)),
@@ -360,27 +379,28 @@ mod tests {
         let snap = RemSnapshot::new(vec![
             synth_grid(2, (13, 11, 7), 5.0),
             synth_grid(1, (13, 11, 7), 0.0),
-        ]);
+        ])
+        .unwrap();
         RemStore::build(&snap, config).unwrap()
     }
 
     #[test]
     fn build_validates_inputs() {
-        let err = RemStore::build(&RemSnapshot::new(vec![]), StoreConfig::default()).unwrap_err();
-        assert_eq!(err, StoreError::EmptySnapshot);
         let mismatched = RemSnapshot::new(vec![
             synth_grid(1, (4, 4, 4), 0.0),
             synth_grid(2, (5, 4, 4), 0.0),
-        ]);
+        ])
+        .unwrap();
         let err = RemStore::build(&mismatched, StoreConfig::default()).unwrap_err();
         assert_eq!(err, StoreError::MismatchedGrid { index: 1 });
         let dup = RemSnapshot::new(vec![
             synth_grid(1, (4, 4, 4), 0.0),
             synth_grid(1, (4, 4, 4), 3.0),
-        ]);
+        ])
+        .unwrap();
         let err = RemStore::build(&dup, StoreConfig::default()).unwrap_err();
         assert_eq!(err, StoreError::DuplicateMac(MacAddress::from_index(1)));
-        let snap = RemSnapshot::new(vec![synth_grid(1, (4, 4, 4), 0.0)]);
+        let snap = RemSnapshot::new(vec![synth_grid(1, (4, 4, 4), 0.0)]).unwrap();
         let err = RemStore::build(
             &snap,
             StoreConfig {

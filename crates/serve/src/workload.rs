@@ -176,7 +176,7 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        RemStore::build(&RemSnapshot::new(grids), StoreConfig::default()).unwrap()
+        RemStore::build(&RemSnapshot::new(grids).unwrap(), StoreConfig::default()).unwrap()
     }
 
     #[test]

@@ -1,6 +1,6 @@
 # Mirrors the Makefile; use whichever runner you have installed.
 
-check: build lint test doc clippy bench-build bench-check faults-check serve-check
+check: build lint test doc clippy bench-build bench-check faults-check serve-check serve-net-check
 
 build:
     cargo build --release
@@ -43,9 +43,19 @@ serve-check:
     cargo test -q -p aerorem-serve --no-default-features
     AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench serve
 
+# Network serving gate (PR 9): the wire codec property tests, the
+# end-to-end daemon tests (UDS + TCP loopback: query bit-identity,
+# hot-swap, namespaces, shutdown — both ExecPolicy arms), and a
+# smoke-sized run of the wire bench; BENCH_6.json is left alone.
+serve-net-check:
+    cargo test -q --test wire --test serve_net
+    cargo test -q --no-default-features --test wire --test serve_net
+    AEROREM_BENCH_SMOKE=1 cargo bench -q -p aerorem-bench --bench wire
+
 # Regenerates the committed bench artifacts at full size: BENCH_2.json
 # (lattice fill), BENCH_3.json (training + campaign + serving),
-# BENCH_4.json (executor scaling), and BENCH_5.json (kriging hot path).
+# BENCH_4.json (executor scaling), BENCH_5.json (kriging hot path), and
+# BENCH_6.json (wire serving).
 bench:
     cargo bench -p aerorem-bench --bench rem_lattice
     cargo bench -p aerorem-bench --bench train_select
@@ -53,11 +63,12 @@ bench:
     cargo bench -p aerorem-bench --bench serve
     cargo bench -p aerorem-bench --bench scaling
     cargo bench -p aerorem-bench --bench kriging_fill
+    cargo bench -p aerorem-bench --bench wire
 
-# Gates fresh BENCH_3.json / BENCH_4.json / BENCH_5.json stage times
-# against the committed baselines (>25 % wall-time regressions fail) and
-# each stage's parallel arm against its serial pair (parallel must never
-# lose; see scripts/bench_diff).
+# Gates fresh BENCH_3.json / BENCH_4.json / BENCH_5.json / BENCH_6.json stage
+# times against the committed baselines (>25 % wall-time regressions fail)
+# and each stage's parallel arm against its serial pair (parallel must
+# never lose; see scripts/bench_diff).
 bench-diff:
     ./scripts/bench_diff
 

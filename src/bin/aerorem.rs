@@ -11,6 +11,10 @@
 //! aerorem snapshot load --in rem.snap
 //! aerorem serve-bench [--in rem.snap] [--queries 200000] [--shards 4] [--batch 8192]
 //!                     [--dist zipfian|uniform] [--seed N] [--exec serial|parallel]
+//! aerorem serve    --in rem.snap (--tcp ADDR | --uds PATH) [--name default]
+//!                  [--exec serial|parallel] [--shards 4] [--brick 8]
+//! aerorem serve-client <point|best|stats|coverage|namespaces|load|shutdown>
+//!                  (--tcp ADDR | --uds PATH) [--namespace 0] ...
 //! ```
 //!
 //! `survey` runs the simulated campaign and writes the collected samples;
@@ -25,6 +29,12 @@
 //! versioned binary format of `docs/SNAPSHOT_FORMAT.md` (and inspects
 //! such files); `serve-bench` drives a seeded point-query workload
 //! through the sharded `aerorem-serve` store and reports queries/s.
+//! `serve` exposes a snapshot over the wire protocol of
+//! `docs/WIRE_FORMAT.md` (TCP and/or Unix-domain sockets, hot-swappable
+//! via `serve-client load`), and `serve-client` is the matching one-shot
+//! query tool — `point` reads one voxel, `best` picks the strongest AP,
+//! `stats`/`coverage` aggregate, `namespaces` lists what the daemon
+//! serves, and `shutdown` stops it cleanly.
 
 #![forbid(unsafe_code)]
 
@@ -46,9 +56,10 @@ use aerorem::ml::kriging::{KrigingConfig, OrdinaryKriging};
 use aerorem::ml::Regressor;
 use aerorem::propagation::ap::MacAddress;
 use aerorem::serve::{
-    point_workload, Distribution, RemStore, Response, StoreConfig, WorkloadConfig,
+    point_workload, Daemon, DaemonConfig, Distribution, Listener, Query, RemStore, Response,
+    StoreConfig, WireClient, WorkloadConfig,
 };
-use aerorem::spatial::Aabb;
+use aerorem::spatial::{Aabb, Vec3};
 use rand::SeedableRng;
 
 fn main() -> ExitCode {
@@ -56,12 +67,21 @@ fn main() -> ExitCode {
     let Some((command, rest)) = args.split_first() else {
         return usage("no command given");
     };
-    // `snapshot` carries a save/load subcommand before its flags; peel it
-    // off so the generic flag parser sees only `--key value` pairs.
-    let (subcommand, rest) = if command == "snapshot" {
+    // `snapshot` and `serve-client` carry a subcommand before their
+    // flags; peel it off so the generic flag parser sees only
+    // `--key value` pairs.
+    let (subcommand, rest) = if command == "snapshot" || command == "serve-client" {
         match rest.split_first() {
             Some((sub, tail)) => (Some(sub.as_str()), tail),
-            None => return usage("snapshot needs a subcommand: save|load"),
+            None if command == "snapshot" => {
+                return usage("snapshot needs a subcommand: save|load")
+            }
+            None => {
+                return usage(
+                    "serve-client needs a subcommand: \
+                     point|best|stats|coverage|namespaces|load|shutdown",
+                )
+            }
         }
     } else {
         (None, rest)
@@ -82,6 +102,8 @@ fn main() -> ExitCode {
             return usage(&format!("unknown snapshot subcommand {other:?} (save|load)"))
         }
         ("serve-bench", _) => serve_bench(&flags),
+        ("serve", _) => serve(&flags),
+        ("serve-client", Some(sub)) => serve_client(sub, &flags),
         (other, _) => return usage(&format!("unknown command {other:?}")),
     };
     match result {
@@ -105,7 +127,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!(
+                "--{key} given more than once; every flag takes exactly one value"
+            ));
+        }
         i += 2;
     }
     Ok(flags)
@@ -477,7 +503,7 @@ fn snapshot_save(flags: &Flags) -> Result<(), String> {
                 .collect::<Result<_, _>>()
         })
         .map_err(|e| e.to_string())?;
-    let snap = RemSnapshot::new(grids);
+    let snap = RemSnapshot::new(grids).map_err(|e| e.to_string())?;
     inst.time("encode_save", || snap.save(out))
         .map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
@@ -556,17 +582,19 @@ fn serve_bench(flags: &Flags) -> Result<(), String> {
             },
         )
     });
-    let hits = inst.time("serve", || {
-        let mut hits = 0usize;
-        for chunk in workload.chunks(batch) {
-            for r in store.submit_batch(chunk, policy) {
-                if matches!(r, Response::Value(Some(_))) {
-                    hits += 1;
+    let hits = inst
+        .time("serve", || {
+            let mut hits = 0usize;
+            for chunk in workload.chunks(batch) {
+                for r in store.submit_batch(chunk, policy)? {
+                    if matches!(r, Response::Value(Some(_))) {
+                        hits += 1;
+                    }
                 }
             }
-        }
-        hits
-    });
+            Ok::<usize, aerorem_serve::ServeError>(hits)
+        })
+        .map_err(|e| e.to_string())?;
     inst.count("queries", queries as u64);
     eprintln!(
         "{} store: {} cells x {} APs, {} shard(s), brick edge {}",
@@ -601,7 +629,195 @@ fn synthetic_snapshot() -> RemSnapshot {
                 .expect("synthetic grid shape")
         })
         .collect();
-    RemSnapshot::new(grids)
+    RemSnapshot::new(grids).expect("synthetic snapshot is non-empty")
+}
+
+fn serve(flags: &Flags) -> Result<(), String> {
+    let input = required(flags, "in")?;
+    let name = flags.get("name").map(String::as_str).unwrap_or("default");
+    let policy: ExecPolicy = flag(flags, "exec", ExecPolicy::default())?;
+    let shards: usize = flag(flags, "shards", 4)?;
+    let brick: usize = flag(flags, "brick", 8)?;
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let daemon = Daemon::new(DaemonConfig {
+        policy,
+        store: StoreConfig {
+            brick_edge: brick,
+            shard_count: shards,
+        },
+    });
+    let info = daemon.load(name, &bytes).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {input} as namespace {name:?} (id {}, generation {}, {} APs, {} cells), exec {policy}",
+        info.namespace, info.generation, info.aps, info.cells
+    );
+    let mut listeners = Vec::new();
+    if let Some(addr) = flags.get("tcp") {
+        let l = Listener::bind_tcp(addr).map_err(|e| format!("binding tcp {addr}: {e}"))?;
+        listeners.push(l);
+    }
+    if let Some(path) = flags.get("uds") {
+        #[cfg(unix)]
+        {
+            let l = Listener::bind_uds(path).map_err(|e| format!("binding uds {path}: {e}"))?;
+            listeners.push(l);
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err("unix-domain sockets are not supported on this platform".into());
+        }
+    }
+    if listeners.is_empty() {
+        return Err("serve needs at least one of --tcp ADDR or --uds PATH".into());
+    }
+    // One parseable line per endpoint on stdout, flushed before serving,
+    // so a parent process (tests, scripts) can discover ephemeral ports.
+    for l in &listeners {
+        println!("listening on {}", l.endpoint());
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    daemon.start(listeners).join();
+    eprintln!("daemon stopped");
+    Ok(())
+}
+
+fn parse_vec3(s: &str) -> Result<Vec3, String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("expected x,y,z coordinates, found {s:?}"));
+    }
+    let mut v = [0.0f64; 3];
+    for (slot, part) in v.iter_mut().zip(&parts) {
+        *slot = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad coordinate {part:?} in {s:?}"))?;
+    }
+    Ok(Vec3::new(v[0], v[1], v[2]))
+}
+
+fn connect_client(flags: &Flags) -> Result<WireClient, String> {
+    match (flags.get("tcp"), flags.get("uds")) {
+        (Some(addr), None) => WireClient::connect_tcp(addr)
+            .map_err(|e| format!("connecting to tcp {addr}: {e}")),
+        (None, Some(path)) => {
+            #[cfg(unix)]
+            {
+                WireClient::connect_uds(path).map_err(|e| format!("connecting to uds {path}: {e}"))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err("unix-domain sockets are not supported on this platform".into())
+            }
+        }
+        (Some(_), Some(_)) => Err("give exactly one of --tcp or --uds".into()),
+        (None, None) => Err("serve-client needs --tcp ADDR or --uds PATH".into()),
+    }
+}
+
+fn serve_client(sub: &str, flags: &Flags) -> Result<(), String> {
+    let mut client = connect_client(flags)?;
+    let namespace: u32 = flag(flags, "namespace", 0)?;
+    let one = |client: &mut WireClient, q: Query| -> Result<(u64, Response), String> {
+        let (generation, mut responses) =
+            client.query(namespace, &[q]).map_err(|e| e.to_string())?;
+        let response = responses.pop().ok_or("server sent an empty response batch")?;
+        Ok((generation, response))
+    };
+    match sub {
+        "point" => {
+            let pos = parse_vec3(required(flags, "at")?)?;
+            let ap: MacAddress = required(flags, "mac")?
+                .parse()
+                .map_err(|_| "bad --mac: expected aa:bb:cc:dd:ee:ff".to_string())?;
+            let (generation, response) = one(&mut client, Query::Point { pos, ap })?;
+            eprintln!("generation {generation}");
+            match response {
+                Response::Value(Some(v)) => println!("value {v:?}"),
+                Response::Value(None) => println!("value none"),
+                other => return Err(format!("mismatched response {other:?}")),
+            }
+        }
+        "best" => {
+            let pos = parse_vec3(required(flags, "at")?)?;
+            let (generation, response) = one(&mut client, Query::BestAp { pos })?;
+            eprintln!("generation {generation}");
+            match response {
+                Response::Best(Some((mac, v))) => println!("best {mac} {v:?}"),
+                Response::Best(None) => println!("best none"),
+                other => return Err(format!("mismatched response {other:?}")),
+            }
+        }
+        "stats" => {
+            let min = parse_vec3(required(flags, "min")?)?;
+            let max = parse_vec3(required(flags, "max")?)?;
+            let ap: MacAddress = required(flags, "mac")?
+                .parse()
+                .map_err(|_| "bad --mac: expected aa:bb:cc:dd:ee:ff".to_string())?;
+            let region = Aabb::new(min, max)
+                .ok_or("--min/--max must have positive extent on every axis")?;
+            let (generation, response) = one(&mut client, Query::BoxStats { region, ap })?;
+            eprintln!("generation {generation}");
+            match response {
+                Response::Stats(s) => println!(
+                    "stats count {} min {:?} max {:?} mean {:?}",
+                    s.count,
+                    s.min,
+                    s.max,
+                    s.mean()
+                ),
+                other => return Err(format!("mismatched response {other:?}")),
+            }
+        }
+        "coverage" => {
+            let threshold_dbm: f64 = flag(flags, "threshold", -75.0)?;
+            let ap: MacAddress = required(flags, "mac")?
+                .parse()
+                .map_err(|_| "bad --mac: expected aa:bb:cc:dd:ee:ff".to_string())?;
+            let (generation, response) = one(&mut client, Query::Coverage { threshold_dbm, ap })?;
+            eprintln!("generation {generation}");
+            match response {
+                Response::Covered { cells, fraction } => {
+                    println!("covered {cells} cells, fraction {fraction:?}")
+                }
+                other => return Err(format!("mismatched response {other:?}")),
+            }
+        }
+        "namespaces" => {
+            let namespaces = client.list().map_err(|e| e.to_string())?;
+            println!("{} namespace(s)", namespaces.len());
+            for ns in namespaces {
+                println!(
+                    "{} {:?} generation {} aps {} cells {}",
+                    ns.id, ns.name, ns.generation, ns.aps, ns.cells
+                );
+            }
+        }
+        "load" => {
+            let input = required(flags, "in")?;
+            let name = flags.get("name").map(String::as_str).unwrap_or("default");
+            let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+            let info = client.load(name, &bytes).map_err(|e| e.to_string())?;
+            println!(
+                "loaded {name:?} as namespace {} generation {} ({} APs, {} cells)",
+                info.namespace, info.generation, info.aps, info.cells
+            );
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("daemon acknowledged shutdown");
+        }
+        other => {
+            return Err(format!(
+                "unknown serve-client subcommand {other:?} \
+                 (point|best|stats|coverage|namespaces|load|shutdown)"
+            ))
+        }
+    }
+    Ok(())
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -616,7 +832,16 @@ fn usage(err: &str) -> ExitCode {
          aerorem snapshot save --in samples.csv --out rem.snap [--resolution 0.25] [--aps 8]\n  \
          aerorem snapshot load --in rem.snap\n  \
          aerorem serve-bench [--in rem.snap] [--queries 200000] [--shards 4] [--batch 8192]\n  \
-         \u{20}                   [--dist zipfian|uniform] [--seed N] [--exec serial|parallel]"
+         \u{20}                   [--dist zipfian|uniform] [--seed N] [--exec serial|parallel]\n  \
+         aerorem serve    --in rem.snap (--tcp ADDR | --uds PATH) [--name default]\n  \
+         \u{20}                [--exec serial|parallel] [--shards 4] [--brick 8]\n  \
+         aerorem serve-client <point|best|stats|coverage|namespaces|load|shutdown>\n  \
+         \u{20}                (--tcp ADDR | --uds PATH) [--namespace 0] ...\n  \
+         \u{20}                point:    --at x,y,z --mac aa:bb:cc:dd:ee:ff\n  \
+         \u{20}                best:     --at x,y,z\n  \
+         \u{20}                stats:    --min x,y,z --max x,y,z --mac MAC\n  \
+         \u{20}                coverage: --mac MAC [--threshold -75]\n  \
+         \u{20}                load:     --in rem.snap [--name default]"
     );
     ExitCode::from(2)
 }

@@ -1,0 +1,284 @@
+//! End-to-end tests for the serving daemon: a real wire round trip over
+//! TCP loopback and Unix-domain sockets, checked bit-identical against
+//! the in-process `RemStore` answers, plus hot-swap, multi-namespace,
+//! unknown-namespace, and shutdown behaviour under both [`ExecPolicy`]
+//! arms.
+
+use aerorem::core::rem::RemGrid;
+use aerorem::core::snapshot::RemSnapshot;
+use aerorem::propagation::ap::MacAddress;
+use aerorem::serve::wire::ErrorCode;
+use aerorem::serve::{
+    Daemon, DaemonConfig, ExecPolicy, Listener, Query, RemStore, Response, StoreConfig, WireClient,
+    ClientError,
+};
+use aerorem::spatial::{Aabb, Vec3};
+
+/// A deterministic multi-AP snapshot; `bias` shifts every sample so two
+/// calls with different biases produce stores with different answers.
+fn synthetic_snapshot(aps: u32, bias: f64) -> RemSnapshot {
+    let grids = (0..aps)
+        .map(|a| {
+            let values = (0..256)
+                .map(|i| -35.0 - ((i + 7 * a as usize) % 40) as f64 - bias)
+                .collect();
+            RemGrid::from_parts(
+                MacAddress::from_index(a + 1),
+                Aabb::paper_volume(),
+                (8, 8, 4),
+                values,
+            )
+            .expect("synthetic grid is well-formed")
+        })
+        .collect();
+    RemSnapshot::new(grids).expect("synthetic snapshot is non-empty")
+}
+
+/// A mixed query batch that exercises all four query kinds inside the
+/// paper volume.
+fn mixed_queries() -> Vec<Query> {
+    let vol = Aabb::paper_volume();
+    let span = vol.max() - vol.min();
+    let at = |fx: f64, fy: f64, fz: f64| {
+        Vec3::new(
+            vol.min().x + span.x * fx,
+            vol.min().y + span.y * fy,
+            vol.min().z + span.z * fz,
+        )
+    };
+    vec![
+        Query::Point {
+            pos: at(0.25, 0.25, 0.5),
+            ap: MacAddress::from_index(1),
+        },
+        Query::Point {
+            pos: at(0.8, 0.1, 0.3),
+            ap: MacAddress::from_index(2),
+        },
+        Query::BestAp {
+            pos: at(0.5, 0.5, 0.5),
+        },
+        Query::BoxStats {
+            region: Aabb::new(at(0.1, 0.1, 0.1), at(0.6, 0.7, 0.9)).expect("positive extent"),
+            ap: MacAddress::from_index(1),
+        },
+        Query::Coverage {
+            threshold_dbm: -60.0,
+            ap: MacAddress::from_index(2),
+        },
+        // Out of volume: must round-trip as a miss, not an error.
+        Query::Point {
+            pos: Vec3::new(-1000.0, -1000.0, -1000.0),
+            ap: MacAddress::from_index(1),
+        },
+    ]
+}
+
+/// Compares at the bit level: a response that crossed the wire must be
+/// indistinguishable from the in-process one, including float payloads.
+fn assert_bit_identical(wire: &[Response], local: &[Response]) {
+    assert_eq!(wire.len(), local.len());
+    for (i, (w, l)) in wire.iter().zip(local).enumerate() {
+        let same = match (w, l) {
+            (Response::Value(a), Response::Value(b)) => {
+                a.map(f64::to_bits) == b.map(f64::to_bits)
+            }
+            (Response::Best(a), Response::Best(b)) => {
+                a.map(|(m, x)| (m, x.to_bits())) == b.map(|(m, x)| (m, x.to_bits()))
+            }
+            (Response::Stats(a), Response::Stats(b)) => {
+                a.min.to_bits() == b.min.to_bits()
+                    && a.max.to_bits() == b.max.to_bits()
+                    && a.sum.to_bits() == b.sum.to_bits()
+                    && a.count == b.count
+            }
+            (
+                Response::Covered { cells: ac, fraction: af },
+                Response::Covered { cells: bc, fraction: bf },
+            ) => ac == bc && af.to_bits() == bf.to_bits(),
+            _ => false,
+        };
+        assert!(same, "response {i} differs across the wire: {w:?} vs {l:?}");
+    }
+}
+
+/// A short, unique Unix socket path (UDS paths have a ~100 byte limit,
+/// so `TMPDIR`-based tempfile paths are risky).
+fn uds_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("aerorem-{}-{tag}.sock", std::process::id()))
+}
+
+fn start_daemon(policy: ExecPolicy, snapshot: &RemSnapshot) -> (Daemon, aerorem::serve::ServerHandle, String, std::path::PathBuf) {
+    let config = DaemonConfig {
+        policy,
+        store: StoreConfig::default(),
+    };
+    let daemon = Daemon::new(config);
+    daemon
+        .load("default", &snapshot.to_bytes())
+        .expect("synthetic snapshot loads");
+    let tcp = Listener::bind_tcp("127.0.0.1:0").expect("bind tcp loopback");
+    let tcp_addr = tcp
+        .endpoint()
+        .strip_prefix("tcp ")
+        .expect("tcp endpoint")
+        .to_string();
+    let sock = uds_path(match policy {
+        ExecPolicy::Serial => "serial",
+        ExecPolicy::Parallel => "parallel",
+    });
+    let uds = Listener::bind_uds(&sock).expect("bind uds");
+    let handle = daemon.start(vec![tcp, uds]);
+    (daemon, handle, tcp_addr, sock)
+}
+
+#[test]
+fn wire_answers_are_bit_identical_to_in_process_answers() {
+    let snapshot = synthetic_snapshot(3, 0.0);
+    let queries = mixed_queries();
+    for policy in [ExecPolicy::Serial, ExecPolicy::Parallel] {
+        // The independent ground truth: a store built directly from the
+        // same snapshot, answered in-process.
+        let store = RemStore::build(&snapshot, StoreConfig::default()).expect("store builds");
+        let local = store
+            .submit_batch(&queries, policy)
+            .expect("in-process batch answers");
+
+        let (_daemon, handle, tcp_addr, sock) = start_daemon(policy, &snapshot);
+
+        let mut tcp = WireClient::connect_tcp(&tcp_addr).expect("connect tcp");
+        let (generation, over_tcp) = tcp.query(0, &queries).expect("tcp query answers");
+        assert_eq!(generation, 1);
+        assert_bit_identical(&over_tcp, &local);
+
+        #[cfg(unix)]
+        {
+            let mut uds = WireClient::connect_uds(&sock).expect("connect uds");
+            let (generation, over_uds) = uds.query(0, &queries).expect("uds query answers");
+            assert_eq!(generation, 1);
+            assert_bit_identical(&over_uds, &local);
+        }
+
+        tcp.shutdown().expect("daemon acknowledges shutdown");
+        handle.join();
+    }
+}
+
+#[test]
+fn pipelined_frames_answer_in_order() {
+    let snapshot = synthetic_snapshot(2, 0.0);
+    let queries = mixed_queries();
+    let (daemon, handle, tcp_addr, _sock) = start_daemon(ExecPolicy::Serial, &snapshot);
+    let (_, local) = daemon.answer(0, &queries).expect("in-process answers");
+
+    // Fire many request frames before reading any reply: the daemon
+    // batches what it finds queued, but replies must come back one frame
+    // per request, in send order, each bit-identical to the ground truth.
+    let mut client = WireClient::connect_tcp(&tcp_addr).expect("connect tcp");
+    let seqs: Vec<u64> = (0..16)
+        .map(|_| client.send_query(0, &queries).expect("send"))
+        .collect();
+    for seq in seqs {
+        let (generation, responses) = client.recv_response(seq).expect("pipelined reply");
+        assert_eq!(generation, 1);
+        assert_bit_identical(&responses, &local);
+    }
+
+    client.shutdown().expect("daemon acknowledges shutdown");
+    handle.join();
+}
+
+#[test]
+fn hot_swap_bumps_the_generation_and_changes_answers() {
+    let before = synthetic_snapshot(2, 0.0);
+    let after = synthetic_snapshot(2, 11.0);
+    let queries = mixed_queries();
+    let (_daemon, handle, tcp_addr, _sock) = start_daemon(ExecPolicy::Serial, &before);
+
+    let mut client = WireClient::connect_tcp(&tcp_addr).expect("connect tcp");
+    let (gen1, first) = client.query(0, &queries).expect("pre-swap query");
+    assert_eq!(gen1, 1);
+
+    // Hot-swap over the wire: same name, same namespace id, generation +1.
+    let info = client
+        .load("default", &after.to_bytes())
+        .expect("hot-swap loads");
+    assert_eq!(info.namespace, 0);
+    assert_eq!(info.generation, 2);
+
+    let (gen2, second) = client.query(0, &queries).expect("post-swap query");
+    assert_eq!(gen2, 2);
+    match (&first[0], &second[0]) {
+        (Response::Value(Some(a)), Response::Value(Some(b))) => {
+            assert!((a - b).abs() > 1.0, "swap must change served values")
+        }
+        other => panic!("point queries must hit: {other:?}"),
+    }
+
+    client.shutdown().expect("daemon acknowledges shutdown");
+    handle.join();
+}
+
+#[test]
+fn namespaces_are_independent_and_listable() {
+    let a = synthetic_snapshot(1, 0.0);
+    let b = synthetic_snapshot(3, 5.0);
+    let (_daemon, handle, tcp_addr, _sock) = start_daemon(ExecPolicy::Serial, &a);
+
+    let mut client = WireClient::connect_tcp(&tcp_addr).expect("connect tcp");
+    let info_a = client.load("building-a", &a.to_bytes()).expect("load a");
+    let info_b = client.load("building-b", &b.to_bytes()).expect("load b");
+    assert_ne!(info_a.namespace, info_b.namespace);
+    assert_eq!(info_a.aps, 1);
+    assert_eq!(info_b.aps, 3);
+
+    // The namespace id in the frame header routes to the right store:
+    // building-b serves AP 3, building-a does not.
+    let probe = vec![Query::Point {
+        pos: Vec3::new(1.0, 1.0, 1.0),
+        ap: MacAddress::from_index(3),
+    }];
+    let (_, in_b) = client.query(info_b.namespace, &probe).expect("query b");
+    let (_, in_a) = client.query(info_a.namespace, &probe).expect("query a");
+    assert!(matches!(in_b[0], Response::Value(Some(_))));
+    assert!(matches!(in_a[0], Response::Value(None)));
+
+    let listing = client.list().expect("listing answers");
+    assert_eq!(listing.len(), 3); // "default" + the two buildings
+    let names: Vec<&str> = listing.iter().map(|n| n.name.as_str()).collect();
+    assert!(names.contains(&"building-a") && names.contains(&"building-b"));
+
+    client.shutdown().expect("daemon acknowledges shutdown");
+    handle.join();
+}
+
+#[test]
+fn unknown_namespaces_and_bad_snapshots_fail_with_typed_server_errors() {
+    let snapshot = synthetic_snapshot(1, 0.0);
+    let (_daemon, handle, tcp_addr, _sock) = start_daemon(ExecPolicy::Serial, &snapshot);
+
+    let mut client = WireClient::connect_tcp(&tcp_addr).expect("connect tcp");
+
+    let err = client
+        .query(42, &mixed_queries())
+        .expect_err("unknown namespace must fail");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::UnknownNamespace),
+        other => panic!("expected a server error, got {other}"),
+    }
+
+    // A corrupt snapshot image is rejected server-side; the connection
+    // stays usable afterwards.
+    let err = client
+        .load("broken", b"not a snapshot")
+        .expect_err("garbage snapshot must be rejected");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::SnapshotRejected),
+        other => panic!("expected a server error, got {other}"),
+    }
+    let (generation, _) = client.query(0, &mixed_queries()).expect("still serving");
+    assert_eq!(generation, 1);
+
+    client.shutdown().expect("daemon acknowledges shutdown");
+    handle.join();
+}

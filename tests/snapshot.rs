@@ -35,7 +35,7 @@ fn random_snapshot(seed: u64, aps: usize, dims: (usize, usize, usize)) -> RemSna
                 .expect("value count matches dims")
         })
         .collect();
-    RemSnapshot::new(grids)
+    RemSnapshot::new(grids).expect("at least one grid")
 }
 
 /// Bitwise equality between two snapshots, NaN-tolerant where `==` is not.
@@ -71,7 +71,7 @@ proptest! {
     #[test]
     fn save_load_is_bit_identical(
         seed in 0u64..500,
-        aps in 0usize..4,
+        aps in 1usize..4,
         nx in 1usize..6,
         ny in 1usize..6,
         nz in 1usize..6,
@@ -154,4 +154,28 @@ proptest! {
             .expect_err("oversized snapshot must not decode");
         prop_assert!(matches!(err, SnapshotError::TrailingBytes { extra: e } if e == extra));
     }
+}
+
+// --- zero-grid snapshots are rejected on both paths ---
+//
+// A daemon hot-swaps whatever decodes, so the codec must make an empty
+// store unrepresentable: `RemSnapshot::new(vec![])` and a file header
+// declaring zero grids both fail with `SnapshotError::Empty`.
+
+#[test]
+fn zero_grid_snapshots_are_rejected_at_construction_and_decode() {
+    assert!(matches!(
+        RemSnapshot::new(vec![]),
+        Err(SnapshotError::Empty)
+    ));
+    // 16-byte v1 file header with grid_count = 0.
+    let mut bytes = Vec::with_capacity(FILE_HEADER_LEN);
+    bytes.extend_from_slice(b"AREMSNAP");
+    bytes.extend_from_slice(&1u16.to_le_bytes());
+    bytes.extend_from_slice(&0x1234u16.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        RemSnapshot::from_bytes(&bytes),
+        Err(SnapshotError::Empty)
+    ));
 }
