@@ -138,7 +138,7 @@ impl FeatureLayout {
         let ch = *self
             .mac_channels
             .get(&mac)
-            .expect("every encoded MAC has a channel");
+            .expect("every encoded MAC has a channel"); // lint:allow(panic-reach) — contains_mac() returned above, and fit() inserts a channel for every MAC it keeps
         out.extend([position.x, position.y, position.z]);
         // Presence was checked above and the channel encoder covers every
         // observed channel, so both encodings are Known; an Unknown would

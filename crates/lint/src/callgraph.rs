@@ -1,0 +1,536 @@
+//! The workspace call graph: every shipped function, conservatively
+//! resolved call edges between them, and the panic sites each body holds.
+//!
+//! Resolution is name-based with scope priorities (same module → `use`
+//! import → crate-unique → workspace-unique) rather than type-based, so it
+//! over-approximates dynamic dispatch (a method call edges to *every*
+//! workspace impl of that name) and under-approximates nothing it can see.
+//! Ambiguity beyond a small fan-out bound, std-library method names, and
+//! glob imports resolve to **no** edge — silence, not noise.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::items::{file_module_path, parse_items, FnItem, UseItem};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::NON_INDEX_KEYWORDS;
+use crate::workspace::{FileKind, Workspace};
+
+/// Method names so common on std types that a bare `.name(` call says
+/// nothing about *workspace* functions: resolving them would wire the graph
+/// to whatever workspace type happens to share the name.
+const STD_METHOD_NAMES: [&str; 40] = [
+    "abs", "and_then", "as_ref", "as_slice", "clone", "cmp", "collect", "contains", "copied",
+    "count", "default", "drain", "enumerate", "eq", "extend", "filter", "flush", "fmt", "fold",
+    "get", "insert", "into_iter", "is_empty", "iter", "join", "len", "map", "max", "min", "next",
+    "push", "read", "rev", "sort", "split", "sum", "take", "to_string", "unwrap_or", "write",
+];
+
+/// Keyword-ish identifiers that look like calls (`if (…)`, `Some(…)`) but
+/// never are, or are constructors rather than workspace functions.
+const NON_CALL_IDENTS: [&str; 12] = [
+    "Some", "Ok", "Err", "None", "Box", "Vec", "if", "match", "while", "for", "return", "move",
+];
+
+/// Maximum method-call fan-out: a name implemented by more workspace types
+/// than this is treated as unresolvable rather than edged to everything.
+const METHOD_FANOUT_CAP: usize = 4;
+
+/// How a function body can panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// `panic!(…)`.
+    PanicMacro,
+    /// Slice/array indexing with a non-literal bound.
+    DynIndex,
+}
+
+impl SiteKind {
+    /// Human name used in messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteKind::Unwrap => "unwrap",
+            SiteKind::Expect => "expect",
+            SiteKind::PanicMacro => "panic!",
+            SiteKind::DynIndex => "dynamic index",
+        }
+    }
+}
+
+/// One panic hazard inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What kind of hazard.
+    pub kind: SiteKind,
+    /// The hazard token (offsets into the owning file).
+    pub token: Token,
+}
+
+/// One function node.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into `Workspace::files`.
+    pub file: usize,
+    /// Crate the function ships in.
+    pub crate_name: String,
+    /// Module path: file-derived segments plus inline `mod` nesting.
+    pub modules: Vec<String>,
+    /// `impl`/`trait` type name for methods.
+    pub type_ctx: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub offset: usize,
+    /// Panic sites in the body (test regions excluded).
+    pub sites: Vec<PanicSite>,
+}
+
+impl FnNode {
+    /// `crate::Type::name` or `crate::name` — the display path.
+    pub fn qualified(&self) -> String {
+        match &self.type_ctx {
+            Some(t) => format!("{}::{}::{}", self.crate_name, t, self.name),
+            None => format!("{}::{}", self.crate_name, self.name),
+        }
+    }
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Function nodes. Only `FileKind::Library` files outside test regions
+    /// contribute — tests and benches are not shipped code.
+    pub fns: Vec<FnNode>,
+    /// Adjacency: `edges[i]` are the callees of `fns[i]`, deduplicated and
+    /// sorted.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// A call observed in a body, before resolution.
+enum CallSite {
+    /// `.name(` — receiver type unknown.
+    Method(String),
+    /// `a::b::name(` (possibly just `name(`).
+    Path(Vec<String>),
+}
+
+impl CallGraph {
+    /// Builds the graph for a loaded workspace.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        // Pass 1: parse items per library file, collect nodes and uses.
+        type FileCtx = (Vec<Token>, Vec<UseItem>, Vec<FnItem>, Vec<String>);
+        let mut fns: Vec<FnNode> = Vec::new();
+        let mut file_ctx: Vec<Option<FileCtx>> = Vec::with_capacity(ws.files.len());
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.kind != FileKind::Library {
+                file_ctx.push(None);
+                continue;
+            }
+            let code: Vec<Token> = file
+                .source
+                .tokens
+                .iter()
+                .filter(|t| !t.is_comment())
+                .copied()
+                .collect();
+            let items = parse_items(&file.source, &code);
+            let file_mods = file_module_path(&file.source.path);
+            for f in &items.fns {
+                if file.source.in_test_code(f.offset) {
+                    continue;
+                }
+                let mut modules = file_mods.clone();
+                modules.extend(f.modules.iter().cloned());
+                fns.push(FnNode {
+                    file: fi,
+                    crate_name: file.crate_name.clone(),
+                    modules,
+                    type_ctx: f.type_ctx.clone(),
+                    name: f.name.clone(),
+                    offset: f.offset,
+                    sites: Vec::new(),
+                });
+            }
+            file_ctx.push(Some((code, items.uses, items.fns, file_mods)));
+        }
+
+        // Indexes for resolution.
+        let mut by_crate_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(id);
+            by_crate_name
+                .entry((&f.crate_name, &f.name))
+                .or_default()
+                .push(id);
+            if let Some(t) = &f.type_ctx {
+                methods.entry((t.as_str(), f.name.as_str())).or_default().push(id);
+            }
+        }
+
+        // Pass 2: per function, extract calls + sites and resolve edges.
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        let mut sites: Vec<Vec<PanicSite>> = vec![Vec::new(); fns.len()];
+        for (id, node) in fns.iter().enumerate() {
+            let Some((code, uses, raw_fns, _)) = &file_ctx[node.file] else {
+                continue;
+            };
+            let file = &ws.files[node.file];
+            // Find this node's raw item (same offset) to get its body and
+            // the bodies of fns nested inside it (excluded from the scan so
+            // an inner helper's calls are not attributed to the outer fn).
+            let Some(raw) = raw_fns.iter().find(|f| f.offset == node.offset) else {
+                continue;
+            };
+            let nested: Vec<(usize, usize)> = raw_fns
+                .iter()
+                .filter(|g| g.offset != raw.offset && g.body.0 >= raw.body.0 && g.body.1 <= raw.body.1)
+                .map(|g| g.body)
+                .collect();
+            let mut calls = Vec::new();
+            extract_body(
+                &file.source,
+                code,
+                raw.body,
+                &nested,
+                &mut calls,
+                &mut sites[id],
+            );
+            let mut out: Vec<usize> = Vec::new();
+            for call in calls {
+                resolve(
+                    &call,
+                    node,
+                    uses,
+                    &fns,
+                    &by_crate_name,
+                    &by_name,
+                    &methods,
+                    &mut out,
+                );
+            }
+            out.sort_unstable();
+            out.dedup();
+            out.retain(|&t| t != id);
+            edges[id] = out;
+        }
+        for (f, s) in fns.iter_mut().zip(sites) {
+            f.sites = s;
+        }
+        CallGraph { fns, edges }
+    }
+
+    /// Finds function ids by crate and bare name.
+    pub fn find(&self, crate_name: &str, name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.crate_name == crate_name && f.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether `from` has a direct edge to `to`.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.edges[from].contains(&to)
+    }
+
+    /// Multi-source BFS from `roots`. Returns, per function, the id of the
+    /// function it was first reached *through* (`parent[root] == root`), or
+    /// `None` if unreachable.
+    pub fn reach_from(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if parent[r].is_none() {
+                parent[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call path `root → … → id` implied by a BFS parent table, as
+    /// function names.
+    pub fn path_to(&self, parent: &[Option<usize>], id: usize) -> Vec<String> {
+        let mut chain = vec![self.fns[id].name.clone()];
+        let mut cur = id;
+        let mut hops = 0;
+        while let Some(p) = parent[cur] {
+            if p == cur || hops > self.fns.len() {
+                break;
+            }
+            chain.push(self.fns[p].name.clone());
+            cur = p;
+            hops += 1;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Scans one body's token range for calls and panic sites, skipping nested
+/// fn bodies and test regions.
+fn extract_body(
+    source: &crate::source::SourceFile,
+    code: &[Token],
+    body: (usize, usize),
+    nested: &[(usize, usize)],
+    calls: &mut Vec<CallSite>,
+    sites: &mut Vec<PanicSite>,
+) {
+    let text = source.text.as_str();
+    let word = |i: usize| -> &str { code.get(i).map_or("", |t| t.text(text)) };
+    let mut i = body.0;
+    while i < body.1 {
+        if let Some(&(_, end)) = nested.iter().find(|&&(s, e)| i >= s && i < e) {
+            i = end;
+            continue;
+        }
+        let tok = code[i];
+        if source.in_test_code(tok.start) {
+            i += 1;
+            continue;
+        }
+        if tok.kind == TokenKind::Ident {
+            let name = word(i);
+            let prev_dot = i > 0 && word(i - 1) == ".";
+            let next = word(i + 1);
+            if name == "panic" && next == "!" {
+                sites.push(PanicSite {
+                    kind: SiteKind::PanicMacro,
+                    token: tok,
+                });
+            } else if prev_dot && next == "(" && (name == "unwrap" || name == "expect") {
+                sites.push(PanicSite {
+                    kind: if name == "unwrap" { SiteKind::Unwrap } else { SiteKind::Expect },
+                    token: tok,
+                });
+                calls.push(CallSite::Method(name.to_string()));
+            } else if next == "(" {
+                if prev_dot {
+                    calls.push(CallSite::Method(name.to_string()));
+                } else if next != "!" && !NON_CALL_IDENTS.contains(&name) {
+                    // Collect a leading `seg::seg::` path, if any.
+                    let mut segs = vec![name.to_string()];
+                    let mut k = i;
+                    while k >= 2 && word(k - 1) == "::" && code[k - 2].kind == TokenKind::Ident {
+                        segs.insert(0, word(k - 2).to_string());
+                        k -= 2;
+                    }
+                    // Uppercase-initial tails are constructors/variants.
+                    if !name.starts_with(|c: char| c.is_ascii_uppercase()) {
+                        calls.push(CallSite::Path(segs));
+                    }
+                }
+            } else if next == "!" {
+                // Non-panic macro: skip the name; its arguments still scan.
+            }
+        } else if tok.kind == TokenKind::Punct && word(i) == "[" {
+            // Same dynamic-index heuristic as the per-file slice-index rule.
+            let indexes = if i == 0 {
+                false
+            } else if code[i - 1].kind == TokenKind::Ident {
+                !NON_INDEX_KEYWORDS.contains(&word(i - 1))
+            } else {
+                matches!(word(i - 1), ")" | "]" | "?")
+            };
+            if indexes {
+                let mut depth = 1i32;
+                let mut dynamic = false;
+                let mut j = i + 1;
+                while j < code.len() && depth > 0 {
+                    match word(j) {
+                        "[" | "(" | "{" => depth += 1,
+                        "]" | ")" | "}" => depth -= 1,
+                        _ => {
+                            if code[j].kind == TokenKind::Ident {
+                                dynamic = true;
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                if dynamic {
+                    sites.push(PanicSite {
+                        kind: SiteKind::DynIndex,
+                        token: tok,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Maps a leading path segment to a workspace crate name: `aerorem_core` →
+/// `core`, `aerorem` → the root package.
+fn crate_of_segment(seg: &str) -> Option<String> {
+    if seg == "aerorem" {
+        return Some("aerorem".to_string());
+    }
+    seg.strip_prefix("aerorem_").map(str::to_string)
+}
+
+/// Resolves one call site to zero or more target ids, appending to `out`.
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    call: &CallSite,
+    caller: &FnNode,
+    uses: &[UseItem],
+    fns: &[FnNode],
+    by_crate_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    methods: &BTreeMap<(&str, &str), Vec<usize>>,
+    out: &mut Vec<usize>,
+) {
+    match call {
+        CallSite::Method(name) => {
+            if STD_METHOD_NAMES.contains(&name.as_str()) {
+                return;
+            }
+            // Dynamic dispatch is over-approximated: every workspace method
+            // of this name is a candidate, bounded to keep ambiguity silent.
+            let cands: Vec<usize> = fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.type_ctx.is_some() && f.name == *name)
+                .map(|(i, _)| i)
+                .collect();
+            if !cands.is_empty() && cands.len() <= METHOD_FANOUT_CAP {
+                out.extend(cands);
+            }
+        }
+        CallSite::Path(segs) => {
+            let mut segs: Vec<String> = segs.clone();
+            // Normalise `crate::` / `self::` prefixes and splice imports.
+            while segs.len() > 1 && (segs[0] == "crate" || segs[0] == "self" || segs[0] == "super")
+            {
+                segs.remove(0);
+            }
+            if let Some(u) = uses.iter().find(|u| u.leaf == segs[0]) {
+                let mut full = u.path.clone();
+                full.extend(segs[1..].iter().cloned());
+                segs = full;
+            }
+            let name = segs.last().cloned().unwrap_or_default();
+            if name.is_empty() {
+                return;
+            }
+            // `Type::method` / `Self::method`.
+            if segs.len() >= 2 {
+                let qual = &segs[segs.len() - 2];
+                if qual == "Self" {
+                    if let Some(t) = &caller.type_ctx {
+                        if let Some(ids) = methods.get(&(t.as_str(), name.as_str())) {
+                            out.extend(ids.iter().copied());
+                            return;
+                        }
+                    }
+                    return;
+                }
+                if qual.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    if let Some(ids) = methods.get(&(qual.as_str(), name.as_str())) {
+                        out.extend(ids.iter().copied());
+                    }
+                    return;
+                }
+            }
+            // Explicit crate prefix (`aerorem_core::…`)?
+            let target_crate = crate_of_segment(&segs[0]);
+            if let Some(cr) = target_crate {
+                if let Some(ids) = by_crate_name.get(&(cr.as_str(), name.as_str())) {
+                    // Prefer a module-path match; fall back to crate-unique.
+                    let modpath: Vec<&String> = segs[1..segs.len() - 1].iter().collect();
+                    let scored: Vec<usize> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            modpath.is_empty()
+                                || modpath
+                                    .iter()
+                                    .all(|m| fns[i].modules.iter().any(|x| x == *m))
+                        })
+                        .collect();
+                    let pick = if scored.is_empty() { ids.clone() } else { scored };
+                    if pick.len() == 1 {
+                        out.push(pick[0]);
+                    }
+                }
+                return;
+            }
+            let in_crate: &[usize] = by_crate_name
+                .get(&(caller.crate_name.as_str(), name.as_str()))
+                .map_or(&[], Vec::as_slice);
+            if segs.len() == 1 {
+                // (a) innermost enclosing module scope in the same crate.
+                let mut scope = caller.modules.clone();
+                loop {
+                    let hit: Vec<usize> = in_crate
+                        .iter()
+                        .copied()
+                        .filter(|&i| fns[i].type_ctx.is_none() && fns[i].modules == scope)
+                        .collect();
+                    if hit.len() == 1 {
+                        out.push(hit[0]);
+                        return;
+                    }
+                    if scope.pop().is_none() {
+                        break;
+                    }
+                }
+                // (b) crate-unique free fn.
+                let free: Vec<usize> = in_crate
+                    .iter()
+                    .copied()
+                    .filter(|&i| fns[i].type_ctx.is_none())
+                    .collect();
+                if free.len() == 1 {
+                    out.push(free[0]);
+                    return;
+                }
+                // (c) workspace-unique.
+                if let Some(ids) = by_name.get(name.as_str()) {
+                    if ids.len() == 1 {
+                        out.push(ids[0]);
+                    }
+                }
+            } else {
+                // Module-qualified in-crate call (`wire::decode_frame(…)`):
+                // require the module segments to match.
+                let modpath = &segs[..segs.len() - 1];
+                let hit: Vec<usize> = in_crate
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        modpath.iter().all(|m| fns[i].modules.iter().any(|x| x == m))
+                    })
+                    .collect();
+                if hit.len() == 1 {
+                    out.push(hit[0]);
+                } else if hit.is_empty() {
+                    // Cross-crate module reference without the crate prefix
+                    // (`codec::crc32(…)` after `use aerorem_numerics::codec`):
+                    // fall back to workspace-unique by name.
+                    if let Some(ids) = by_name.get(name.as_str()) {
+                        if ids.len() == 1 {
+                            out.push(ids[0]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

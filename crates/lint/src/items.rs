@@ -1,0 +1,429 @@
+//! Lightweight item-level parsing on top of the token stream: `fn` spans,
+//! `impl`/`trait` contexts, inline `mod` nesting, and `use` imports.
+//!
+//! This is deliberately **not** a Rust grammar. It recovers exactly the
+//! shape the cross-file passes need — which functions exist, which type or
+//! trait each method belongs to, which module path each item sits on, and
+//! what each file imports — by brace-matched scanning of the comment-free
+//! token stream. Everything it cannot classify it ignores, so downstream
+//! consumers (the call graph) stay conservative rather than wrong.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// One parsed function (free function, inherent/trait method, or trait
+/// default method) with its body span.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Inline module path within the file (outer-to-inner). The file's own
+    /// module path (derived from its location) is prepended by consumers.
+    pub modules: Vec<String>,
+    /// `impl`/`trait` type context, if this is a method.
+    pub type_ctx: Option<String>,
+    /// Code-token index range of the body, exclusive end. Empty for
+    /// body-less trait method declarations.
+    pub body: (usize, usize),
+    /// Byte offset of the `fn` keyword (for test-region checks and
+    /// diagnostics).
+    pub offset: usize,
+}
+
+/// One `use` import leaf: `use a::b::{c as d}` yields `leaf: "d",
+/// path: ["a", "b", "c"]`.
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    /// The name the import binds in this file.
+    pub leaf: String,
+    /// The full original path, outermost segment first.
+    pub path: Vec<String>,
+}
+
+/// Everything the item parser recovers from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Functions in source order.
+    pub fns: Vec<FnItem>,
+    /// Import leaves.
+    pub uses: Vec<UseItem>,
+}
+
+/// Derives a file's module path within its crate from its workspace path:
+/// `crates/serve/src/wire.rs` → `["wire"]`, `src/bin/aerorem.rs` → `[]`,
+/// `crates/core/src/sub/mod.rs` → `["sub"]`.
+pub fn file_module_path(path: &str) -> Vec<String> {
+    let rel = path.rsplit_once("/src/").map_or(path, |(_, r)| r);
+    let rel = rel.strip_prefix("src/").unwrap_or(rel);
+    let rel = rel.strip_suffix(".rs").unwrap_or(rel);
+    let mut segs: Vec<&str> = rel.split('/').collect();
+    if segs.first() == Some(&"bin") {
+        return Vec::new();
+    }
+    if let Some("lib" | "main" | "mod") = segs.last().copied() {
+        segs.pop();
+    }
+    segs.into_iter().map(str::to_string).collect()
+}
+
+/// Scope kinds the brace walker tracks.
+#[derive(Debug, Clone, PartialEq)]
+enum Scope {
+    Module(String),
+    Type(String),
+    Other,
+}
+
+/// Parses one file's items from its comment-filtered token stream.
+pub fn parse_items(source: &SourceFile, code: &[Token]) -> FileItems {
+    let text = source.text.as_str();
+    let word = |i: usize| -> &str {
+        code.get(i).map_or("", |t| t.text(text))
+    };
+    let is_ident = |i: usize| code.get(i).is_some_and(|t| t.kind == TokenKind::Ident);
+
+    let mut items = FileItems::default();
+    // One entry per open `{`; `None` frames are braces the walker does not
+    // classify (fn bodies, expression blocks, …).
+    let mut stack: Vec<Scope> = Vec::new();
+    // A scope announced by a keyword but whose `{` has not appeared yet.
+    let mut pending: Option<Scope> = None;
+
+    let mut i = 0usize;
+    while i < code.len() {
+        match word(i) {
+            "{" => {
+                stack.push(pending.take().unwrap_or(Scope::Other));
+                i += 1;
+            }
+            "}" => {
+                stack.pop();
+                i += 1;
+            }
+            "mod" if is_ident(i + 1) => {
+                // `mod name { … }` opens a module scope; `mod name;` is a
+                // file-level declaration (the child file carries the path).
+                if word(i + 2) == "{" {
+                    pending = Some(Scope::Module(word(i + 1).to_string()));
+                }
+                i += 2;
+            }
+            "impl" => {
+                if let Some((name, at)) = impl_type_name(text, code, i) {
+                    pending = Some(Scope::Type(name));
+                    i = at;
+                } else {
+                    i += 1;
+                }
+            }
+            "trait" if is_ident(i + 1) => {
+                pending = Some(Scope::Type(word(i + 1).to_string()));
+                i += 2;
+            }
+            "fn" if is_ident(i + 1) => {
+                let name = word(i + 1).to_string();
+                let offset = code[i].start;
+                let body = fn_body_range(text, code, i + 2);
+                let modules: Vec<String> = stack
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Module(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let type_ctx = stack.iter().rev().find_map(|s| match s {
+                    Scope::Type(t) => Some(t.clone()),
+                    _ => None,
+                });
+                items.fns.push(FnItem {
+                    name,
+                    modules,
+                    type_ctx,
+                    body,
+                    offset,
+                });
+                // Continue *inside* the body so nested items are seen too.
+                i += 2;
+            }
+            "use" => {
+                let end = parse_use(text, code, i + 1, &mut items.uses);
+                i = end;
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// From the `impl` keyword, finds the implemented type's name and the index
+/// of the opening `{`. Handles `impl<T> Trait for Type<T>`, references, and
+/// generic arguments by taking the first identifier after `for` (or after
+/// the generic parameter list when there is no `for`).
+fn impl_type_name(text: &str, code: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut j = i + 1;
+    let mut after_for: Option<usize> = None;
+    let mut brace = None;
+    while j < code.len() {
+        match code[j].text(text) {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "for" if angle == 0 => after_for = Some(j + 1),
+            "{" if angle <= 0 => {
+                brace = Some(j);
+                break;
+            }
+            ";" if angle <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let brace = brace?;
+    let start = after_for.unwrap_or(i + 1);
+    let mut angle = 0i32;
+    for k in start..brace {
+        match code[k].text(text) {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            w => {
+                if angle == 0 && code[k].kind == TokenKind::Ident && w != "where" && w != "dyn" {
+                    // Skip generic parameter names: `impl<T> T` never
+                    // happens for the workspace's inherent impls, and the
+                    // first path segmentless ident is the type.
+                    if after_for.is_none() && k == start && code.get(k + 1).map(|t| t.text(text)) == Some(">") {
+                        continue;
+                    }
+                    return Some((w.to_string(), brace));
+                }
+            }
+        }
+    }
+    Some((String::new(), brace))
+}
+
+/// From just past `fn <name>`, finds the body's code-token range (the tokens
+/// strictly inside the outermost `{ … }`). Returns an empty range for
+/// body-less declarations (`fn f(…) -> T;` in traits).
+fn fn_body_range(text: &str, code: &[Token], mut j: usize) -> (usize, usize) {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    while j < code.len() {
+        match code[j].text(text) {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            ";" if paren == 0 => return (j, j),
+            "{" if paren == 0 && angle <= 0 => {
+                let start = j + 1;
+                let mut depth = 1i32;
+                let mut k = start;
+                while k < code.len() {
+                    match code[k].text(text) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return (start, k);
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return (start, code.len());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, j)
+}
+
+/// Parses one `use` declaration from just past the keyword, appending every
+/// leaf it binds. Returns the index just past the closing `;`.
+fn parse_use(text: &str, code: &[Token], start: usize, out: &mut Vec<UseItem>) -> usize {
+    // Find the terminating `;` (brace-depth aware for grouped imports).
+    let mut depth = 0i32;
+    let mut end = start;
+    while end < code.len() {
+        match code[end].text(text) {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            ";" if depth == 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    let mut prefix = Vec::new();
+    parse_use_tree(text, code, start, end, &mut prefix, out);
+    end + 1
+}
+
+/// Recursively expands a use tree within `[start, end)` against `prefix`.
+fn parse_use_tree(
+    text: &str,
+    code: &[Token],
+    start: usize,
+    end: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseItem>,
+) {
+    let word = |i: usize| -> &str { code.get(i).map_or("", |t| t.text(text)) };
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = start;
+    while i < end {
+        match word(i) {
+            "::" => i += 1,
+            "{" => {
+                // Group: split the contents on top-level commas and recurse
+                // with the accumulated prefix.
+                let mut depth = 1i32;
+                let mut item_start = i + 1;
+                let mut j = i + 1;
+                let before = prefix.len();
+                prefix.extend(segs.iter().cloned());
+                while j < end {
+                    match word(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                if item_start < j {
+                                    parse_use_tree(text, code, item_start, j, prefix, out);
+                                }
+                                break;
+                            }
+                        }
+                        "," if depth == 1 => {
+                            if item_start < j {
+                                parse_use_tree(text, code, item_start, j, prefix, out);
+                            }
+                            item_start = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                prefix.truncate(before);
+                return;
+            }
+            "as" => {
+                // `path as alias`: the alias is the leaf, the path stands.
+                let alias = word(i + 1).to_string();
+                if !segs.is_empty() && !alias.is_empty() {
+                    let mut path = prefix.clone();
+                    path.extend(segs.iter().cloned());
+                    out.push(UseItem { leaf: alias, path });
+                }
+                return;
+            }
+            "*" => return, // glob imports resolve to nothing (conservative)
+            "," => i += 1, // stray commas at this level carry no state
+            w => {
+                if code[i].kind == TokenKind::Ident {
+                    segs.push(w.to_string());
+                }
+                i += 1;
+                continue;
+            }
+        }
+    }
+    let mut path = prefix.clone();
+    path.extend(segs);
+    // `use a::b::{self}` binds `b`, not `self`.
+    if path.last().map(String::as_str) == Some("self") {
+        path.pop();
+    }
+    if let Some(leaf) = path.last().cloned() {
+        out.push(UseItem { leaf, path });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items_of(src: &str) -> FileItems {
+        let f = SourceFile::new("x.rs", src);
+        let code: Vec<Token> = f.tokens.iter().filter(|t| !t.is_comment()).copied().collect();
+        parse_items(&f, &code)
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert_eq!(file_module_path("crates/serve/src/wire.rs"), ["wire"]);
+        assert!(file_module_path("crates/core/src/lib.rs").is_empty());
+        assert!(file_module_path("src/bin/aerorem.rs").is_empty());
+        assert_eq!(file_module_path("crates/core/src/sub/mod.rs"), ["sub"]);
+        assert_eq!(file_module_path("crates/core/src/a/b.rs"), ["a", "b"]);
+    }
+
+    #[test]
+    fn free_fns_and_methods() {
+        let it = items_of(
+            "fn free() { helper(); }\nimpl Store { fn method(&self) -> u8 { 1 } }\nimpl Rule for Check { fn name(&self) {} }\ntrait T { fn decl(); fn dflt() {} }",
+        );
+        let names: Vec<(&str, Option<&str>)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.type_ctx.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("free", None),
+                ("method", Some("Store")),
+                ("name", Some("Check")),
+                ("decl", Some("T")),
+                ("dflt", Some("T")),
+            ]
+        );
+        assert_eq!(it.fns[3].body.0, it.fns[3].body.1, "declaration has no body");
+    }
+
+    #[test]
+    fn inline_modules_nest() {
+        let it = items_of("mod outer { mod inner { fn deep() {} } fn shallow() {} } fn top() {}");
+        let paths: Vec<(&str, Vec<&str>)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.modules.iter().map(String::as_str).collect()))
+            .collect();
+        assert_eq!(
+            paths,
+            [
+                ("deep", vec!["outer", "inner"]),
+                ("shallow", vec!["outer"]),
+                ("top", vec![]),
+            ]
+        );
+    }
+
+    #[test]
+    fn use_trees_expand() {
+        let it = items_of(
+            "use aerorem_core::snapshot::RemSnapshot;\nuse aerorem_exec::{self, map_chunks, policy as pol};\nuse std::io::*;\n",
+        );
+        let leaves: Vec<(&str, Vec<&str>)> = it
+            .uses
+            .iter()
+            .map(|u| (u.leaf.as_str(), u.path.iter().map(String::as_str).collect()))
+            .collect();
+        assert_eq!(
+            leaves,
+            [
+                ("RemSnapshot", vec!["aerorem_core", "snapshot", "RemSnapshot"]),
+                ("aerorem_exec", vec!["aerorem_exec"]),
+                ("map_chunks", vec!["aerorem_exec", "map_chunks"]),
+                ("pol", vec!["aerorem_exec", "policy"]),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impl_for() {
+        let it = items_of("impl<T: Clone> Wrapper for Slot<T> { fn get_slot(&self) {} }");
+        assert_eq!(it.fns[0].type_ctx.as_deref(), Some("Slot"));
+    }
+}

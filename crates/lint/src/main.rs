@@ -21,7 +21,7 @@ USAGE:
 
 OPTIONS:
     --root PATH    Workspace root to lint (default: current directory)
-    --json         Emit the stable machine-readable report (schema v1)
+    --json         Emit the stable machine-readable report (schema v2)
     --list-rules   Print the rule catalog and exit
     -h, --help     Show this help
 ";

@@ -21,6 +21,18 @@ pub struct Violation {
     pub snippet: String,
 }
 
+/// One rule's catalog entry in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Rule name (e.g. `hash-iter`).
+    pub name: &'static str,
+    /// Severity: `"error"` or `"warning"`. Informational for tooling —
+    /// every violation gates the exit code regardless.
+    pub severity: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
 /// The outcome of a whole lint run.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -30,8 +42,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of live (used, well-formed) suppressions.
     pub suppressions: usize,
-    /// Every rule that ran, in registry order.
-    pub rules: Vec<&'static str>,
+    /// Every rule that ran, in registry order, with severity and summary.
+    pub rules: Vec<RuleInfo>,
 }
 
 impl Report {
@@ -96,29 +108,52 @@ impl Report {
     ///
     /// ```json
     /// {
-    ///   "schema_version": 1,
+    ///   "schema_version": 2,
     ///   "tool": "aerorem-lint",
     ///   "files_scanned": 123,
     ///   "suppressions": 4,
-    ///   "rules": ["hash-iter", "..."],
+    ///   "rules": [
+    ///     {"name": "hash-iter", "severity": "error", "summary": "..."}
+    ///   ],
     ///   "summary": {"total": 2, "by_rule": {"hash-iter": 2}},
     ///   "violations": [
-    ///     {"rule": "hash-iter", "path": "crates/x/src/a.rs",
+    ///     {"rule": "hash-iter", "severity": "error",
+    ///      "path": "crates/x/src/a.rs",
     ///      "line": 10, "col": 5, "message": "...", "snippet": "..."}
     ///   ]
     /// }
     /// ```
     ///
-    /// Violations are sorted by (path, line, col, rule); `by_rule` keys are
-    /// sorted; output is byte-stable for identical inputs.
+    /// v2 over v1: `rules` entries are objects (name/severity/summary
+    /// instead of bare name strings) and each violation carries its rule's
+    /// `severity`. Violations are sorted by (path, line, col, rule);
+    /// `by_rule` keys are sorted; output is byte-stable for identical
+    /// inputs.
     pub fn render_json(&self) -> String {
+        let severity_of = |rule: &str| -> &'static str {
+            self.rules
+                .iter()
+                .find(|r| r.name == rule)
+                .map_or("error", |r| r.severity)
+        };
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"schema_version\": 2,");
         let _ = writeln!(out, "  \"tool\": \"aerorem-lint\",");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"suppressions\": {},", self.suppressions);
-        let rules: Vec<String> = self.rules.iter().map(|r| json_string(r)).collect();
-        let _ = writeln!(out, "  \"rules\": [{}],", rules.join(", "));
+        let _ = writeln!(out, "  \"rules\": [");
+        for (i, r) in self.rules.iter().enumerate() {
+            let comma = if i + 1 < self.rules.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"severity\": {}, \"summary\": {}}}{}",
+                json_string(r.name),
+                json_string(r.severity),
+                json_string(r.summary),
+                comma
+            );
+        }
+        let _ = writeln!(out, "  ],");
         let by_rule: Vec<String> = self
             .by_rule()
             .into_iter()
@@ -135,8 +170,9 @@ impl Report {
             let comma = if i + 1 < self.violations.len() { "," } else { "" };
             let _ = writeln!(
                 out,
-                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}}}{}",
+                "    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"snippet\": {}}}{}",
                 json_string(v.rule),
+                json_string(severity_of(v.rule)),
                 json_string(&v.path),
                 v.line,
                 v.col,
@@ -188,13 +224,17 @@ mod tests {
         }
     }
 
+    fn info(name: &'static str, severity: &'static str) -> RuleInfo {
+        RuleInfo { name, severity, summary: "a summary" }
+    }
+
     #[test]
     fn normalize_orders_deterministically() {
         let mut r = Report {
             violations: vec![v("b-rule", "b.rs", 2), v("a-rule", "a.rs", 9), v("a-rule", "b.rs", 2)],
             files_scanned: 3,
             suppressions: 0,
-            rules: vec!["a-rule", "b-rule"],
+            rules: vec![info("a-rule", "error"), info("b-rule", "error")],
         };
         r.normalize();
         let order: Vec<(&str, usize, &str)> = r
@@ -214,15 +254,23 @@ mod tests {
             violations: vec![v("x", "a\"b.rs", 1)],
             files_scanned: 1,
             suppressions: 2,
-            rules: vec!["x"],
+            rules: vec![info("x", "warning")],
         };
         r.normalize();
         let j1 = r.render_json();
         let j2 = r.render_json();
         assert_eq!(j1, j2, "rendering must be byte-stable");
-        assert!(j1.contains("\"schema_version\": 1"));
+        assert!(j1.contains("\"schema_version\": 2"));
         assert!(j1.contains("a\\\"b.rs"));
         assert!(j1.contains("\"summary\": {\"total\": 1, \"by_rule\": {\"x\": 1}}"));
+        assert!(
+            j1.contains("{\"name\": \"x\", \"severity\": \"warning\", \"summary\": \"a summary\"}"),
+            "rules entries are objects in v2"
+        );
+        assert!(
+            j1.contains("\"rule\": \"x\", \"severity\": \"warning\""),
+            "violations carry their rule's severity"
+        );
     }
 
     #[test]
@@ -231,7 +279,7 @@ mod tests {
             violations: vec![],
             files_scanned: 7,
             suppressions: 3,
-            rules: vec!["a"],
+            rules: vec![info("a", "error")],
         };
         let text = r.render_human();
         assert!(text.contains("clean"));

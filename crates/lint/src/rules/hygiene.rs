@@ -79,7 +79,10 @@ impl Rule for DebugMacro {
 }
 
 /// `make` and `just` must expose the same entry points: a target present in
-/// one build gate but not the other silently forks the two workflows.
+/// one build gate but not the other silently forks the two workflows. On
+/// top of name parity, every `*-check` gate must be reachable from `check`
+/// in both files — a verification target that exists but is not wired into
+/// the aggregate gate silently stops running in CI.
 pub struct TargetParity;
 
 impl Rule for TargetParity {
@@ -88,7 +91,7 @@ impl Rule for TargetParity {
     }
 
     fn summary(&self) -> &'static str {
-        "Makefile targets and justfile recipes must match one-to-one"
+        "make/just targets match one-to-one and every *-check gate is reachable from check"
     }
 
     fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Violation>) {
@@ -118,7 +121,61 @@ impl Rule for TargetParity {
                 ));
             }
         }
+        check_gate_reachability("Makefile", makefile, out);
+        check_gate_reachability("justfile", justfile, out);
     }
+}
+
+/// Flags `*-check` targets that `check` does not (transitively) depend on.
+/// Only applies when a `check` target exists — a file without an aggregate
+/// gate has nothing to wire into.
+fn check_gate_reachability(path: &str, text: &str, out: &mut Vec<Violation>) {
+    let targets = build_targets(text);
+    if !targets.iter().any(|(n, _, _)| n == "check") {
+        return;
+    }
+    let deps = target_deps(text);
+    // Transitive closure of `check` over the prerequisite lists.
+    let mut reachable: Vec<&str> = vec!["check"];
+    let mut frontier = vec!["check"];
+    while let Some(t) = frontier.pop() {
+        if let Some((_, ds)) = deps.iter().find(|(n, _)| n == t) {
+            for d in ds {
+                if !reachable.contains(&d.as_str()) {
+                    reachable.push(d);
+                    frontier.push(d);
+                }
+            }
+        }
+    }
+    for (name, line, text) in &targets {
+        if name.ends_with("-check") && !reachable.contains(&name.as_str()) {
+            out.push(parity_violation(
+                path,
+                *line,
+                text,
+                format!("verification target `{name}` is not reachable from `check`; add it to check's prerequisites (or a target check already runs)"),
+            ));
+        }
+    }
+}
+
+/// Prerequisite lists: for each target line, the words after the colon
+/// (trailing `#` comments stripped). Both Makefile prerequisites and
+/// justfile dependencies use this shape.
+fn target_deps(text: &str) -> Vec<(String, Vec<String>)> {
+    let mut out = Vec::new();
+    for (name, line, raw) in build_targets(text) {
+        let _ = line;
+        let Some(colon) = raw.find(':') else {
+            continue;
+        };
+        let rest = &raw[colon + 1..];
+        let rest = rest.split('#').next().unwrap_or("");
+        let deps: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+        out.push((name, deps));
+    }
+    out
 }
 
 fn parity_violation(path: &str, line: usize, snippet: &str, message: String) -> Violation {
@@ -197,9 +254,9 @@ mod tests {
     #[test]
     fn parity_flags_both_directions() {
         let ws = Workspace {
-            files: vec![],
             makefile: Some("only-make:\n\ttrue\nshared:\n\ttrue\n".to_string()),
             justfile: Some("only-just:\n    true\nshared:\n    true\n".to_string()),
+            ..Workspace::default()
         };
         let mut out = Vec::new();
         TargetParity.check_workspace(&ws, &mut out);
@@ -208,5 +265,28 @@ mod tests {
         assert_eq!(msgs.len(), 2);
         assert!(msgs[0].contains("only-just"));
         assert!(msgs[1].contains("only-make"));
+    }
+
+    #[test]
+    fn unwired_check_target_is_flagged() {
+        // `stray-check` exists but `check` never (transitively) runs it.
+        let gate = "check: build deep\n\ttrue\nbuild:\n\ttrue\ndeep: serve-check\n\ttrue\nserve-check:\n\ttrue\nstray-check:\n\ttrue\n";
+        let mut out = Vec::new();
+        check_gate_reachability("Makefile", gate, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`stray-check`"));
+
+        // Wiring it in (even transitively) clears the finding.
+        let wired = gate.replace("check: build deep", "check: build deep stray-check");
+        let mut out = Vec::new();
+        check_gate_reachability("Makefile", &wired, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn no_check_target_means_no_reachability_gate() {
+        let mut out = Vec::new();
+        check_gate_reachability("justfile", "serve-check:\n    true\n", &mut out);
+        assert!(out.is_empty());
     }
 }

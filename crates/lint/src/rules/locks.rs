@@ -1,0 +1,345 @@
+//! Lock discipline in the daemon: the `crates/serve` shared state
+//! (`current`, `namespaces`, `nudge`, `conns`) is guarded by `RwLock`s and
+//! `Mutex`es taken from blocking connection threads, so two invariants keep
+//! it deadlock- and stall-free:
+//!
+//! 1. **Acyclic order** — if one path acquires lock B while holding lock A,
+//!    no path may acquire A while holding B.
+//! 2. **No blocking I/O under a guard** — socket reads/writes/connects can
+//!    park a thread indefinitely; holding a shared-state guard across one
+//!    turns a slow client into a daemon-wide stall.
+//!
+//! The analysis is per function (guard extents don't cross call edges; that
+//! keeps it decidable without an effect system) over the watched field
+//! names, tracking `let`-bound guard live ranges, explicit `drop(guard)`
+//! releases, and temporary guards that live to the end of their statement.
+
+use std::collections::BTreeMap;
+
+use crate::items::parse_items;
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::rules::Rule;
+use crate::workspace::{FileKind, Workspace};
+
+/// The daemon's shared-state fields whose guards are tracked.
+pub const WATCHED_LOCKS: [&str; 4] = ["current", "namespaces", "nudge", "conns"];
+
+/// The crate the discipline applies to.
+const LOCKED_CRATE: &str = "serve";
+
+/// Blocking socket calls that must not run under a watched guard. `read`
+/// and `write` only count with arguments (argument-less forms are the
+/// `RwLock` acquisition methods).
+const BLOCKING_IO: [&str; 8] = [
+    "accept", "connect", "flush", "read_exact", "read_to_end", "read_vectored", "write_all",
+    "write_vectored",
+];
+
+/// One observed guard acquisition.
+#[derive(Debug)]
+struct Acquire {
+    /// Which watched field.
+    label: &'static str,
+    /// Code-token index of the acquisition.
+    at: usize,
+    /// Code-token index one past the guard's live range.
+    until: usize,
+}
+
+/// An ordered "held A, acquired B" observation.
+#[derive(Debug, Clone)]
+struct Pair {
+    held: &'static str,
+    acquired: &'static str,
+    path: String,
+    line: usize,
+    snippet: String,
+}
+
+/// Lock-order cycles and blocking I/O under watched guards in the serve
+/// crate.
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "serve-crate guards: acyclic acquisition order, no blocking I/O while held"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Violation>) {
+        let mut pairs: Vec<Pair> = Vec::new();
+        for file in &ws.files {
+            if file.kind != FileKind::Library || file.crate_name != LOCKED_CRATE {
+                continue;
+            }
+            let code: Vec<Token> = file
+                .source
+                .tokens
+                .iter()
+                .filter(|t| !t.is_comment())
+                .copied()
+                .collect();
+            let items = parse_items(&file.source, &code);
+            for f in &items.fns {
+                if file.source.in_test_code(f.offset) || f.body.0 == f.body.1 {
+                    continue;
+                }
+                scan_fn(file, &code, f.body, &mut pairs, self.name(), out);
+            }
+        }
+        // Cross-function cycle detection over the collected ordered pairs.
+        let mut seen: BTreeMap<(&'static str, &'static str), usize> = BTreeMap::new();
+        for (i, p) in pairs.iter().enumerate() {
+            seen.entry((p.held, p.acquired)).or_insert(i);
+        }
+        for p in &pairs {
+            if p.held == p.acquired {
+                continue;
+            }
+            if let Some(&ri) = seen.get(&(p.acquired, p.held)) {
+                let r = &pairs[ri];
+                out.push(Violation {
+                    rule: self.name(),
+                    path: p.path.clone(),
+                    line: p.line,
+                    col: 1,
+                    message: format!(
+                        "lock-order cycle: `{}` acquired while holding `{}` here, but {}:{} acquires `{}` while holding `{}` — a deadlock window",
+                        p.acquired, p.held, r.path, r.line, r.held, r.acquired
+                    ),
+                    snippet: p.snippet.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Scans one function body for acquisitions, ordered pairs, and blocking
+/// I/O under a live guard.
+fn scan_fn(
+    file: &crate::workspace::WorkspaceFile,
+    code: &[Token],
+    body: (usize, usize),
+    pairs: &mut Vec<Pair>,
+    rule: &'static str,
+    out: &mut Vec<Violation>,
+) {
+    let text = file.source.text.as_str();
+    let word = |i: usize| -> &str { code.get(i).map_or("", |t| t.text(text)) };
+
+    // Collect acquisitions with live ranges.
+    let mut acquires: Vec<Acquire> = Vec::new();
+    let mut i = body.0;
+    while i < body.1 {
+        if let Some((label, close)) = acquisition_at(text, code, i) {
+            let binding = binding_before(text, code, body.0, i);
+            let until = live_until(text, code, close + 1, body.1, binding.as_deref());
+            acquires.push(Acquire { label, at: i, until });
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Ordered pairs: B acquired inside A's live range.
+    for a in &acquires {
+        for b in &acquires {
+            if b.at > a.at && b.at < a.until {
+                let (line, _) = file.source.line_col(code[b.at].start);
+                pairs.push(Pair {
+                    held: a.label,
+                    acquired: b.label,
+                    path: file.source.path.clone(),
+                    line,
+                    snippet: file.source.line_text(line).trim().to_string(),
+                });
+            }
+        }
+    }
+
+    // Blocking I/O inside a live range.
+    for a in &acquires {
+        let mut j = a.at + 1;
+        while j < a.until {
+            // Skip past an explicit `drop(binding)` — it ends the range.
+            let t = &code[j];
+            if t.kind == TokenKind::Ident && word(j + 1) == "(" {
+                let name = word(j);
+                let is_method = j > 0 && word(j - 1) == ".";
+                let io = if BLOCKING_IO.contains(&name) {
+                    true
+                } else if (name == "read" || name == "write") && is_method {
+                    // With arguments it is stream I/O; bare it is a lock.
+                    word(j + 2) != ")"
+                } else {
+                    false
+                };
+                if io && !is_acquisition_context(text, code, j) {
+                    let (line, col) = file.source.line_col(t.start);
+                    out.push(Violation {
+                        rule,
+                        path: file.source.path.clone(),
+                        line,
+                        col,
+                        message: format!(
+                            "blocking socket call `{}` while holding the `{}` guard; move the I/O outside the critical section (snapshot the data, drop the guard, then block)",
+                            name, a.label
+                        ),
+                        snippet: file.source.line_text(line).trim().to_string(),
+                    });
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Whether the call at `j` is itself part of a watched acquisition (e.g.
+/// the `read` in `lock_read(&x.current)` receivers) rather than stream I/O.
+fn is_acquisition_context(text: &str, code: &[Token], j: usize) -> bool {
+    acquisition_at(text, code, j).is_some()
+}
+
+/// If code token `i` starts a watched-lock acquisition, returns the watched
+/// label and the index of the call's closing `)`.
+///
+/// Two shapes count: the daemon's poisoning-tolerant helpers
+/// (`lock_read(&…field…)` / `lock_write` / `lock_mutex`) and the raw
+/// argument-less methods (`…field….read()` / `.write()` / `.lock()`).
+fn acquisition_at(text: &str, code: &[Token], i: usize) -> Option<(&'static str, usize)> {
+    let word = |k: usize| -> &str { code.get(k).map_or("", |t| t.text(text)) };
+    if code.get(i)?.kind != TokenKind::Ident || word(i + 1) != "(" {
+        return None;
+    }
+    let name = word(i);
+    let is_method = i > 0 && word(i - 1) == ".";
+    if matches!(name, "lock_read" | "lock_write" | "lock_mutex") && !is_method {
+        // Scan the argument list for a watched field name.
+        let mut depth = 1i32;
+        let mut label = None;
+        let mut j = i + 2;
+        while j < code.len() && depth > 0 {
+            match word(j) {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                w => {
+                    if depth >= 1 {
+                        if let Some(l) = WATCHED_LOCKS.iter().find(|&&f| f == w) {
+                            label = Some(*l);
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        return label.map(|l| (l, j - 1));
+    }
+    if matches!(name, "read" | "write" | "lock") && is_method && word(i + 2) == ")" {
+        // Walk the `a.b.c` receiver chain leftwards for a watched field.
+        let mut k = i - 1; // the `.`
+        let mut label = None;
+        while k >= 1 {
+            let prev = &code[k - 1];
+            let w = prev.text(text);
+            if prev.kind == TokenKind::Ident {
+                if let Some(l) = WATCHED_LOCKS.iter().find(|&&f| f == w) {
+                    label = Some(*l);
+                }
+                if k >= 2 && word(k - 2) == "." {
+                    k -= 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        return label.map(|l| (l, i + 2));
+    }
+    None
+}
+
+/// Looks for a `let [mut] name =` immediately before the acquisition
+/// expression (walking back over the receiver chain / helper call head).
+fn binding_before(text: &str, code: &[Token], lo: usize, i: usize) -> Option<String> {
+    let word = |k: usize| -> &str { code.get(k).map_or("", |t| t.text(text)) };
+    // Walk back to the start of the expression: over `a . b . c` chains and
+    // an optional leading `&`.
+    let mut k = i;
+    while k > lo && word(k - 1) == "." && k >= 2 && code[k - 2].kind == TokenKind::Ident {
+        k -= 2;
+    }
+    if k > lo && word(k - 1) == "=" {
+        let mut b = k - 1;
+        if b > lo && code[b - 1].kind == TokenKind::Ident {
+            let name = word(b - 1);
+            b -= 1;
+            let lead = if b > lo && word(b - 1) == "mut" { b - 1 } else { b };
+            if lead > lo && word(lead - 1) == "let" {
+                return Some(name.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Computes the exclusive end of a guard's live range starting just past
+/// the acquisition call.
+///
+/// `let`-bound guards live until `drop(name)` or the end of the enclosing
+/// block; temporaries live to the end of their statement — where a `for` /
+/// `if` / `while` header's block *is* part of the statement (the temporary
+/// is kept alive across the whole body, exactly as Rust scopes it).
+fn live_until(
+    text: &str,
+    code: &[Token],
+    start: usize,
+    hi: usize,
+    binding: Option<&str>,
+) -> usize {
+    let word = |k: usize| -> &str { code.get(k).map_or("", |t| t.text(text)) };
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < hi {
+        match word(j) {
+            "{" => {
+                if depth == 0 && binding.is_none() {
+                    // Temporary kept alive across the attached block; the
+                    // statement (and the guard) ends at its close.
+                    let mut d = 1i32;
+                    let mut k = j + 1;
+                    while k < hi && d > 0 {
+                        match word(k) {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    return k;
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    // End of the enclosing block releases everything.
+                    return j;
+                }
+            }
+            ";" if depth == 0 && binding.is_none() => return j,
+            "drop" => {
+                if let Some(name) = binding {
+                    if word(j + 1) == "(" && word(j + 2) == name && word(j + 3) == ")" {
+                        return j;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    hi
+}

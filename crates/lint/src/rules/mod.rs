@@ -9,7 +9,13 @@
 //!
 //! Rules see a *token* view of each file (comments and string/char literal
 //! contents never match) plus the file's classification, and scope
-//! themselves via [`FileCtx`] helpers.
+//! themselves via [`FileCtx`] helpers. Workspace-level rules
+//! (`check_workspace`) see the whole [`Workspace`] instead and build
+//! whatever cross-file structure they need — the call graph
+//! (`panic-reach`), per-function guard ranges (`lock-discipline`), or the
+//! format documents (`spec-drift`). Their violations still flow through
+//! per-file suppression resolution when the path is a workspace source
+//! file; findings on docs or build files are unsuppressable.
 
 use crate::lexer::{Token, TokenKind};
 use crate::report::Violation;
@@ -17,7 +23,10 @@ use crate::workspace::{FileKind, Workspace, WorkspaceFile};
 
 pub mod determinism;
 pub mod hygiene;
+pub mod locks;
 pub mod panics;
+pub mod reach;
+pub mod specdrift;
 
 /// Crates whose non-test code must be panic-free: a panic here is a UAV
 /// falling out of the sky or a campaign dying mid-mission, not a stack
@@ -30,6 +39,12 @@ pub trait Rule {
     fn name(&self) -> &'static str;
     /// One-line description for `--list-rules`.
     fn summary(&self) -> &'static str;
+    /// Severity reported in the JSON schema. Every severity gates the exit
+    /// code identically today; the field exists so downstream tooling
+    /// (ratchets, editors) can triage without re-deriving it from names.
+    fn severity(&self) -> &'static str {
+        "error"
+    }
     /// Per-file pass. Push violations onto `out`.
     fn check_file(&self, _ctx: &FileCtx<'_>, _out: &mut Vec<Violation>) {}
     /// Workspace-level pass (build-gate parity and the like).
@@ -48,6 +63,9 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(determinism::ParFloatReduce),
         Box::new(panics::PanicPath),
         Box::new(panics::SliceIndex),
+        Box::new(reach::PanicReach),
+        Box::new(locks::LockDiscipline),
+        Box::new(specdrift::SpecDrift),
         Box::new(hygiene::ForbidUnsafe),
         Box::new(hygiene::DebugMacro),
         Box::new(hygiene::TargetParity),
@@ -64,6 +82,11 @@ pub struct FileCtx<'a> {
     /// Indices into `file.source.tokens` of the non-comment tokens, in
     /// order. Rules scan this; comments can never match a pattern.
     pub code: Vec<Token>,
+    /// When set, [`FileCtx::in_test`] reports every token as non-test. The
+    /// driver's shadow pass uses this to discover which `lint:allow`s
+    /// suppress matches that only exist inside test regions — those allows
+    /// are live, not unused, even though no violation is emitted for them.
+    pub scan_tests: bool,
 }
 
 impl<'a> FileCtx<'a> {
@@ -76,7 +99,7 @@ impl<'a> FileCtx<'a> {
             .filter(|t| !t.is_comment())
             .copied()
             .collect();
-        FileCtx { file, code }
+        FileCtx { file, code, scan_tests: false }
     }
 
     /// The text of code token `i`.
@@ -100,7 +123,7 @@ impl<'a> FileCtx<'a> {
 
     /// Whether the token sits inside `#[cfg(test)]` / `#[test]` code.
     pub fn in_test(&self, tok: Token) -> bool {
-        self.file.source.in_test_code(tok.start)
+        !self.scan_tests && self.file.source.in_test_code(tok.start)
     }
 
     /// Whether this file's non-test regions are subject to determinism

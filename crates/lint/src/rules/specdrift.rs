@@ -1,0 +1,946 @@
+//! Spec↔code drift: the byte-level format documents
+//! (`docs/WIRE_FORMAT.md`, `docs/SNAPSHOT_FORMAT.md`) are normative — a
+//! peer must be reimplementable from the page alone — so every constant
+//! they state is re-parsed here and cross-checked against the constants the
+//! implementation actually compiles: magics, versions, header sizes, caps,
+//! frame kinds, error codes, the CRC-32 polynomial and check value, and the
+//! worked hex examples byte-for-byte (CRCs recomputed, not trusted).
+//!
+//! A missing anchor (a renamed table field, a dropped section) is itself a
+//! violation: the check must fail loudly rather than silently stop
+//! checking. Findings land on the **doc** line so the fix starts from the
+//! normative side, and they cannot be suppressed — drift is repaired, not
+//! waived.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Violation;
+use crate::rules::Rule;
+use crate::workspace::{Workspace, WorkspaceFile};
+
+/// Where the two specs and their reference implementations live.
+const WIRE_DOC: &str = "docs/WIRE_FORMAT.md";
+const SNAP_DOC: &str = "docs/SNAPSHOT_FORMAT.md";
+const WIRE_IMPL: &str = "serve/src/wire.rs";
+const SNAP_IMPL: &str = "core/src/snapshot.rs";
+const CODEC_IMPL: &str = "numerics/src/codec.rs";
+
+/// Byte-level spec documents cross-checked against the implementation.
+pub struct SpecDrift;
+
+impl Rule for SpecDrift {
+    fn name(&self) -> &'static str {
+        "spec-drift"
+    }
+
+    fn summary(&self) -> &'static str {
+        "format docs and codec constants must agree byte-for-byte (worked examples included)"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Violation>) {
+        if let Some(doc) = &ws.wire_spec {
+            check_wire(ws, doc, out);
+        }
+        if let Some(doc) = &ws.snapshot_spec {
+            check_snapshot(ws, doc, out);
+        }
+    }
+}
+
+// --------------------------------------------------------------- wire spec
+
+fn check_wire(ws: &Workspace, doc: &str, out: &mut Vec<Violation>) {
+    let Some(code) = CodeFile::find(ws, WIRE_IMPL) else {
+        drift(out, WIRE_DOC, 1, format!("spec has no implementation: `{WIRE_IMPL}` not found in the workspace"));
+        return;
+    };
+
+    // Magic: ASCII name and hex bytes from the header table, vs WIRE_MAGIC.
+    match table_row(doc, "magic") {
+        Some((line, cell)) => {
+            check_magic(out, WIRE_DOC, line, &cell, &code, "WIRE_MAGIC");
+        }
+        None => anchor_missing(out, WIRE_DOC, "header-table row `magic`"),
+    }
+
+    // Scalar table fields vs constants.
+    check_row_const(out, doc, WIRE_DOC, "version", &code, "WIRE_VERSION");
+    check_row_const(out, doc, WIRE_DOC, "payload_len", &code, "MAX_PAYLOAD");
+
+    // Header size from the section heading.
+    check_heading_const(out, doc, WIRE_DOC, "Frame header", &code, "FRAME_HEADER_LEN");
+
+    // Frame kinds and error codes vs the enums.
+    check_enum_table(out, doc, WIRE_DOC, "Frame kinds", &code, "FrameKind");
+    check_enum_table(out, doc, WIRE_DOC, "5.3 Error", &code, "ErrorCode");
+
+    // Prose caps (optional anchors: checked when the sentence is present).
+    check_prose_cap(out, doc, WIRE_DOC, "capped at ", &code, "MAX_NAME");
+    check_prose_cap(out, doc, WIRE_DOC, "details at ", &code, "MAX_ERROR_DETAIL");
+    check_prose_cap(out, doc, WIRE_DOC, "clamp (", &code, "PREALLOC_CLAMP");
+
+    // CRC-32 section + codec polynomial.
+    let crc = check_crc_section(out, ws, doc, WIRE_DOC);
+
+    // Worked example, byte for byte.
+    if let Some(poly) = crc {
+        check_wire_example(out, doc, &code, poly);
+    }
+}
+
+fn check_wire_example(out: &mut Vec<Violation>, doc: &str, code: &CodeFile<'_>, poly: u32) {
+    let Some((line, bytes)) = hex_example(doc, out, WIRE_DOC) else {
+        return;
+    };
+    let header_len = code.const_value("FRAME_HEADER_LEN").unwrap_or(32) as usize;
+    if bytes.len() < header_len {
+        drift(out, WIRE_DOC, line, format!(
+            "worked example is {} bytes — shorter than the {header_len}-byte frame header",
+            bytes.len()
+        ));
+        return;
+    }
+    if let Some(magic) = code.const_bytes("WIRE_MAGIC") {
+        if bytes[..magic.len().min(bytes.len())] != magic[..] {
+            drift(out, WIRE_DOC, line, format!(
+                "worked example starts {:02X?}, but `WIRE_MAGIC` is {:02X?}",
+                &bytes[..magic.len().min(bytes.len())], magic
+            ));
+        }
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]) as u64;
+    if let Some(v) = code.const_value("WIRE_VERSION") {
+        if version != v {
+            drift(out, WIRE_DOC, line, format!(
+                "worked example encodes version {version}, but `WIRE_VERSION` is {v}"
+            ));
+        }
+    }
+    let kinds = code.enum_discriminants("FrameKind");
+    if !kinds.is_empty() && !kinds.iter().any(|(_, d)| *d == u64::from(bytes[6])) {
+        drift(out, WIRE_DOC, line, format!(
+            "worked example kind byte {} matches no `FrameKind` discriminant", bytes[6]
+        ));
+    }
+    if bytes[7] != 0 {
+        drift(out, WIRE_DOC, line, "worked example flags byte is nonzero; v1 pins it to 0".to_string());
+    }
+    let payload_len = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]) as usize;
+    let payload = &bytes[header_len.min(bytes.len())..];
+    if payload.len() != payload_len {
+        drift(out, WIRE_DOC, line, format!(
+            "worked example declares payload_len {payload_len} but carries {} payload bytes",
+            payload.len()
+        ));
+        return;
+    }
+    let stated_pcrc = u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]);
+    let actual_pcrc = crc32(poly, payload);
+    if stated_pcrc != actual_pcrc {
+        drift(out, WIRE_DOC, line, format!(
+            "worked example payload_crc32 is 0x{stated_pcrc:08X} but the payload bytes CRC to 0x{actual_pcrc:08X}"
+        ));
+    }
+    let stated_hcrc = u32::from_le_bytes([bytes[28], bytes[29], bytes[30], bytes[31]]);
+    let actual_hcrc = crc32(poly, &bytes[..28]);
+    if stated_hcrc != actual_hcrc {
+        drift(out, WIRE_DOC, line, format!(
+            "worked example header_crc32 is 0x{stated_hcrc:08X} but header bytes 0–27 CRC to 0x{actual_hcrc:08X}"
+        ));
+    }
+}
+
+// ----------------------------------------------------------- snapshot spec
+
+fn check_snapshot(ws: &Workspace, doc: &str, out: &mut Vec<Violation>) {
+    let Some(code) = CodeFile::find(ws, SNAP_IMPL) else {
+        drift(out, SNAP_DOC, 1, format!("spec has no implementation: `{SNAP_IMPL}` not found in the workspace"));
+        return;
+    };
+
+    match table_row(doc, "magic") {
+        Some((line, cell)) => check_magic(out, SNAP_DOC, line, &cell, &code, "MAGIC"),
+        None => anchor_missing(out, SNAP_DOC, "header-table row `magic`"),
+    }
+    check_row_const(out, doc, SNAP_DOC, "version", &code, "FORMAT_VERSION");
+    check_row_const(out, doc, SNAP_DOC, "endian_tag", &code, "ENDIAN_TAG");
+    check_heading_const(out, doc, SNAP_DOC, "File header", &code, "FILE_HEADER_LEN");
+    check_heading_const(out, doc, SNAP_DOC, "Grid header", &code, "GRID_HEADER_LEN");
+
+    let crc = check_crc_section(out, ws, doc, SNAP_DOC);
+    if let Some(poly) = crc {
+        check_snapshot_example(out, doc, &code, poly);
+    }
+}
+
+fn check_snapshot_example(out: &mut Vec<Violation>, doc: &str, code: &CodeFile<'_>, poly: u32) {
+    let Some((line, bytes)) = hex_example(doc, out, SNAP_DOC) else {
+        return;
+    };
+    let file_hdr = code.const_value("FILE_HEADER_LEN").unwrap_or(16) as usize;
+    let grid_hdr = code.const_value("GRID_HEADER_LEN").unwrap_or(84) as usize;
+    if bytes.len() < file_hdr + grid_hdr {
+        drift(out, SNAP_DOC, line, format!(
+            "worked example is {} bytes — shorter than one file header + grid header ({})",
+            bytes.len(), file_hdr + grid_hdr
+        ));
+        return;
+    }
+    if let Some(magic) = code.const_bytes("MAGIC") {
+        if bytes[..magic.len().min(bytes.len())] != magic[..] {
+            drift(out, SNAP_DOC, line, format!(
+                "worked example starts {:02X?}, but `MAGIC` is {:02X?}",
+                &bytes[..magic.len().min(bytes.len())], magic
+            ));
+        }
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]) as u64;
+    if let Some(v) = code.const_value("FORMAT_VERSION") {
+        if version != v {
+            drift(out, SNAP_DOC, line, format!(
+                "worked example encodes version {version}, but `FORMAT_VERSION` is {v}"
+            ));
+        }
+    }
+    let endian = u16::from_le_bytes([bytes[10], bytes[11]]) as u64;
+    if let Some(v) = code.const_value("ENDIAN_TAG") {
+        if endian != v {
+            drift(out, SNAP_DOC, line, format!(
+                "worked example encodes endian tag 0x{endian:04X}, but `ENDIAN_TAG` is 0x{v:04X}"
+            ));
+        }
+    }
+    // One-grid example: recompute both CRCs and the declared totals.
+    let g = file_hdr; // grid header start
+    let nx = u32::from_le_bytes([bytes[g + 56], bytes[g + 57], bytes[g + 58], bytes[g + 59]]) as u64;
+    let ny = u32::from_le_bytes([bytes[g + 60], bytes[g + 61], bytes[g + 62], bytes[g + 63]]) as u64;
+    let nz = u32::from_le_bytes([bytes[g + 64], bytes[g + 65], bytes[g + 66], bytes[g + 67]]) as u64;
+    let mut vc = [0u8; 8];
+    vc.copy_from_slice(&bytes[g + 68..g + 76]);
+    let value_count = u64::from_le_bytes(vc);
+    if value_count != nx * ny * nz {
+        drift(out, SNAP_DOC, line, format!(
+            "worked example declares value_count {value_count} but nx×ny×nz = {}",
+            nx * ny * nz
+        ));
+    }
+    let expect_len = file_hdr + grid_hdr + 8 * value_count as usize;
+    if bytes.len() != expect_len {
+        drift(out, SNAP_DOC, line, format!(
+            "worked example is {} bytes; header fields imply {expect_len}",
+            bytes.len()
+        ));
+        return;
+    }
+    let payload = &bytes[g + grid_hdr..];
+    let stated_pcrc = u32::from_le_bytes([bytes[g + 76], bytes[g + 77], bytes[g + 78], bytes[g + 79]]);
+    let actual_pcrc = crc32(poly, payload);
+    if stated_pcrc != actual_pcrc {
+        drift(out, SNAP_DOC, line, format!(
+            "worked example payload_crc32 is 0x{stated_pcrc:08X} but the voxel bytes CRC to 0x{actual_pcrc:08X}"
+        ));
+    }
+    let stated_hcrc = u32::from_le_bytes([bytes[g + 80], bytes[g + 81], bytes[g + 82], bytes[g + 83]]);
+    let actual_hcrc = crc32(poly, &bytes[g..g + 80]);
+    if stated_hcrc != actual_hcrc {
+        drift(out, SNAP_DOC, line, format!(
+            "worked example header_crc32 is 0x{stated_hcrc:08X} but the 80 header bytes CRC to 0x{actual_hcrc:08X}"
+        ));
+    }
+}
+
+// ------------------------------------------------------------ shared checks
+
+/// Parses the CRC-32 section of a doc: polynomial (first hex literal) and
+/// check value (last hex literal), verifies the doc's own check value
+/// against the polynomial, and verifies the polynomial appears in the codec
+/// implementation. Returns the polynomial for example verification.
+fn check_crc_section(
+    out: &mut Vec<Violation>,
+    ws: &Workspace,
+    doc: &str,
+    doc_path: &str,
+) -> Option<u32> {
+    let Some((line, section)) = section_text(doc, "CRC-32") else {
+        anchor_missing(out, doc_path, "`CRC-32` section");
+        return None;
+    };
+    let hexes = hex_literals(&section);
+    let (Some(&poly), Some(&check)) = (hexes.first(), hexes.last()) else {
+        anchor_missing(out, doc_path, "polynomial and check value in the CRC-32 section");
+        return None;
+    };
+    if hexes.len() < 2 {
+        anchor_missing(out, doc_path, "check value in the CRC-32 section");
+        return None;
+    }
+    let poly = poly as u32;
+    let computed = crc32(poly, b"123456789");
+    if u64::from(computed) != check {
+        drift(out, doc_path, line, format!(
+            "CRC section states check value 0x{check:08X}, but polynomial 0x{poly:08X} gives crc32(b\"123456789\") = 0x{computed:08X}"
+        ));
+    }
+    if let Some(codec) = CodeFile::find(ws, CODEC_IMPL) {
+        if !codec.has_int_literal(u64::from(poly)) {
+            drift(out, doc_path, line, format!(
+                "doc polynomial 0x{poly:08X} does not appear in `{CODEC_IMPL}`"
+            ));
+        }
+    }
+    Some(poly)
+}
+
+fn check_magic(
+    out: &mut Vec<Violation>,
+    doc_path: &str,
+    line: usize,
+    cell: &str,
+    code: &CodeFile<'_>,
+    const_name: &str,
+) {
+    let spans = backticked(cell);
+    let Some(ascii) = spans.first() else {
+        drift(out, doc_path, line, "magic row has no backticked ASCII value".to_string());
+        return;
+    };
+    // Doc-internal consistency: the hex rendering must spell the ASCII.
+    if let Some(hex) = spans.get(1).and_then(|s| parse_hex_bytes(s)) {
+        if hex != ascii.as_bytes() {
+            drift(out, doc_path, line, format!(
+                "magic row hex bytes {hex:02X?} do not spell the ASCII `{ascii}`"
+            ));
+        }
+    }
+    match code.const_bytes(const_name) {
+        Some(actual) if actual == ascii.as_bytes() => {}
+        Some(actual) => drift(out, doc_path, line, format!(
+            "doc magic `{ascii}` but `{const_name}` is {:?}",
+            String::from_utf8_lossy(&actual)
+        )),
+        None => drift(out, doc_path, line, format!(
+            "`{const_name}` not found in `{}`", code.file.source.path
+        )),
+    }
+}
+
+/// Header-table field (backticked integer in the value cell) vs a constant.
+fn check_row_const(
+    out: &mut Vec<Violation>,
+    doc: &str,
+    doc_path: &str,
+    field: &str,
+    code: &CodeFile<'_>,
+    const_name: &str,
+) {
+    let Some((line, cell)) = table_row(doc, field) else {
+        anchor_missing(out, doc_path, &format!("header-table row `{field}`"));
+        return;
+    };
+    let Some(doc_val) = first_int(&cell) else {
+        drift(out, doc_path, line, format!("row `{field}` has no parseable value"));
+        return;
+    };
+    compare_const(out, doc_path, line, field, doc_val, code, const_name);
+}
+
+/// Section-heading byte size (`## … Frame header — 32 bytes`) vs a constant.
+fn check_heading_const(
+    out: &mut Vec<Violation>,
+    doc: &str,
+    doc_path: &str,
+    marker: &str,
+    code: &CodeFile<'_>,
+    const_name: &str,
+) {
+    let mut found = None;
+    for (idx, l) in doc.lines().enumerate() {
+        if l.starts_with("##") && l.contains(marker) {
+            if let Some(rest) = l.split('—').nth(1) {
+                if let Some(n) = rest.split_whitespace().next().and_then(parse_int) {
+                    found = Some((idx + 1, n));
+                }
+            }
+            break;
+        }
+    }
+    let Some((line, doc_val)) = found else {
+        anchor_missing(out, doc_path, &format!("`{marker} — N bytes` heading"));
+        return;
+    };
+    compare_const(out, doc_path, line, marker, doc_val, code, const_name);
+}
+
+fn compare_const(
+    out: &mut Vec<Violation>,
+    doc_path: &str,
+    line: usize,
+    what: &str,
+    doc_val: u64,
+    code: &CodeFile<'_>,
+    const_name: &str,
+) {
+    match code.const_value(const_name) {
+        Some(actual) if actual == doc_val => {}
+        Some(actual) => drift(out, doc_path, line, format!(
+            "doc states {what} = {doc_val} but `{const_name}` in `{}` is {actual}",
+            code.file.source.path
+        )),
+        None => drift(out, doc_path, line, format!(
+            "`{const_name}` not found in `{}`", code.file.source.path
+        )),
+    }
+}
+
+/// A `| value | `Name` … |` table under `anchor` vs an enum's
+/// discriminants, in both directions.
+fn check_enum_table(
+    out: &mut Vec<Violation>,
+    doc: &str,
+    doc_path: &str,
+    anchor: &str,
+    code: &CodeFile<'_>,
+    enum_name: &str,
+) {
+    let rows = int_name_table(doc, anchor);
+    if rows.is_empty() {
+        anchor_missing(out, doc_path, &format!("value table under `{anchor}`"));
+        return;
+    }
+    let variants = code.enum_discriminants(enum_name);
+    if variants.is_empty() {
+        drift(out, doc_path, rows[0].0, format!(
+            "`enum {enum_name}` with explicit discriminants not found in `{}`",
+            code.file.source.path
+        ));
+        return;
+    }
+    for (line, val, name) in &rows {
+        match variants.iter().find(|(n, _)| n == name) {
+            Some((_, d)) if d == val => {}
+            Some((_, d)) => drift(out, doc_path, *line, format!(
+                "doc assigns `{name}` = {val} but `{enum_name}::{name}` is {d}"
+            )),
+            None => drift(out, doc_path, *line, format!(
+                "doc lists `{name}` = {val} but `{enum_name}` has no such variant"
+            )),
+        }
+    }
+    for (name, d) in &variants {
+        if !rows.iter().any(|(_, _, n)| n == name) {
+            drift(out, doc_path, rows[0].0, format!(
+                "`{enum_name}::{name}` = {d} is not documented in the `{anchor}` table"
+            ));
+        }
+    }
+}
+
+/// A prose-anchored cap (`capped at 255 bytes`). Optional: absent prose is
+/// not drift, the doc may legitimately not mention the cap.
+fn check_prose_cap(
+    out: &mut Vec<Violation>,
+    doc: &str,
+    doc_path: &str,
+    anchor: &str,
+    code: &CodeFile<'_>,
+    const_name: &str,
+) {
+    for (idx, l) in doc.lines().enumerate() {
+        if let Some(pos) = l.find(anchor) {
+            let rest = &l[pos + anchor.len()..];
+            if let Some(v) = rest
+                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '^' || c == '_'))
+                .next()
+                .and_then(parse_int)
+            {
+                compare_const(out, doc_path, idx + 1, anchor.trim(), v, code, const_name);
+                return;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- doc parsing
+
+fn drift(out: &mut Vec<Violation>, path: &str, line: usize, message: String) {
+    out.push(Violation {
+        rule: "spec-drift",
+        path: path.to_string(),
+        line,
+        col: 1,
+        message,
+        snippet: String::new(),
+    });
+}
+
+fn anchor_missing(out: &mut Vec<Violation>, path: &str, what: &str) {
+    drift(out, path, 1, format!(
+        "spec anchor missing: {what} — the drift check cannot run; restore the anchor or update aerorem-lint"
+    ));
+}
+
+/// Finds the table row whose field cell is `` `field` ``; returns (1-based
+/// line, the value cell's text).
+fn table_row(doc: &str, field: &str) -> Option<(usize, String)> {
+    let want = format!("`{field}`");
+    for (idx, line) in doc.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if let Some(pos) = cells.iter().position(|c| *c == want) {
+            if let Some(value) = cells.get(pos + 1) {
+                return Some((idx + 1, (*value).to_string()));
+            }
+        }
+    }
+    None
+}
+
+/// Contents of the `` `…` `` spans in a cell.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(open) = rest.find('`') {
+        let Some(close) = rest[open + 1..].find('`') else {
+            break;
+        };
+        out.push(rest[open + 1..open + 1 + close].to_string());
+        rest = &rest[open + close + 2..];
+    }
+    out
+}
+
+/// First parseable integer among a cell's backticked spans (decimal, hex,
+/// or `2^N`).
+fn first_int(cell: &str) -> Option<u64> {
+    backticked(cell).iter().find_map(|s| parse_int(s))
+}
+
+/// Parses `255`, `0x1234`, or `2^30` (stripping `_` separators and a `≤ `
+/// prefix).
+fn parse_int(s: &str) -> Option<u64> {
+    let s = s.trim().trim_start_matches('≤').trim();
+    let s: String = s.chars().filter(|&c| c != '_').collect();
+    if let Some((base, exp)) = s.split_once('^') {
+        let base: u64 = base.parse().ok()?;
+        let exp: u32 = exp.parse().ok()?;
+        return base.checked_pow(exp);
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+/// A span of space-separated hex byte pairs (`41 52 57 46`).
+fn parse_hex_bytes(s: &str) -> Option<Vec<u8>> {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if parts.is_empty() {
+        return None;
+    }
+    parts
+        .iter()
+        .map(|p| (p.len() == 2).then(|| u8::from_str_radix(p, 16).ok()).flatten())
+        .collect()
+}
+
+/// `0x…` literals appearing anywhere in a text, in order.
+fn hex_literals(text: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 2 < bytes.len() {
+        if bytes[i] == b'0' && (bytes[i + 1] | 0x20) == b'x' {
+            let start = i + 2;
+            let mut j = start;
+            while j < bytes.len() && (bytes[j].is_ascii_hexdigit() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if j > start {
+                if let Some(v) = parse_int(&text[i..j]) {
+                    out.push(v);
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The text of the section whose heading contains `marker`, up to the next
+/// same-or-higher-level heading. Returns (1-based heading line, text).
+fn section_text(doc: &str, marker: &str) -> Option<(usize, String)> {
+    let lines: Vec<&str> = doc.lines().collect();
+    let start = lines
+        .iter()
+        .position(|l| l.starts_with('#') && l.contains(marker))?;
+    let mut body = String::new();
+    for l in &lines[start + 1..] {
+        if l.starts_with('#') {
+            break;
+        }
+        body.push_str(l);
+        body.push('\n');
+    }
+    Some((start + 1, body))
+}
+
+/// `| int | `Name` … |` rows in the section whose heading contains
+/// `anchor`: (1-based line, value, name).
+fn int_name_table(doc: &str, anchor: &str) -> Vec<(usize, u64, String)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in doc.lines().enumerate() {
+        if line.starts_with('#') {
+            if in_section {
+                break;
+            }
+            in_section = line.contains(anchor);
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // cells[0] is the empty prefix before the first `|`.
+        let (Some(first), Some(second)) = (cells.get(1), cells.get(2)) else {
+            continue;
+        };
+        let Some(val) = parse_int(first) else {
+            continue;
+        };
+        let Some(name) = backticked(second).into_iter().next() else {
+            continue;
+        };
+        out.push((idx + 1, val, name));
+    }
+    out
+}
+
+/// Parses the hex dump in the `Worked example` section: lines of
+/// `0xOFF  B0 B1 …  meaning` inside a fenced block. Verifies offset
+/// continuity (a parse that stopped early cannot silently pass).
+fn hex_example(doc: &str, out: &mut Vec<Violation>, doc_path: &str) -> Option<(usize, Vec<u8>)> {
+    let Some((line, section)) = section_text(doc, "Worked example") else {
+        anchor_missing(out, doc_path, "`Worked example` section");
+        return None;
+    };
+    let mut bytes = Vec::new();
+    let mut in_fence = false;
+    for (i, l) in section.lines().enumerate() {
+        if l.trim_start().starts_with("```") {
+            if in_fence {
+                break;
+            }
+            in_fence = true;
+            continue;
+        }
+        if !in_fence {
+            continue;
+        }
+        let mut parts = l.split_whitespace();
+        let Some(off) = parts.next().and_then(|p| p.strip_prefix("0x")) else {
+            continue;
+        };
+        let Ok(off) = usize::from_str_radix(off, 16) else {
+            continue;
+        };
+        if off != bytes.len() {
+            drift(out, doc_path, line + i + 1, format!(
+                "worked example offset 0x{off:02X} does not follow the {} bytes parsed so far — rows out of order or bytes the parser cannot read",
+                bytes.len()
+            ));
+            return None;
+        }
+        for p in parts {
+            if p.len() == 2 {
+                if let Ok(b) = u8::from_str_radix(p, 16) {
+                    bytes.push(b);
+                    continue;
+                }
+            }
+            break; // the meaning column
+        }
+    }
+    if bytes.is_empty() {
+        anchor_missing(out, doc_path, "hex dump in the worked example");
+        return None;
+    }
+    Some((line, bytes))
+}
+
+// ------------------------------------------------------------ code parsing
+
+/// A workspace source file with its comment-free token view.
+struct CodeFile<'a> {
+    file: &'a WorkspaceFile,
+    code: Vec<Token>,
+}
+
+impl<'a> CodeFile<'a> {
+    /// Finds a file by path suffix.
+    fn find(ws: &'a Workspace, suffix: &str) -> Option<CodeFile<'a>> {
+        let file = ws.files.iter().find(|f| f.source.path.ends_with(suffix))?;
+        let code = file
+            .source
+            .tokens
+            .iter()
+            .filter(|t| !t.is_comment())
+            .copied()
+            .collect();
+        Some(CodeFile { file, code })
+    }
+
+    fn word(&self, i: usize) -> &str {
+        self.code.get(i).map_or("", |t| t.text(&self.file.source.text))
+    }
+
+    /// Token range of `const <name> … = <expr> ;`, exclusive of `;`.
+    fn const_expr(&self, name: &str) -> Option<(usize, usize)> {
+        for i in 0..self.code.len() {
+            if self.word(i) == "const" && self.word(i + 1) == name {
+                // Skip the type annotation; `[u8; 4]` contains both `;` and
+                // (conceivably) `=`-free brackets, so track nesting.
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                while j < self.code.len() && !(depth == 0 && self.word(j) == "=") {
+                    match self.word(j) {
+                        "[" | "(" | "{" => depth += 1,
+                        "]" | ")" | "}" => depth -= 1,
+                        ";" if depth == 0 => return None,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let start = j + 1;
+                let mut end = start;
+                while end < self.code.len() && self.word(end) != ";" {
+                    end += 1;
+                }
+                return Some((start, end));
+            }
+        }
+        None
+    }
+
+    /// Evaluates an integer constant.
+    fn const_value(&self, name: &str) -> Option<u64> {
+        let (start, end) = self.const_expr(name)?;
+        let toks: Vec<&str> = (start..end).map(|i| self.word(i)).collect();
+        eval_expr(&toks)
+    }
+
+    /// Extracts a byte-string constant (`*b"ARWF"`).
+    fn const_bytes(&self, name: &str) -> Option<Vec<u8>> {
+        let (start, end) = self.const_expr(name)?;
+        for i in start..end {
+            let w = self.word(i);
+            if let Some(inner) = w.strip_prefix("b\"").and_then(|s| s.strip_suffix('"')) {
+                return Some(inner.as_bytes().to_vec());
+            }
+        }
+        None
+    }
+
+    /// `Variant = value` pairs inside `enum <name> { … }`.
+    fn enum_discriminants(&self, name: &str) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for i in 0..self.code.len() {
+            if self.word(i) == "enum" && self.word(i + 1) == name {
+                let mut j = i + 2;
+                while j < self.code.len() && self.word(j) != "{" {
+                    j += 1;
+                }
+                let mut depth = 0i32;
+                while j < self.code.len() {
+                    match self.word(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return out;
+                            }
+                        }
+                        "=" if depth == 1 => {
+                            let variant = self.word(j - 1).to_string();
+                            if let Some(v) = parse_int(self.word(j + 1)) {
+                                out.push((variant, v));
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether any integer literal in the file equals `value`.
+    fn has_int_literal(&self, value: u64) -> bool {
+        self.code.iter().any(|t| {
+            t.kind == TokenKind::Int && parse_int(t.text(&self.file.source.text)) == Some(value)
+        })
+    }
+}
+
+/// Evaluates a small constant expression: integers, `|`, `<<`, `+`, `-`,
+/// `*`, parentheses, and `as <type>` casts (ignored). Anything else fails
+/// to `None` — the comparison then reports the constant as unreadable.
+fn eval_expr(toks: &[&str]) -> Option<u64> {
+    let mut pos = 0usize;
+    let v = eval_or(toks, &mut pos)?;
+    (pos >= toks.len()).then_some(v)
+}
+
+fn eval_or(toks: &[&str], pos: &mut usize) -> Option<u64> {
+    let mut v = eval_shift(toks, pos)?;
+    while toks.get(*pos) == Some(&"|") {
+        *pos += 1;
+        v |= eval_shift(toks, pos)?;
+    }
+    Some(v)
+}
+
+fn eval_shift(toks: &[&str], pos: &mut usize) -> Option<u64> {
+    let mut v = eval_add(toks, pos)?;
+    // The lexer emits single-character puncts, so `<<` arrives as two `<`.
+    while toks.get(*pos) == Some(&"<") && toks.get(*pos + 1) == Some(&"<") {
+        *pos += 2;
+        let rhs = eval_add(toks, pos)?;
+        v = v.checked_shl(u32::try_from(rhs).ok()?)?;
+    }
+    Some(v)
+}
+
+fn eval_add(toks: &[&str], pos: &mut usize) -> Option<u64> {
+    let mut v = eval_mul(toks, pos)?;
+    loop {
+        match toks.get(*pos) {
+            Some(&"+") => {
+                *pos += 1;
+                v = v.checked_add(eval_mul(toks, pos)?)?;
+            }
+            Some(&"-") => {
+                *pos += 1;
+                v = v.checked_sub(eval_mul(toks, pos)?)?;
+            }
+            _ => return Some(v),
+        }
+    }
+}
+
+fn eval_mul(toks: &[&str], pos: &mut usize) -> Option<u64> {
+    let mut v = eval_atom(toks, pos)?;
+    while toks.get(*pos) == Some(&"*") {
+        *pos += 1;
+        v = v.checked_mul(eval_atom(toks, pos)?)?;
+    }
+    Some(v)
+}
+
+fn eval_atom(toks: &[&str], pos: &mut usize) -> Option<u64> {
+    let v = match toks.get(*pos)? {
+        &"(" => {
+            *pos += 1;
+            let v = eval_or(toks, pos)?;
+            if toks.get(*pos) != Some(&")") {
+                return None;
+            }
+            *pos += 1;
+            v
+        }
+        t => {
+            let v = strip_suffix_int(t)?;
+            *pos += 1;
+            v
+        }
+    };
+    // Skip `as usize` / `as u32` casts.
+    while toks.get(*pos) == Some(&"as") {
+        *pos += 2;
+    }
+    Some(v)
+}
+
+/// Parses an integer literal token, stripping a type suffix (`30u32`,
+/// `0x1234_u16`).
+fn strip_suffix_int(t: &str) -> Option<u64> {
+    let s: String = t.chars().filter(|&c| c != '_').collect();
+    let (body, radix) = if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        (h, 16)
+    } else if let Some(b) = s.strip_prefix("0b") {
+        (b, 2)
+    } else if let Some(o) = s.strip_prefix("0o") {
+        (o, 8)
+    } else {
+        (s.as_str(), 10)
+    };
+    let digits_end = body
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(body.len());
+    if digits_end == 0 {
+        return None;
+    }
+    u64::from_str_radix(&body[..digits_end], radix).ok()
+}
+
+// ------------------------------------------------------------------- CRC-32
+
+/// Bitwise reflected CRC-32 with the given polynomial, initial value
+/// `0xFFFFFFFF`, final XOR `0xFFFFFFFF`. Reimplemented here (not imported
+/// from `aerorem-numerics`) so the lint stays dependency-free and the
+/// check is independent of the code under test.
+pub fn crc32(poly: u32, data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ poly } else { crc >> 1 };
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_parsing_forms() {
+        assert_eq!(parse_int("255"), Some(255));
+        assert_eq!(parse_int("0x1234"), Some(0x1234));
+        assert_eq!(parse_int("2^30"), Some(1 << 30));
+        assert_eq!(parse_int("≤ 2^30"), Some(1 << 30));
+        assert_eq!(parse_int("0xEDB8_8320"), Some(0xEDB8_8320));
+        assert_eq!(parse_int("bytes"), None);
+    }
+
+    #[test]
+    fn expr_eval() {
+        // Single-char puncts, exactly as the lexer delivers them.
+        assert_eq!(eval_expr(&["1", "<", "<", "30"]), Some(1 << 30));
+        assert_eq!(eval_expr(&["(", "1", "<", "<", "16", ")", "as", "usize"]), Some(1 << 16));
+        assert_eq!(eval_expr(&["4096"]), Some(4096));
+        assert_eq!(eval_expr(&["16", "+", "84", "*", "2"]), Some(184));
+        assert_eq!(eval_expr(&["foo"]), None);
+    }
+
+    #[test]
+    fn crc_check_value() {
+        assert_eq!(crc32(0xEDB8_8320, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn backtick_and_hex_cells() {
+        let spans = backticked("ASCII `ARWF` (`41 52 57 46`).");
+        assert_eq!(spans, ["ARWF", "41 52 57 46"]);
+        assert_eq!(parse_hex_bytes(&spans[1]), Some(vec![0x41, 0x52, 0x57, 0x46]));
+        assert_eq!(parse_hex_bytes("not hex"), None);
+    }
+}

@@ -42,7 +42,7 @@ pub struct WorkspaceFile {
 }
 
 /// The loaded workspace.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Workspace {
     /// Every discovered Rust file.
     pub files: Vec<WorkspaceFile>,
@@ -50,6 +50,10 @@ pub struct Workspace {
     pub makefile: Option<String>,
     /// `justfile` text, if present.
     pub justfile: Option<String>,
+    /// `docs/WIRE_FORMAT.md` text, if present (spec-drift input).
+    pub wire_spec: Option<String>,
+    /// `docs/SNAPSHOT_FORMAT.md` text, if present (spec-drift input).
+    pub snapshot_spec: Option<String>,
 }
 
 impl Workspace {
@@ -89,6 +93,8 @@ impl Workspace {
             files,
             makefile: read_optional(&root.join("Makefile")),
             justfile: read_optional(&root.join("justfile")),
+            wire_spec: read_optional(&root.join("docs/WIRE_FORMAT.md")),
+            snapshot_spec: read_optional(&root.join("docs/SNAPSHOT_FORMAT.md")),
         })
     }
 }

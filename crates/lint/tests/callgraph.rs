@@ -1,0 +1,171 @@
+//! Call-graph resolution edge cases: trait-method dispatch, closures passed
+//! to the chunked executor, shadowed function names across modules, and
+//! cross-crate `use` re-exports. Each fixture asserts the *resolved edges*,
+//! not just the findings built on top of them.
+
+use aerorem_lint::callgraph::CallGraph;
+use aerorem_lint::memory_file;
+use aerorem_lint::workspace::{FileKind, Workspace};
+
+fn lib_file(path: &str, crate_name: &str, text: &str) -> aerorem_lint::workspace::WorkspaceFile {
+    memory_file(path, FileKind::Library, crate_name, false, text)
+}
+
+fn graph(files: Vec<aerorem_lint::workspace::WorkspaceFile>) -> CallGraph {
+    CallGraph::build(&Workspace {
+        files,
+        ..Workspace::default()
+    })
+}
+
+/// The unique function id for (crate, name); panics when ambiguous so a
+/// fixture drift fails loudly.
+fn only(g: &CallGraph, crate_name: &str, name: &str) -> usize {
+    let ids = g.find(crate_name, name);
+    assert_eq!(ids.len(), 1, "expected one `{crate_name}::{name}`, got {ids:?}");
+    ids[0]
+}
+
+#[test]
+fn trait_method_dispatch_edges_to_every_impl() {
+    // `h.poll()` cannot know the receiver type, so the graph
+    // over-approximates: one edge per workspace `poll` method (trait decl
+    // and both impls), keeping reachability sound for panic analysis.
+    let daemon = "pub fn serve_connection(h: &dyn Handler) {\n    h.poll();\n}\n";
+    let handlers = r#"
+pub trait Handler {
+    fn poll(&self);
+}
+
+pub struct Echo;
+impl Handler for Echo {
+    fn poll(&self) {
+        echo_step();
+    }
+}
+
+pub struct Drop_;
+impl Handler for Drop_ {
+    fn poll(&self) {
+        drop_step();
+    }
+}
+
+fn echo_step() {}
+fn drop_step() {}
+"#;
+    let g = graph(vec![
+        lib_file("crates/serve/src/daemon.rs", "serve", daemon),
+        lib_file("crates/serve/src/handlers.rs", "serve", handlers),
+    ]);
+    let root = only(&g, "serve", "serve_connection");
+    let polls = g.find("serve", "poll");
+    assert_eq!(polls.len(), 3, "trait decl + two impls");
+    for p in &polls {
+        assert!(g.has_edge(root, *p), "missing edge to poll #{p}");
+    }
+    // …and through the impl bodies to their helpers.
+    let reach = g.reach_from(&[root]);
+    assert!(reach[only(&g, "serve", "echo_step")].is_some());
+    assert!(reach[only(&g, "serve", "drop_step")].is_some());
+}
+
+#[test]
+fn closure_bodies_attribute_calls_to_the_enclosing_fn() {
+    // A closure handed to `exec::map_chunks` is not a named function; the
+    // calls inside it belong to the function that builds the closure.
+    let engine = r#"
+use aerorem_numerics::exec;
+
+fn transform(x: f64) -> f64 {
+    x * 2.0
+}
+
+pub fn answer(data: &[f64]) {
+    exec::map_chunks(data, |chunk| transform(chunk.len() as f64));
+}
+"#;
+    let numerics = "pub fn map_chunks() {}\n";
+    let g = graph(vec![
+        lib_file("crates/serve/src/engine.rs", "serve", engine),
+        lib_file("crates/numerics/src/exec.rs", "numerics", numerics),
+    ]);
+    let answer = only(&g, "serve", "answer");
+    assert!(g.has_edge(answer, only(&g, "numerics", "map_chunks")));
+    assert!(g.has_edge(answer, only(&g, "serve", "transform")));
+}
+
+#[test]
+fn shadowed_names_resolve_to_the_innermost_module() {
+    // Both files define `refresh`; a bare call binds to the caller's own
+    // module, never to the same-named function elsewhere in the crate.
+    let alpha = "pub fn refresh() {}\n\npub fn tick() {\n    refresh();\n}\n";
+    let beta = "pub fn refresh() {}\n\npub fn tock() {\n    refresh();\n}\n";
+    let g = graph(vec![
+        lib_file("crates/core/src/alpha.rs", "core", alpha),
+        lib_file("crates/core/src/beta.rs", "core", beta),
+    ]);
+    let refreshes = g.find("core", "refresh");
+    assert_eq!(refreshes.len(), 2);
+    let in_alpha = *refreshes
+        .iter()
+        .find(|&&i| g.fns[i].modules == ["alpha"])
+        .expect("alpha::refresh");
+    let in_beta = *refreshes
+        .iter()
+        .find(|&&i| g.fns[i].modules == ["beta"])
+        .expect("beta::refresh");
+    let tick = only(&g, "core", "tick");
+    let tock = only(&g, "core", "tock");
+    assert!(g.has_edge(tick, in_alpha));
+    assert!(!g.has_edge(tick, in_beta), "tick must not edge across modules");
+    assert!(g.has_edge(tock, in_beta));
+    assert!(!g.has_edge(tock, in_alpha), "tock must not edge across modules");
+}
+
+#[test]
+fn cross_crate_use_reexports_splice_into_full_paths() {
+    // `use aerorem_core::plan_route; … plan_route()` resolves through the
+    // import to the defining crate.
+    let mission = "use aerorem_core::plan_route;\n\npub fn fly_leg() {\n    plan_route();\n}\n";
+    let core = "pub fn plan_route() {}\n";
+    let g = graph(vec![
+        lib_file("crates/mission/src/lib.rs", "mission", mission),
+        lib_file("crates/core/src/lib.rs", "core", core),
+    ]);
+    assert!(g.has_edge(
+        only(&g, "mission", "fly_leg"),
+        only(&g, "core", "plan_route"),
+    ));
+}
+
+#[test]
+fn explicit_crate_paths_resolve_without_an_import() {
+    let mission = "pub fn fly_leg() {\n    aerorem_core::plan_route();\n}\n";
+    let core = "pub fn plan_route() {}\n";
+    let g = graph(vec![
+        lib_file("crates/mission/src/lib.rs", "mission", mission),
+        lib_file("crates/core/src/lib.rs", "core", core),
+    ]);
+    assert!(g.has_edge(
+        only(&g, "mission", "fly_leg"),
+        only(&g, "core", "plan_route"),
+    ));
+}
+
+#[test]
+fn test_regions_contribute_no_nodes_or_edges() {
+    let src = r#"
+pub fn live() {}
+
+#[cfg(test)]
+mod tests {
+    fn test_only() {
+        super::live();
+    }
+}
+"#;
+    let g = graph(vec![lib_file("crates/core/src/lib.rs", "core", src)]);
+    assert_eq!(g.find("core", "test_only"), Vec::<usize>::new());
+    assert_eq!(g.find("core", "live").len(), 1);
+}

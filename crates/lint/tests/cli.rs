@@ -53,11 +53,14 @@ fn violations_exit_one_and_json_is_stable() {
     let out = run_lint(&dir, &["--json"]);
     assert_eq!(out.status.code(), Some(1));
     let json = String::from_utf8_lossy(&out.stdout).to_string();
-    assert!(json.contains("\"schema_version\": 1"));
+    assert!(json.contains("\"schema_version\": 2"));
     assert!(json.contains("\"tool\": \"aerorem-lint\""));
-    assert!(json.contains("\"rule\": \"hash-iter\""));
-    assert!(json.contains("\"rule\": \"panic-path\""));
+    assert!(json.contains("\"rule\": \"hash-iter\", \"severity\": \"error\""));
+    assert!(json.contains("\"rule\": \"panic-path\", \"severity\": \"error\""));
     assert!(json.contains("\"path\": \"crates/mission/src/bad.rs\""));
+    // v2: the rule catalog is a list of objects with severities.
+    assert!(json.contains("{\"name\": \"hash-iter\", \"severity\": \"error\", \"summary\": "));
+    assert!(json.contains("{\"name\": \"unused-allow\", \"severity\": \"warning\", \"summary\": "));
     // Byte-stable across runs — the contract that lets scripts diff reports.
     let again = run_lint(&dir, &["--json"]);
     assert_eq!(json, String::from_utf8_lossy(&again.stdout));
@@ -91,6 +94,9 @@ fn list_rules_covers_the_catalog() {
         "par-float-reduce",
         "panic-path",
         "slice-index",
+        "panic-reach",
+        "lock-discipline",
+        "spec-drift",
         "forbid-unsafe",
         "debug-macro",
         "target-parity",

@@ -3,11 +3,11 @@
 //! driver as real files ([`aerorem_lint::lint_source`]), so suppression
 //! handling and test-region scoping are exercised too.
 
-use aerorem_lint::lint_source;
 use aerorem_lint::report::Violation;
 use aerorem_lint::rules::hygiene::TargetParity;
 use aerorem_lint::rules::{registry, Rule, META_RULES};
-use aerorem_lint::workspace::{FileKind, Workspace};
+use aerorem_lint::workspace::{FileKind, Workspace, WorkspaceFile};
+use aerorem_lint::{lint_source, lint_workspace, memory_file};
 
 fn lint_lib(crate_name: &str, text: &str) -> Vec<Violation> {
     lint_source("fixture.rs", FileKind::Library, crate_name, false, text)
@@ -15,6 +15,21 @@ fn lint_lib(crate_name: &str, text: &str) -> Vec<Violation> {
 
 fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
     violations.iter().map(|v| v.rule).collect()
+}
+
+/// Library file helper for workspace-rule fixtures.
+fn lib_file(path: &str, crate_name: &str, text: &str) -> WorkspaceFile {
+    memory_file(path, FileKind::Library, crate_name, false, text)
+}
+
+/// Runs the full workspace driver over in-memory files and returns the
+/// findings of one rule (other rules must stay quiet on the fixture).
+fn ws_findings(ws: &Workspace, rule: &str) -> Vec<Violation> {
+    let report = lint_workspace(ws);
+    for v in &report.violations {
+        assert_eq!(v.rule, rule, "fixture tripped an unrelated rule: {v:?}");
+    }
+    report.violations
 }
 
 // ---------------------------------------------------------------- hash-iter
@@ -221,9 +236,9 @@ fn debug_macro_ignores_mentions_in_strings_and_docs() {
 #[test]
 fn target_parity_flags_one_sided_targets() {
     let ws = Workspace {
-        files: vec![],
         makefile: Some("lint:\n\tcargo run\ncheck: lint\n\ttrue\n".to_string()),
         justfile: Some("check:\n    true\n".to_string()),
+        ..Workspace::default()
     };
     let mut out = Vec::new();
     TargetParity.check_workspace(&ws, &mut out);
@@ -236,9 +251,9 @@ fn target_parity_flags_one_sided_targets() {
 #[test]
 fn target_parity_clean_when_in_sync() {
     let ws = Workspace {
-        files: vec![],
         makefile: Some("check: build\n\ttrue\nbuild:\n\ttrue\n".to_string()),
         justfile: Some("check: build\nbuild:\n    true\n".to_string()),
+        ..Workspace::default()
     };
     let mut out = Vec::new();
     TargetParity.check_workspace(&ws, &mut out);
@@ -325,4 +340,445 @@ fn registry_names_are_unique_kebab_case_and_documented() {
     for r in registry() {
         assert!(!r.summary().is_empty(), "rule {} has no summary", r.name());
     }
+}
+
+// ---------------------------------------------------------------- panic-reach
+//
+// Seeded-defect corpus: every fixture plants known panic sites reachable
+// from the daemon/mission roots and asserts each one (and only those) is
+// reported, with the call chain in the message.
+
+#[test]
+fn panic_reach_flags_sites_transitively_reachable_from_serve_roots() {
+    // Three seeded defects: an unwrap and a panic! two calls below
+    // `serve_connection`, and a dynamic index one call below it.
+    let daemon = r#"
+pub fn serve_connection(conn: Conn) {
+    process(conn);
+    lookup(3);
+}
+
+fn process(conn: Conn) {
+    step(conn);
+}
+
+fn step(conn: Conn) {
+    let header: Option<u8> = peek(conn);
+    let _ = header.unwrap();
+    panic!("protocol error");
+}
+
+fn lookup(slot: usize) {
+    let table = [1u8, 2, 3];
+    let _ = table[slot];
+}
+"#;
+    let ws = Workspace {
+        files: vec![lib_file("crates/serve/src/daemon.rs", "serve", daemon)],
+        ..Workspace::default()
+    };
+    let v = ws_findings(&ws, "panic-reach");
+    assert_eq!(v.len(), 3, "{v:?}");
+    for f in &v {
+        assert_eq!(f.path, "crates/serve/src/daemon.rs");
+        assert!(f.message.contains("serve_connection"), "{}", f.message);
+    }
+    assert!(v.iter().any(|f| f.message.contains("`unwrap`")), "{v:?}");
+    assert!(v.iter().any(|f| f.message.contains("`panic!`")), "{v:?}");
+    assert!(v.iter().any(|f| f.message.contains("dynamic index")), "{v:?}");
+    // The deepest site carries the full path chain.
+    assert!(
+        v.iter().any(|f| f.message.contains("serve_connection → process → step")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn panic_reach_crosses_crates_through_use_imports() {
+    // Seeded defect: `fly_leg` (mission root) reaches an `expect` in the
+    // core crate through a `use` re-export. The site lives outside the
+    // panic-free crates, so only the reachability rule can catch it.
+    let mission = "use aerorem_core::plan;\n\npub fn fly_leg() {\n    plan();\n}\n";
+    let core = r#"
+pub fn plan() -> u8 {
+    let route: Option<u8> = None;
+    route.expect("route planned")
+}
+"#;
+    let ws = Workspace {
+        files: vec![
+            lib_file("crates/mission/src/lib.rs", "mission", mission),
+            lib_file("crates/core/src/lib.rs", "core", core),
+        ],
+        ..Workspace::default()
+    };
+    let v = ws_findings(&ws, "panic-reach");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].path, "crates/core/src/lib.rs");
+    assert!(v[0].message.contains("fly_leg → plan"), "{}", v[0].message);
+}
+
+#[test]
+fn panic_reach_ignores_unreachable_test_scoped_and_foreign_index_sites() {
+    // Negatives: a panic site nothing calls, one inside a test region, and
+    // a dynamic index in a crate outside DYN_INDEX_CRATES — all quiet even
+    // though a live root exists in the workspace.
+    let daemon = r#"
+pub fn serve_connection(xs: &[f64]) {
+    aerorem_numerics::pick(xs, 2);
+}
+
+fn dead_helper(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        Some(1u8).unwrap();
+    }
+}
+"#;
+    let numerics = "pub fn pick(xs: &[f64], i: usize) -> f64 {\n    xs[i]\n}\n";
+    let ws = Workspace {
+        files: vec![
+            lib_file("crates/serve/src/daemon.rs", "serve", daemon),
+            lib_file("crates/numerics/src/kernels.rs", "numerics", numerics),
+        ],
+        ..Workspace::default()
+    };
+    assert!(ws_findings(&ws, "panic-reach").is_empty());
+}
+
+#[test]
+fn panic_reach_findings_accept_trailing_allows() {
+    // Workspace findings route through the same per-file suppression
+    // resolution as per-file rules: a reasoned trailing allow silences the
+    // unwrap but leaves the panic! on the next statement live.
+    let daemon = r#"
+pub fn submit_batch(x: Option<u8>) {
+    let _ = x.unwrap(); // lint:allow(panic-reach) — fixture: caller checked is_some
+    let _ = x;
+
+    panic!("still live");
+}
+"#;
+    let ws = Workspace {
+        files: vec![lib_file("crates/serve/src/batch.rs", "serve", daemon)],
+        ..Workspace::default()
+    };
+    let v = ws_findings(&ws, "panic-reach");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("`panic!`"), "{}", v[0].message);
+}
+
+// ------------------------------------------------------------ lock-discipline
+
+#[test]
+fn lock_discipline_flags_lock_order_cycles_at_both_sites() {
+    // Seeded defects (2): `promote` takes current → namespaces while
+    // `enumerate_spaces` takes namespaces → current; each inner acquisition
+    // is a deadlock window and both are reported, cross-referencing the
+    // other site.
+    let daemon = r#"
+fn promote(state: &Shared) {
+    let cur = lock_write(&state.current);
+    let ns = lock_read(&state.namespaces);
+    drop(ns);
+    drop(cur);
+}
+
+fn enumerate_spaces(state: &Shared) {
+    let ns = lock_read(&state.namespaces);
+    let cur = lock_read(&state.current);
+    drop(cur);
+    drop(ns);
+}
+"#;
+    let ws = Workspace {
+        files: vec![lib_file("crates/serve/src/daemon.rs", "serve", daemon)],
+        ..Workspace::default()
+    };
+    let v = ws_findings(&ws, "lock-discipline");
+    assert_eq!(v.len(), 2, "{v:?}");
+    for f in &v {
+        assert!(f.message.contains("lock-order cycle"), "{}", f.message);
+    }
+}
+
+#[test]
+fn lock_discipline_flags_blocking_io_under_watched_guards() {
+    // Seeded defects (2): a socket write under the `conns` mutex (helper
+    // acquisition form) and a flush under the `nudge` mutex (raw method
+    // form).
+    let daemon = r#"
+fn flush_requests(state: &Shared, stream: &mut TcpStream) {
+    let conns = lock_mutex(&state.conns);
+    stream.write_all(b"ready").unwrap_or(());
+    drop(conns);
+}
+
+fn poke(state: &Shared, stream: &mut TcpStream) {
+    let guard = state.nudge.lock();
+    stream.flush().unwrap_or(());
+}
+"#;
+    let ws = Workspace {
+        files: vec![lib_file("crates/serve/src/daemon.rs", "serve", daemon)],
+        ..Workspace::default()
+    };
+    let v = ws_findings(&ws, "lock-discipline");
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(
+        v.iter().any(|f| f.message.contains("`write_all`") && f.message.contains("`conns`")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter().any(|f| f.message.contains("`flush`") && f.message.contains("`nudge`")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn lock_discipline_accepts_consistent_order_and_snapshot_then_block() {
+    // Negatives: both paths take current before namespaces (no cycle), and
+    // the I/O happens only after the guard's block scope closes.
+    let daemon = r#"
+fn flush_requests(state: &Shared, stream: &mut TcpStream) {
+    let snapshot = {
+        let conns = lock_mutex(&state.conns);
+        conns.clone()
+    };
+    stream.write_all(&snapshot).unwrap_or(());
+}
+
+fn promote(state: &Shared) {
+    let cur = lock_write(&state.current);
+    let ns = lock_read(&state.namespaces);
+    drop(ns);
+    drop(cur);
+}
+
+fn refresh(state: &Shared) {
+    let cur = lock_read(&state.current);
+    let ns = lock_read(&state.namespaces);
+    drop(ns);
+    drop(cur);
+}
+"#;
+    let ws = Workspace {
+        files: vec![lib_file("crates/serve/src/daemon.rs", "serve", daemon)],
+        ..Workspace::default()
+    };
+    assert!(ws_findings(&ws, "lock-discipline").is_empty());
+}
+
+#[test]
+fn lock_discipline_scopes_to_the_serve_crate() {
+    // The same cyclic shape outside `crates/serve` is not the daemon's
+    // shared state — field names are just names there.
+    let other = r#"
+fn a(state: &Shared) {
+    let cur = lock_write(&state.current);
+    let ns = lock_read(&state.namespaces);
+    drop(ns);
+    drop(cur);
+}
+
+fn b(state: &Shared) {
+    let ns = lock_read(&state.namespaces);
+    let cur = lock_read(&state.current);
+    drop(cur);
+    drop(ns);
+}
+"#;
+    let ws = Workspace {
+        files: vec![lib_file("crates/core/src/state.rs", "core", other)],
+        ..Workspace::default()
+    };
+    assert!(ws_findings(&ws, "lock-discipline").is_empty());
+}
+
+// ------------------------------------------------------------------ spec-drift
+
+/// A wire spec that agrees with [`WIRE_CODE`] byte for byte (the worked
+/// example CRCs were computed independently of the rule's own CRC-32).
+const WIRE_DOC: &str = r#"# REM wire protocol
+
+Namespace names are capped at 255 bytes.
+
+## 2. Frame header — 32 bytes
+
+| Offset | Size | Type | Field | Value |
+|---|---|---|---|---|
+| 0 | 4 | bytes | `magic` | ASCII `ARWF` (`41 52 57 46`). |
+| 4 | 2 | u16 | `version` | `1` |
+| 20 | 4 | u32 | `payload_len` | `≤ 2^30` |
+
+## 4. Frame kinds
+
+| Value | Kind |
+|---|---|
+| 1 | `Request` |
+| 2 | `Response` |
+
+## 5.3 Error codes
+
+| Code | Name |
+|---|---|
+| 1 | `UnknownNamespace` |
+
+## 6. CRC-32
+
+Reflected polynomial 0xEDB88320; crc32(b"123456789") = 0xCBF43926.
+
+## 7. Worked example
+
+```text
+0x00  41 52 57 46                magic
+0x04  01 00                      version
+0x06  01                         kind = Request
+0x07  00                         flags
+0x08  00 00 00 00                namespace
+0x0C  00 00 00 00 00 00 00 00    seq
+0x14  00 00 00 00                payload_len = 0
+0x18  00 00 00 00                payload_crc32 (empty payload)
+0x1C  B3 4A C5 3D                header_crc32 = 0x3DC54AB3
+```
+"#;
+
+const WIRE_CODE: &str = r#"
+pub const WIRE_MAGIC: [u8; 4] = *b"ARWF";
+pub const WIRE_VERSION: u16 = 1;
+pub const FRAME_HEADER_LEN: usize = 32;
+pub const MAX_PAYLOAD: usize = 1 << 30;
+pub const MAX_NAME: usize = 255;
+
+pub enum FrameKind {
+    Request = 1,
+    Response = 2,
+}
+
+pub enum ErrorCode {
+    UnknownNamespace = 1,
+}
+"#;
+
+const CODEC_CODE: &str = "pub const CRC32_POLY: u32 = 0xEDB8_8320;\n";
+
+fn wire_ws(doc: &str, code: &str, codec: &str) -> Workspace {
+    Workspace {
+        files: vec![
+            lib_file("crates/serve/src/wire.rs", "serve", code),
+            lib_file("crates/numerics/src/codec.rs", "numerics", codec),
+        ],
+        wire_spec: Some(doc.to_string()),
+        ..Workspace::default()
+    }
+}
+
+#[test]
+fn spec_drift_is_quiet_when_doc_and_code_agree() {
+    let ws = wire_ws(WIRE_DOC, WIRE_CODE, CODEC_CODE);
+    assert!(ws_findings(&ws, "spec-drift").is_empty());
+}
+
+#[test]
+fn spec_drift_flags_every_seeded_disagreement() {
+    // Six seeded defects, each drifting one anchor away from the code:
+    // the magic ASCII, the version row, one enum discriminant, an
+    // undocumented enum variant, a prose cap, and a corrupted worked-example
+    // header CRC.
+    let doc = WIRE_DOC
+        .replace("ASCII `ARWF` (`41 52 57 46`)", "ASCII `ARWG` (`41 52 57 47`)")
+        .replace("| 4 | 2 | u16 | `version` | `1` |", "| 4 | 2 | u16 | `version` | `2` |")
+        .replace("| 2 | `Response` |", "| 3 | `Response` |")
+        .replace("capped at 255 bytes", "capped at 300 bytes")
+        .replace("0x1C  B3 4A C5 3D", "0x1C  DE AD BE EF");
+    let code = WIRE_CODE.replace(
+        "    Response = 2,\n}",
+        "    Response = 2,\n    Cancel = 4,\n}",
+    );
+    let ws = wire_ws(&doc, &code, CODEC_CODE);
+    let v = ws_findings(&ws, "spec-drift");
+    assert_eq!(v.len(), 6, "{v:?}");
+    for f in &v {
+        assert_eq!(f.path, "docs/WIRE_FORMAT.md");
+    }
+    let all = v.iter().map(|f| f.message.as_str()).collect::<Vec<_>>().join("\n");
+    assert!(all.contains("doc magic `ARWG`"), "{all}");
+    assert!(all.contains("version = 2"), "{all}");
+    assert!(all.contains("doc assigns `Response` = 3"), "{all}");
+    assert!(all.contains("`FrameKind::Cancel` = 4 is not documented"), "{all}");
+    assert!(all.contains("capped at = 300"), "{all}");
+    assert!(
+        all.contains("header_crc32 is 0xEFBEADDE") && all.contains("0x3DC54AB3"),
+        "{all}"
+    );
+}
+
+#[test]
+fn spec_drift_recomputes_the_doc_check_value_and_codec_polynomial() {
+    // Seeded defect: the codec implements a different polynomial than the
+    // one the doc declares (the doc's own check value still matches, so the
+    // only drift is doc↔codec).
+    let ws = wire_ws(WIRE_DOC, WIRE_CODE, "pub const CRC32_POLY: u32 = 0x04C11DB7;\n");
+    let v = ws_findings(&ws, "spec-drift");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(
+        v[0].message.contains("0xEDB88320 does not appear in"),
+        "{}", v[0].message
+    );
+}
+
+#[test]
+fn spec_drift_treats_missing_anchors_as_findings() {
+    // Seeded defect: the CRC-32 section is dropped entirely — the check
+    // must fail loudly instead of silently skipping the example.
+    let doc = WIRE_DOC.replace("## 6. CRC-32", "## 6. Integrity").replace("0xEDB88320", "a polynomial");
+    let ws = wire_ws(&doc, WIRE_CODE, CODEC_CODE);
+    let v = ws_findings(&ws, "spec-drift");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("spec anchor missing"), "{}", v[0].message);
+    assert!(v[0].message.contains("CRC-32"), "{}", v[0].message);
+}
+
+#[test]
+fn spec_drift_flags_a_spec_without_an_implementation() {
+    // Seeded defect: the spec names an implementation file the workspace
+    // does not contain.
+    let ws = Workspace {
+        files: vec![lib_file("crates/numerics/src/codec.rs", "numerics", CODEC_CODE)],
+        wire_spec: Some(WIRE_DOC.to_string()),
+        ..Workspace::default()
+    };
+    let v = ws_findings(&ws, "spec-drift");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("no implementation"), "{}", v[0].message);
+}
+
+// ------------------------------------------- unused-allow at test boundaries
+
+#[test]
+fn allow_above_a_test_region_boundary_is_not_unused() {
+    // Regression: the allow's finding only exists inside the `#[cfg(test)]`
+    // region, which the real pass skips. The shadow pass must credit the
+    // allow instead of flagging it as unused.
+    let src = "// lint:allow(hash-iter) — keyed map used only by the test module\n#[cfg(test)] mod t { use std::collections::HashMap; }\n";
+    assert!(lint_lib("core", src).is_empty(), "{:?}", lint_lib("core", src));
+}
+
+#[test]
+fn allow_trailing_inside_a_test_region_is_not_unused() {
+    let src = "#[cfg(test)]\nmod t {\n    use std::collections::HashMap; // lint:allow(hash-iter) — test fixture map\n}\n";
+    assert!(lint_lib("core", src).is_empty(), "{:?}", lint_lib("core", src));
+}
+
+#[test]
+fn allow_above_a_test_region_with_no_finding_is_still_unused() {
+    // The shadow pass only credits allows that match a real (test-scoped)
+    // finding; a stale allow above a clean test module stays flagged.
+    let src = "// lint:allow(hash-iter) — stale claim\n#[cfg(test)] mod t { fn f() {} }\n";
+    let v = lint_lib("core", src);
+    assert_eq!(rules_of(&v), ["unused-allow"]);
 }

@@ -235,7 +235,7 @@ impl<S, F: Fn() -> S> ScratchPool<S, F> {
     pub fn give(&self, s: S) {
         self.free
             .lock()
-            .expect("scratch pool lock poisoned")
+            .expect("scratch pool lock poisoned") // lint:allow(panic-reach) — poisoning means a worker already panicked; re-raising keeps the original failure visible instead of masking it
             .push(s);
     }
 
@@ -374,7 +374,7 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("exec worker panicked"))
+            .map(|h| h.join().expect("exec worker panicked")) // lint:allow(panic-reach) — deliberate panic propagation: join() only fails if the worker panicked, and swallowing it would silently drop chunks
             .collect()
     });
     let mut slots: Vec<Option<Result<C, E>>> = (0..n_chunks).map(|_| None).collect();

@@ -209,16 +209,16 @@ impl SyntheticBuilding {
         let w = self.primary_channel_weight.clamp(0.0, 1.0 / 3.0);
         let u: f64 = rng.gen();
         if u < w {
-            WifiChannel::new(1).expect("valid")
+            WifiChannel::new(1).expect("valid") // lint:allow(panic-reach) — 1 is a compile-time-valid 2.4 GHz channel number
         } else if u < 2.0 * w {
-            WifiChannel::new(6).expect("valid")
+            WifiChannel::new(6).expect("valid") // lint:allow(panic-reach) — 6 is a compile-time-valid 2.4 GHz channel number
         } else if u < 3.0 * w {
-            WifiChannel::new(11).expect("valid")
+            WifiChannel::new(11).expect("valid") // lint:allow(panic-reach) — 11 is a compile-time-valid 2.4 GHz channel number
         } else {
             // Uniform over the ten non-primary channels.
             let others: Vec<u8> = (1..=13).filter(|n| ![1, 6, 11].contains(n)).collect();
             let idx = rng.gen_range(0..others.len());
-            WifiChannel::new(others[idx]).expect("valid")
+            WifiChannel::new(others[idx]).expect("valid") // lint:allow(panic-reach) — others holds channels 2..=13 minus the primaries, all valid; idx is gen_range-bounded
         }
     }
 
@@ -233,7 +233,7 @@ impl SyntheticBuilding {
         let t = 0.10; // standard wall thickness
         let t_thick = t + 0.40; // the 40 cm wider segment
         let mk = |min: Vec3, max: Vec3, m: Material, label: &str| {
-            Wall::from_material(Aabb::new(min, max).expect("wall geometry"), m, label)
+            Wall::from_material(Aabb::new(min, max).expect("wall geometry"), m, label) // lint:allow(panic-reach) — every caller passes max = min + positive wall thickness
         };
         vec![
             mk(
@@ -269,7 +269,7 @@ impl SyntheticBuilding {
     fn partition_walls(&self, volume: Aabb) -> Vec<Wall> {
         let mut walls = Vec::new();
         let ext = self.building_half_extent_m;
-        let room = volume.inflated(1.0).expect("inflate");
+        let room = volume.inflated(1.0).expect("inflate"); // lint:allow(panic-reach) — inflating a valid Aabb by a positive margin keeps min < max
         let center = volume.center();
         let (z0, z1) = (self.z_range.0 - 1.0, self.z_range.1 + 1.0);
         let n = (2.0 * ext / self.partition_spacing_m) as i32;
@@ -279,7 +279,7 @@ impl SyntheticBuilding {
                 Vec3::new(x - 0.05, center.y - ext, z0),
                 Vec3::new(x + 0.05, center.y + ext, z1),
             )
-            .expect("slab");
+            .expect("slab"); // lint:allow(panic-reach) — extents are ±0.05/±ext/z0<z1 around a center: min < max on every axis
             if !slab.intersects(&room) {
                 walls.push(Wall::from_material(
                     slab,
@@ -292,7 +292,7 @@ impl SyntheticBuilding {
                 Vec3::new(center.x - ext, y - 0.05, z0),
                 Vec3::new(center.x + ext, y + 0.05, z1),
             )
-            .expect("slab");
+            .expect("slab"); // lint:allow(panic-reach) — extents are ±ext/±0.05/z0<z1 around a center: min < max on every axis
             if !slab.intersects(&room) {
                 walls.push(Wall::from_material(
                     slab,
@@ -322,7 +322,7 @@ impl SyntheticBuilding {
                         Vec3::new(center.x - ext, center.y - ext, z),
                         Vec3::new(center.x + ext, center.y + ext, z + 0.25),
                     )
-                    .expect("floor slab"),
+                    .expect("floor slab"), // lint:allow(panic-reach) — the slab spans ±ext around the center and 0.25 m of height: min < max on every axis
                     Material::ConcreteFloor,
                     format!("floor slab z={z:.1}"),
                 ));

@@ -180,7 +180,7 @@ impl WireClient {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(ClientError::Io(e)),
             };
-            self.buf.extend_from_slice(&chunk[..n]);
+            self.buf.extend_from_slice(&chunk[..n]); // lint:allow(panic-reach) — n is the byte count read() just returned; n ≤ chunk.len() by the Read contract
         }
     }
 

@@ -170,8 +170,8 @@ impl RemStore {
         let flat: Vec<Vec<f64>> = order.iter().map(|&i| grids[i].values().to_vec()).collect();
         let octrees: Vec<VoxelOctree> = flat
             .iter()
-            .map(|v| VoxelOctree::build(layout, v).expect("layout matches grid by construction"))
-            .collect();
+            .map(|v| VoxelOctree::build(layout, v).ok_or(StoreError::MismatchedGrid { index: 0 }))
+            .collect::<Result<_, _>>()?;
 
         let b = config.brick_edge;
         let (nx, ny, nz) = layout.dims();
@@ -270,10 +270,10 @@ impl RemStore {
     /// Reads one (cell, ap) value through the bricked shard layout.
     fn brick_value(&self, cell: usize, ap: usize) -> f64 {
         let (brick, off) = self.brick_of(cell);
-        let shard = &self.shards[brick % self.shards.len()];
+        let shard = &self.shards[brick % self.shards.len()]; // lint:allow(panic-reach) — index is reduced `% shards.len()`, and build() rejects shard_count == 0
         let slot = brick / self.shards.len();
         let brick_vol = self.brick_edge * self.brick_edge * self.brick_edge;
-        shard.per_ap[ap][slot * brick_vol + off]
+        shard.per_ap[ap][slot * brick_vol + off] // lint:allow(panic-reach) — ap comes from ap_index(); build() sizes each shard to its ceil-divided brick share, so slot·vol+off is in range
     }
 
     /// Point lookup: predicted RSS of `ap` at `pos`, `None` outside the
@@ -305,7 +305,7 @@ impl RemStore {
     /// [`BoxStats::empty`] for an unknown AP.
     pub fn box_stats(&self, region: &Aabb, ap: MacAddress) -> BoxStats {
         match self.ap_index(ap) {
-            Some(i) => self.octrees[i].box_stats(region, &self.flat[i]),
+            Some(i) => self.octrees[i].box_stats(region, &self.flat[i]), // lint:allow(panic-reach) — ap_index() returns positions in macs; octrees/flat are built aligned with macs
             None => BoxStats::empty(),
         }
     }
@@ -314,7 +314,7 @@ impl RemStore {
     /// (octree isosurface path). Empty for an unknown AP.
     pub fn coverage_cells(&self, threshold_dbm: f64, ap: MacAddress) -> Vec<usize> {
         match self.ap_index(ap) {
-            Some(i) => self.octrees[i].cells_above(threshold_dbm, &self.flat[i]),
+            Some(i) => self.octrees[i].cells_above(threshold_dbm, &self.flat[i]), // lint:allow(panic-reach) — ap_index() returns positions in macs; octrees/flat are built aligned with macs
             None => Vec::new(),
         }
     }
@@ -342,7 +342,7 @@ impl RemStore {
             Query::Coverage { threshold_dbm, ap } => {
                 let cells = self.coverage_cells(threshold_dbm, ap).len();
                 let total = match self.ap_index(ap) {
-                    Some(i) => self.octrees[i].root_stats().count,
+                    Some(i) => self.octrees[i].root_stats().count, // lint:allow(panic-reach) — ap_index() returns positions in macs; octrees is built aligned with macs
                     None => 0,
                 };
                 let fraction = if total == 0 {

@@ -306,7 +306,7 @@ impl Frame {
         if buf.len() < total {
             return Ok(None);
         }
-        let payload = &buf[FRAME_HEADER_LEN..total];
+        let payload = &buf[FRAME_HEADER_LEN..total]; // lint:allow(panic-reach) — the two guards above return Ok(None) unless buf.len() ≥ total ≥ FRAME_HEADER_LEN
         if crc32(payload) != header.payload_crc {
             return Err(WireError::PayloadChecksum);
         }
@@ -350,7 +350,7 @@ impl Frame {
     /// (so a flip in *any* other header byte is `HeaderChecksum`), and
     /// only then the semantic validity of checksum-correct fields.
     fn check_header(buf: &[u8]) -> Result<Header, WireError> {
-        let magic: [u8; 4] = buf[0..4].try_into().expect("4-byte slice");
+        let magic: [u8; 4] = buf[0..4].try_into().expect("4-byte slice"); // lint:allow(panic-reach) — a 4-byte range into a [u8; 4] cannot fail; callers guarantee FRAME_HEADER_LEN bytes
         if magic != WIRE_MAGIC {
             return Err(WireError::BadMagic { found: magic });
         }

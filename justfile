@@ -1,6 +1,6 @@
 # Mirrors the Makefile; use whichever runner you have installed.
 
-check: build lint test doc clippy bench-build bench-check faults-check serve-check serve-net-check
+check: build lint lint-diff test doc clippy bench-build bench-check faults-check serve-check serve-net-check
 
 build:
     cargo build --release
@@ -10,6 +10,12 @@ build:
 # stable machine-readable report for diffing across commits.
 lint:
     cargo run --release -q -p aerorem-lint -- --root .
+
+# Ratchet: the current --json report may not contain findings absent from
+# the committed baseline (scripts/lint_baseline.json); shrinkage passes.
+# Refresh deliberately with scripts/lint_diff --update.
+lint-diff:
+    ./scripts/lint_diff
 
 test:
     cargo test -q
